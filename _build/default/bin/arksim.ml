@@ -1,0 +1,256 @@
+(* arksim — drive the transkernel simulation from the command line.
+
+     arksim run [--mode native|ark|mid|baseline] [--cycles N]
+                [--kernel v3.16|v4.4|v4.9|v4.20] [--sleep-ms N]
+                [--glitch-every N] [--resume-native] [--m3-cache KB] [-v]
+     arksim compare [--cycles N]       native vs ARK side by side
+     arksim disasm SYMBOL              show a kernel function and its
+                                       ARK translation
+     arksim info                       platform, ABI and image inventory
+*)
+
+open Cmdliner
+open Tk_harness
+module Translator = Tk_dbt.Translator
+module Power = Tk_energy.Power_model
+module Soc = Tk_machine.Soc
+
+let layout_of_string = function
+  | "v3.16" -> Ok Tk_kernel.Variants.v3_16
+  | "v4.4" -> Ok Tk_kernel.Layout.v4_4
+  | "v4.9" -> Ok Tk_kernel.Variants.v4_9
+  | "v4.20" -> Ok Tk_kernel.Variants.v4_20
+  | s -> Error (`Msg ("unknown kernel version " ^ s))
+
+let layout_conv =
+  Arg.conv
+    ( layout_of_string,
+      fun ppf (l : Tk_kernel.Layout.t) ->
+        Format.pp_print_string ppf l.Tk_kernel.Layout.version )
+
+let mode_conv =
+  Arg.conv
+    ( (function
+      | "native" -> Ok `Native
+      | "ark" -> Ok (`Dbt Translator.Ark)
+      | "mid" -> Ok (`Dbt Translator.Mid)
+      | "baseline" -> Ok (`Dbt Translator.Baseline)
+      | s -> Error (`Msg ("unknown mode " ^ s))),
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with
+          | `Native -> "native"
+          | `Dbt Translator.Ark -> "ark"
+          | `Dbt Translator.Mid -> "mid"
+          | `Dbt Translator.Baseline -> "baseline") )
+
+(* -------------------------------- run -------------------------------- *)
+
+let summarize label (core : Tk_machine.Core.t) params warns =
+  let act = Tk_machine.Core.activity core in
+  let e = Power.of_activity ~params ~act () in
+  Printf.printf
+    "%s: busy %.2f ms, idle %.2f ms, %d instructions, %.2f mJ system \
+     energy, %d WARNs\n"
+    label
+    (float_of_int act.Tk_machine.Core.a_busy_ps /. 1e9)
+    (float_of_int act.Tk_machine.Core.a_idle_ps /. 1e9)
+    act.Tk_machine.Core.a_instructions
+    (Power.total e /. 1000.)
+    warns
+
+let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
+    verbose =
+  (match mode with
+  | `Native ->
+    let nat = Native_run.create ~layout ~sleep_ms () in
+    for i = 1 to cycles do
+      ignore (Native_run.suspend_resume_cycle nat);
+      if verbose then Printf.printf "cycle %d done\n%!" i
+    done;
+    summarize "native"
+      nat.Native_run.plat.Tk_drivers.Platform.soc.Soc.cpu Soc.a9_params
+      (List.length nat.Native_run.warns)
+  | `Dbt dbt_mode ->
+    let ark =
+      Ark_run.create ~layout ~mode:dbt_mode ~sleep_ms ?m3_cache_kb:m3_cache ()
+    in
+    let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
+    for i = 1 to cycles do
+      if glitch_every > 0 && i mod glitch_every = 0 then
+        wifi.Tk_drivers.Device.glitch_next_resume <- true;
+      let r = Ark_run.suspend_resume_cycle ~resume_native ark in
+      if verbose then
+        Printf.printf "cycle %d: %s\n%!" i
+          (match r with `Ok -> "ok" | `Fell_back r -> "fell back: " ^ r)
+    done;
+    summarize "offloaded"
+      (Ark_run.plat ark).Tk_drivers.Platform.soc.Soc.m3 Soc.m3_params
+      (List.length ark.Ark_run.nat.Native_run.warns);
+    let e = ark.Ark_run.ark.Transkernel.Ark.engine in
+    Printf.printf
+      "DBT: %d blocks, %d guest -> %d host instructions, %d engine exits, \
+       %d fallbacks\n"
+      e.Tk_dbt.Engine.blocks e.Tk_dbt.Engine.guest_translated
+      e.Tk_dbt.Engine.host_emitted e.Tk_dbt.Engine.engine_exits
+      (List.length ark.Ark_run.fallbacks));
+  0
+
+(* ------------------------------ compare ------------------------------ *)
+
+let compare_cmd cycles =
+  let nat = Native_run.create () in
+  let ark = Ark_run.create () in
+  for _ = 1 to cycles do
+    ignore (Native_run.suspend_resume_cycle nat);
+    ignore (Ark_run.suspend_resume_cycle ark)
+  done;
+  summarize "native   " nat.Native_run.plat.Tk_drivers.Platform.soc.Soc.cpu
+    Soc.a9_params
+    (List.length nat.Native_run.warns);
+  summarize "offloaded" (Ark_run.plat ark).Tk_drivers.Platform.soc.Soc.m3
+    Soc.m3_params
+    (List.length ark.Ark_run.nat.Native_run.warns);
+  let same =
+    Native_run.device_states nat = Native_run.device_states ark.Ark_run.nat
+  in
+  Printf.printf "kernel end states agree: %b\n" same;
+  0
+
+(* ------------------------------ disasm ------------------------------- *)
+
+let disasm_cmd symbol =
+  let plat = Tk_drivers.Platform.create () in
+  let image = plat.Tk_drivers.Platform.built.Tk_kernel.Image.image in
+  match Tk_isa.Asm.symbol_opt image symbol with
+  | None ->
+    Printf.eprintf "no such kernel symbol: %s\n" symbol;
+    1
+  | Some addr ->
+    let soc = plat.Tk_drivers.Platform.soc in
+    Printf.printf "guest %s @ 0x%x:\n" symbol addr;
+    let stop = ref false in
+    let a = ref addr in
+    while not !stop do
+      let w = Tk_machine.Mem.ram_read soc.Soc.mem !a 4 in
+      let i = Tk_isa.V7a.decode w in
+      Printf.printf "  %08x: %s\n" !a (Tk_isa.Types.to_string i);
+      (match i.Tk_isa.Types.op with
+      | Tk_isa.Types.Ldm (_, _, regs) when List.mem Tk_isa.Types.pc regs ->
+        stop := true
+      | Tk_isa.Types.Bx _ when i.Tk_isa.Types.cond = Tk_isa.Types.AL ->
+        stop := true
+      | _ -> ());
+      a := !a + 4;
+      if !a - addr > 400 then stop := true
+    done;
+    (* and its ARK translation *)
+    let man = Ark_run.build_manifest plat in
+    let engine = Tk_dbt.Engine.create ~soc ~mode:Translator.Ark () in
+    engine.Tk_dbt.Engine.classify_target <-
+      (fun a ->
+        match man.Transkernel.Manifest.abi_name_of a with
+        | Some n when List.mem n Transkernel.Ark.emulated_services ->
+          Translator.T_emu n
+        | Some n when List.mem n Transkernel.Ark.hooked_services ->
+          Translator.T_hook n
+        | _ -> Translator.T_normal);
+    let h = Tk_dbt.Engine.entry_host engine addr in
+    Printf.printf "\nARK translation (first block) @ code cache 0x%x:\n" h;
+    let stop = ref false in
+    let a = ref h in
+    while not !stop do
+      if !a >= engine.Tk_dbt.Engine.cursor then stop := true
+      else begin
+        let w = Tk_machine.Mem.ram_read soc.Soc.mem !a 4 in
+        (try
+           Printf.printf "  %08x: %s\n" !a
+             (Tk_isa.Types.to_string ~wide:true (Tk_isa.V7m.decode w))
+         with _ -> Printf.printf "  %08x: .word 0x%08x\n" !a w);
+        a := !a + 4
+      end
+    done;
+    0
+
+(* ------------------------------- info -------------------------------- *)
+
+let info_cmd () =
+  let b = Tk_drivers.Platform.build_image () in
+  Printf.printf "platform: OMAP4460 model — %s + %s\n"
+    Soc.a9_params.Tk_machine.Core.cname Soc.m3_params.Tk_machine.Core.cname;
+  Printf.printf "kernel image: %d instructions, %d fragments, %d devices\n"
+    (Tk_kernel.Image.instructions b)
+    (List.length b.Tk_kernel.Image.image.Tk_isa.Asm.frag_sizes)
+    (List.length Tk_drivers.Platform.registration_order);
+  Printf.printf "devices: %s\n"
+    (String.concat ", " Tk_drivers.Platform.registration_order);
+  Printf.printf "stable kernel ABI (Table 2): %s + jiffies\n"
+    (String.concat ", "
+       (List.filter (fun s -> s <> "jiffies") Tk_kernel.Kabi.table2));
+  Printf.printf "kernel variants: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (l : Tk_kernel.Layout.t) -> l.Tk_kernel.Layout.version)
+          Tk_kernel.Variants.all));
+  0
+
+(* ----------------------------- cmdliner ------------------------------ *)
+
+let mode_arg =
+  Arg.(value & opt mode_conv (`Dbt Translator.Ark)
+       & info [ "mode" ] ~docv:"MODE" ~doc:"native, ark, mid or baseline.")
+
+let cycles_arg =
+  Arg.(value & opt int 1 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to run.")
+
+let layout_arg =
+  Arg.(value & opt layout_conv Tk_kernel.Layout.v4_4
+       & info [ "kernel" ] ~docv:"VER" ~doc:"Kernel release to build.")
+
+let sleep_arg =
+  Arg.(value & opt int 50
+       & info [ "sleep-ms" ] ~docv:"MS" ~doc:"Deep-sleep time per cycle.")
+
+let glitch_arg =
+  Arg.(value & opt int 0
+       & info [ "glitch-every" ] ~docv:"N"
+           ~doc:"Wedge the WiFi firmware every Nth cycle (0 = never).")
+
+let resume_native_arg =
+  Arg.(value & flag
+       & info [ "resume-native" ]
+           ~doc:"Urgent wakeup: resume on the CPU instead of the \
+                 peripheral core.")
+
+let m3_cache_arg =
+  Arg.(value & opt (some int) None
+       & info [ "m3-cache" ] ~docv:"KB" ~doc:"Peripheral-core LLC size.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
+
+let run_t =
+  Term.(
+    const run_cmd $ mode_arg $ cycles_arg $ layout_arg $ sleep_arg
+    $ glitch_arg $ resume_native_arg $ m3_cache_arg $ verbose_arg)
+
+let cmds =
+  [ Cmd.v (Cmd.info "run" ~doc:"Run suspend/resume cycles.") run_t;
+    Cmd.v
+      (Cmd.info "compare" ~doc:"Native vs offloaded, side by side.")
+      Term.(const compare_cmd $ cycles_arg);
+    Cmd.v
+      (Cmd.info "disasm" ~doc:"Disassemble a kernel symbol and its \
+                               translation.")
+      Term.(
+        const disasm_cmd
+        $ Arg.(required & pos 0 (some string) None & info [] ~docv:"SYMBOL"));
+    Cmd.v (Cmd.info "info" ~doc:"Platform and image inventory.")
+      Term.(const info_cmd $ const ()) ]
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "arksim" ~version:"1.0"
+             ~doc:"Transkernel (ATC'19) full-system simulation")
+          cmds))

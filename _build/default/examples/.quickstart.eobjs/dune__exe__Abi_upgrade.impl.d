@@ -1,0 +1,1 @@
+examples/abi_upgrade.ml: Ark_run List Native_run Printf String Tk_drivers Tk_harness Tk_isa Tk_kernel Tk_machine

@@ -1,0 +1,1 @@
+examples/abi_upgrade.mli:

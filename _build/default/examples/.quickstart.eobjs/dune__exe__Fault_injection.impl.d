@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Ark_run List Native_run Printf String Tk_drivers Tk_harness Tk_stats Transkernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ark_run Native_run Printf Tk_dbt Tk_drivers Tk_energy Tk_harness Tk_machine Transkernel

@@ -1,0 +1,1 @@
+examples/wearable_day.ml: Ark_run List Native_run Printf Tk_drivers Tk_energy Tk_harness Tk_machine

@@ -1,0 +1,1 @@
+examples/whatif_explore.ml: Core List Printf Soc Tk_drivers Tk_energy Tk_harness Tk_machine

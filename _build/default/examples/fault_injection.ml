@@ -1,0 +1,51 @@
+(* Off the hot path (§3, §6, §7.3): wedge the WiFi firmware so its resume
+   command is never acknowledged. The driver times out and WARNs — a
+   cold path ARK does not translate. ARK drains its DBT contexts,
+   rewrites code-cache addresses on the guest stack, flushes the M3
+   cache, fires an IPI, and the CPU finishes the phase natively.
+
+     dune exec examples/fault_injection.exe
+*)
+
+open Tk_harness
+module Counters = Tk_stats.Counters
+
+let () =
+  print_endline "== WiFi firmware glitch -> translated-to-native fallback ==";
+  let ark = Ark_run.create () in
+  (* a clean warm-up cycle *)
+  (match Ark_run.suspend_resume_cycle ark with
+  | `Ok -> print_endline "cycle 1: clean offloaded suspend/resume"
+  | `Fell_back r -> Printf.printf "cycle 1 unexpectedly fell back: %s\n" r);
+
+  (* wedge the firmware for the next resume *)
+  let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
+  wifi.Tk_drivers.Device.glitch_next_resume <- true;
+  (match Ark_run.suspend_resume_cycle ark with
+  | `Fell_back reason ->
+    Printf.printf "cycle 2: fell back to the CPU (cold path: %s)\n" reason
+  | `Ok -> print_endline "cycle 2: unexpectedly clean");
+  Printf.printf "  WARN codes recorded natively: %s\n"
+    (String.concat ", "
+       (List.map (Printf.sprintf "0x%x") ark.Ark_run.nat.Native_run.warns));
+  List.iter
+    (fun (n, s) ->
+      Printf.printf "  %-6s %s\n" n
+        (if s = 1 then "resumed"
+         else "left suspended (driver cancelled the attempt)"))
+    (Native_run.device_states ark.Ark_run.nat);
+  let c = ark.Ark_run.ark.Transkernel.Ark.counters in
+  Printf.printf
+    "  migration: %d (stack rewrite ~%dus, cache flush ~%dus, IPI ~%dus)\n"
+    (Counters.get c "fallback.migrations")
+    (Transkernel.Ark.ns_stack_rewrite / 1000)
+    (Transkernel.Ark.ns_cache_flush / 1000)
+    (Transkernel.Ark.ns_ipi / 1000);
+
+  (* the system recovers: next cycle is clean again and wifi comes back *)
+  (match Ark_run.suspend_resume_cycle ark with
+  | `Ok -> print_endline "cycle 3: clean again; all devices up"
+  | `Fell_back r -> Printf.printf "cycle 3 fell back: %s\n" r);
+  List.iter
+    (fun (n, s) -> if s <> 1 then Printf.printf "  %s still down!\n" n)
+    (Native_run.device_states ark.Ark_run.nat)

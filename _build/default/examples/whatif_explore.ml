@@ -1,0 +1,56 @@
+(* Figure 7 as a playground: explore how ARK's energy saving depends on
+   DBT overhead, native busy fraction, and the peripheral core's cache
+   size (the §7.5 recommendation to SoC architects).
+
+     dune exec examples/whatif_explore.exe
+*)
+
+open Tk_machine
+module W = Tk_energy.Whatif
+
+let () =
+  print_endline "== what-if exploration (Figure 7 / §7.5) ==";
+  (* where do the break-evens sit for this platform's power numbers? *)
+  List.iter
+    (fun bf ->
+      Printf.printf
+        "native %3.0f%% busy: ARK saves energy below %.1fx DBT overhead\n"
+        (100. *. bf)
+        (W.break_even ~busy_frac:bf ()))
+    [ 1.0; 0.6; 0.41; 0.2 ];
+
+  (* a hypothetical better peripheral core: lower idle power *)
+  print_newline ();
+  let m3' = { Soc.m3_params with Core.idle_mw = 0.5 } in
+  Printf.printf "halving the peripheral core's idle power (1 -> 0.5 mW):\n";
+  List.iter
+    (fun bf ->
+      Printf.printf "  at %3.0f%% busy the break-even moves %.1fx -> %.1fx\n"
+        (100. *. bf)
+        (W.break_even ~busy_frac:bf ())
+        (W.break_even ~m3:m3' ~busy_frac:bf ()))
+    [ 0.41; 0.2 ];
+
+  (* §7.5: "enlarging the peripheral core's LLC modestly" — measure the
+     real effect on the offloaded phase by re-running the system with a
+     bigger M3 cache *)
+  print_newline ();
+  print_endline "peripheral-core LLC sweep (measured, offloaded cycle):";
+  List.iter
+    (fun kb ->
+      let ark = Tk_harness.Ark_run.create ~m3_cache_kb:kb () in
+      ignore (Tk_harness.Ark_run.suspend_resume_cycle ark);
+      let soc = (Tk_harness.Ark_run.plat ark).Tk_drivers.Platform.soc in
+      let m3 = soc.Soc.m3 in
+      Core.reset_activity m3;
+      ignore (Tk_harness.Ark_run.suspend_resume_cycle ark);
+      let act = Core.activity m3 in
+      let mbps =
+        float_of_int act.Core.a_rd_bytes /. 1e6
+        /. (float_of_int (act.Core.a_busy_ps + act.Core.a_idle_ps) /. 1e12)
+      in
+      Printf.printf
+        "  %3d KB LLC: busy %.2f ms, DRAM read %.1f MB/s, %d misses\n" kb
+        (float_of_int act.Core.a_busy_ps /. 1e9)
+        mbps act.Core.a_cache_misses)
+    [ 16; 32; 64; 128 ]

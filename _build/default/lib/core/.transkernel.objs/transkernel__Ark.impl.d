@@ -1,0 +1,1 @@
+lib/core/ark.ml: Array Cache Clock Context Core Engine Exec Fun Intc Layout List Manifest Mem Soc Tk_dbt Tk_isa Tk_machine Tk_stats Translator

@@ -1,0 +1,1 @@
+lib/core/ark.mli: Context Manifest Tk_dbt Tk_isa Tk_machine Tk_stats

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Exec Tk_isa

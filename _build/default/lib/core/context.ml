@@ -1,0 +1,54 @@
+(** DBT execution contexts (§4.1).
+
+    ARK supports the offloaded phase's concurrency with cooperative
+    contexts instead of reproducing the kernel's preemptive threads: one
+    primary context for the suspend/resume path, one for interrupt
+    handlers, one for tasklets, one for timer callbacks, one per
+    workqueue and one per threaded IRQ. Context switch is as cheap as
+    swapping the pointer to the DBT state. *)
+
+open Tk_isa
+
+type kind =
+  | Primary  (** the offloaded phase entry (dpm_suspend / dpm_resume) *)
+  | Worker of int  (** worker_thread(wq): long-running, parks when dry *)
+  | Irq_thread of int  (** irq_thread(desc): long-running *)
+  | Softirq  (** do_softirq() per wake *)
+  | Timerd  (** run_local_timers() per tick *)
+  | Irq  (** generic_handle_irq(line) per interrupt *)
+
+let kind_name = function
+  | Primary -> "primary"
+  | Worker _ -> "worker"
+  | Irq_thread _ -> "irq-thread"
+  | Softirq -> "softirq"
+  | Timerd -> "timerd"
+  | Irq -> "irq"
+
+type state =
+  | Ready
+  | Parked  (** waiting for its wake hook (schedule() from a daemon) *)
+  | Sleeping  (** msleep: a clock event will mark it Ready *)
+  | Idle  (** on-demand context with nothing to do *)
+  | Done
+
+type t = {
+  id : int;
+  kind : kind;
+  cpu : Exec.cpu;  (** host register file (passthrough modes: = guest) *)
+  stack_top : int;
+  mutable state : state;
+  mutable started : bool;  (** long-running context already entered *)
+  mutable env_save : int array;  (** per-context copy of the engine env *)
+  mutable pending : int list;  (** Irq: platform lines; Timerd: ticks *)
+  mutable slices : int;  (** times scheduled (stats) *)
+}
+
+let create ~id ~kind ~stack_top =
+  { id; kind; cpu = Exec.make_cpu (); stack_top; state = Idle;
+    started = false; env_save = Array.make 64 0; pending = []; slices = 0 }
+
+let is_runnable c =
+  match c.state with
+  | Ready -> true
+  | Parked | Sleeping | Idle | Done -> false

@@ -1,0 +1,25 @@
+(** The handoff descriptor the CPU-side kernel module passes to ARK.
+
+    Everything here is {e runtime data} the kernel module (compiled with
+    the kernel, so entitled to know its internals) collects at handoff:
+    the resolved narrow ABI of Table 2, opaque pointers for upcall
+    arguments (workqueues, threaded-IRQ descriptors), the tick period,
+    and the address execution should return to when a migrated context
+    finishes on the CPU. ARK never dereferences kernel structures through
+    any of it — pointer values only. *)
+
+type t = {
+  abi_addr_of : string -> int;
+      (** Table 2 symbol -> guest address (plus spinlock entries) *)
+  abi_name_of : int -> string option;  (** reverse, over the same set *)
+  jiffies_addr : int;
+  entry_suspend : int;  (** guest address of the device-suspend phase *)
+  entry_resume : int;
+  workqueues : int list;  (** opaque: upcall args for worker contexts *)
+  threaded_irqs : int list;  (** opaque: upcall args for irq_thread *)
+  tick_ns : int;  (** the kernel's jiffy period (config data) *)
+  ms_ns : int;  (** the kernel's millisecond in simulated ns (config) *)
+  exit_to : int;
+      (** guest address a migrated context returns to (the module's
+          handoff-return stub) *)
+}

@@ -1,0 +1,1 @@
+lib/dbt/engine.ml: Array Bits Cache Core Exec Hashtbl Layout List Mem Printf Result Rules Soc Tk_isa Tk_machine Translator Types V7a V7m

@@ -1,0 +1,1 @@
+lib/dbt/engine.mli: Exec Hashtbl Soc Tk_isa Tk_machine Translator Types

@@ -1,0 +1,1 @@
+lib/dbt/layout.ml:

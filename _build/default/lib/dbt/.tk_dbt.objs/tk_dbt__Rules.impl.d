@@ -1,0 +1,1 @@
+lib/dbt/rules.ml: Bits Layout List Printf Spec Tk_isa V7m

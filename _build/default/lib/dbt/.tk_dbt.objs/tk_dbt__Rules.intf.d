@@ -1,0 +1,1 @@
+lib/dbt/rules.mli: Spec Tk_isa Types

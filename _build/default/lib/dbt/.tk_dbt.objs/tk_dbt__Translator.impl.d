@@ -1,0 +1,1 @@
+lib/dbt/translator.ml: Bits Layout List Rules Tk_isa V7m

@@ -1,0 +1,1 @@
+lib/dbt/translator.mli: Tk_isa Types

@@ -1,0 +1,357 @@
+(** The DBT execution engine running on the peripheral core.
+
+    Owns the code cache (a region of shared DRAM), the guest->host block
+    map, the site table (engine trap points emitted by {!Translator}),
+    direct-branch patching ("chaining"), and the host execution loop —
+    a V7M interpreter charged against the M3 core model, fetching emitted
+    words through the M3's 32 KB cache (whose thrashing is the DRAM story
+    of §7.3).
+
+    The engine is policy-free: ARK (the [transkernel] library) supplies
+    callbacks for emulated services, hooks, guest hypercalls, interrupt
+    windows and fallback. Callbacks may raise to take control; the
+    engine always leaves the context's host pc at the correct resume
+    point before invoking them. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_machine
+
+type callbacks = {
+  mutable on_emu : string -> Exec.cpu -> unit;
+  mutable on_hook : string -> Exec.cpu -> unit;
+  mutable on_guest_svc : int -> Exec.cpu -> unit;
+  mutable on_fallback :
+    string -> guest_pc:int -> skippable:bool -> Exec.cpu -> unit;
+      (** returning normally skips the cold call (drain mode) *)
+  mutable on_irq_window : Exec.cpu -> unit;  (** at block starts *)
+  mutable on_gic_access : write:bool -> int -> int -> int;
+      (** MPU-fault emulation of the CPU interrupt controller (§4.2):
+          [on_gic_access ~write addr value] returns the read value *)
+}
+
+exception Context_exit
+exception Host_error of string
+
+type t = {
+  soc : Soc.t;
+  mode : Translator.mode;
+  mutable classify_target : int -> Translator.target_class;
+  cb : callbacks;
+  (* code cache *)
+  mutable cursor : int;
+  block_map : (int, int) Hashtbl.t;  (** guest block start -> host addr *)
+  block_starts : (int, int) Hashtbl.t;  (** host block start -> guest start *)
+  sites : (int, Translator.site_info) Hashtbl.t;  (** host addr -> site *)
+  host_points : (int, int) Hashtbl.t;
+      (** host addr -> guest addr, for every host point that can appear
+          in a saved context or on the stack (call return sites, svc
+          resume points, block starts) — the map fallback migration uses
+          to rewrite code-cache addresses (§5.3) *)
+  decode_cache : (int, inst) Hashtbl.t;
+  mutable cur_pc : int;
+  mutable pc_overridden : bool;
+  mutable chain : bool;
+      (** patch direct branch/call sites into host branches (on by
+          default; the no-chaining ablation turns it off) *)
+  mutable block_limit : int;  (** guest instructions per block *)
+  mutable irq_dispatch : bool;  (** ARK spinlock emulation pauses this *)
+  mutable env : Exec.env;
+  (* statistics *)
+  mutable guest_translated : int;
+  mutable host_emitted : int;
+  mutable blocks : int;
+  mutable engine_exits : int;
+  mutable patches : int;
+  mutable host_executed : int;
+}
+
+(* cost knobs, in M3 cycles *)
+(* the prediction-less M3 refills its pipeline on every taken branch,
+   unlike the branch-predicting A9 — this is what makes control-dense
+   drivers (USB) the worst DBT cases in Figure 6 *)
+let cost_taken_branch = 3
+let cost_translate_per_guest = 60
+let cost_dispatch = 28  (* svc trap + table lookup *)
+let cost_patch = 30
+let cost_exit_pc = 150  (* map lookup on an engine exit *)
+let cost_gic_fault = 150  (* MPU fault + controller emulation *)
+
+let charge t cycles = Core.charge t.soc.Soc.m3 cycles
+
+let dummy_cb () =
+  { on_emu = (fun _ _ -> ());
+    on_hook = (fun _ _ -> ());
+    on_guest_svc = (fun _ _ -> ());
+    on_fallback =
+      (fun r ~guest_pc:_ ~skippable:_ _ -> raise (Host_error ("fallback: " ^ r)));
+    on_irq_window = (fun _ -> ());
+    on_gic_access = (fun ~write:_ _ _ -> 0) }
+
+let in_cache t addr =
+  addr >= Soc.code_cache_base && addr < t.cursor
+
+let dummy_env : Exec.env =
+  { Exec.load = (fun _ _ -> 0); store = (fun _ _ _ -> ());
+    svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
+    undef = (fun _ _ -> ()) }
+
+let rec create ~(soc : Soc.t) ~mode () =
+  let t =
+    { soc; mode; classify_target = (fun _ -> Translator.T_normal);
+      cb = dummy_cb (); cursor = Soc.code_cache_base;
+      block_map = Hashtbl.create 1024; block_starts = Hashtbl.create 1024;
+      sites = Hashtbl.create 1024; host_points = Hashtbl.create 4096;
+      decode_cache = Hashtbl.create 4096; cur_pc = 0; pc_overridden = false;
+      chain = true; block_limit = Translator.default_block_limit;
+      irq_dispatch = true; env = dummy_env; guest_translated = 0;
+      host_emitted = 0; blocks = 0; engine_exits = 0; patches = 0;
+      host_executed = 0 }
+  in
+  let m3 = soc.Soc.m3 in
+  let mem = soc.Soc.mem in
+  let load addr nbytes =
+    if Soc.is_cpu_private addr then begin
+      charge t cost_gic_fault;
+      t.cb.on_gic_access ~write:false addr 0
+    end
+    else if Mem.in_ram mem addr then begin
+      Core.charge m3 (Cache.access m3.Core.cache ~write:false addr);
+      Mem.ram_read mem addr nbytes
+    end
+    else begin
+      Core.charge m3 m3.Core.p.Core.mmio_penalty;
+      Mem.read mem addr nbytes
+    end
+  in
+  let store addr nbytes v =
+    if Soc.is_cpu_private addr then begin
+      charge t cost_gic_fault;
+      ignore (t.cb.on_gic_access ~write:true addr v)
+    end
+    else if Mem.in_ram mem addr then begin
+      Core.charge m3 (Cache.access m3.Core.cache ~write:true addr);
+      Mem.ram_write mem addr nbytes v
+    end
+    else begin
+      Core.charge m3 m3.Core.p.Core.mmio_penalty;
+      Mem.write mem addr nbytes v
+    end
+  in
+  let svc cpu n = dispatch t cpu n in
+  let wfi _ = raise (Host_error "host wfi in translated code") in
+  let irq_ret _ = raise (Host_error "host exception return in translated code") in
+  let undef _ i =
+    raise (Host_error ("host undef: " ^ Types.to_string i))
+  in
+  t.env <- { Exec.load; store; svc; wfi; irq_ret; undef };
+  t
+
+(* ------------------------- code emission ---------------------------- *)
+
+and write_host t addr (i : inst) =
+  let w = V7m.encode_exn i in
+  (* emitting through the M3 cache: translation produces real traffic *)
+  Core.charge t.soc.Soc.m3
+    (Cache.access t.soc.Soc.m3.Core.cache ~write:true addr);
+  Mem.ram_write t.soc.Soc.mem addr 4 w;
+  Hashtbl.remove t.decode_cache addr
+
+and emit_block t (b : Translator.block) =
+  let host_start = t.cursor in
+  List.iter
+    (fun e ->
+      let a = t.cursor in
+      (match e with
+      | Translator.E_inst i -> write_host t a i
+      | Translator.E_site (cond, info, code) ->
+        write_host t a (at ~cond (Svc code));
+        Hashtbl.replace t.sites a info;
+        (match info with
+        | Translator.S_call { ret_guest; _ }
+        | Translator.S_indirect { ret_guest; _ } ->
+          Hashtbl.replace t.host_points (a + 4) ret_guest
+        | Translator.S_emu { resume_guest; _ }
+        | Translator.S_hook { resume_guest; _ }
+        | Translator.S_guest_svc { resume_guest; _ } ->
+          Hashtbl.replace t.host_points (a + 4) resume_guest
+        | Translator.S_jump _ | Translator.S_tail _ | Translator.S_exit_pc
+        | Translator.S_fallback _ -> ()));
+      t.cursor <- t.cursor + 4;
+      t.host_emitted <- t.host_emitted + 1)
+    b.Translator.b_emits;
+  if t.cursor >= Soc.code_cache_base + Soc.code_cache_size then
+    raise (Host_error "code cache full");
+  host_start
+
+and translate_block t gpc =
+  match Hashtbl.find_opt t.block_map gpc with
+  | Some h -> h
+  | None ->
+    let ctx =
+      { Translator.mode = t.mode; classify_target = t.classify_target;
+        block_limit = t.block_limit;
+        read_guest =
+          (fun a ->
+            if not (Mem.in_ram t.soc.Soc.mem a) then
+              raise (Host_error (Printf.sprintf "guest fetch outside RAM: 0x%x" a));
+            V7a.decode (Mem.ram_read t.soc.Soc.mem a 4)) }
+    in
+    let b = Translator.translate ctx ~gpc in
+    charge t (cost_translate_per_guest * b.Translator.b_guest_count);
+    let h = emit_block t b in
+    Hashtbl.replace t.block_map gpc h;
+    Hashtbl.replace t.block_starts h gpc;
+    Hashtbl.replace t.host_points h gpc;
+    t.blocks <- t.blocks + 1;
+    t.guest_translated <- t.guest_translated + b.Translator.b_guest_count;
+    h
+
+(* patch a resolved direct branch/call site *)
+and patch t site_addr (i : inst) =
+  write_host t site_addr i;
+  Hashtbl.remove t.sites site_addr;
+  t.patches <- t.patches + 1;
+  charge t cost_patch
+
+and set_pc t (cpu : Exec.cpu) v =
+  cpu.Exec.r.(pc) <- v;
+  t.pc_overridden <- true
+
+(* --------------------------- dispatch ------------------------------- *)
+
+and dispatch t cpu _code =
+  charge t cost_dispatch;
+  t.engine_exits <- t.engine_exits + 1;
+  let site_addr = t.cur_pc in
+  match Hashtbl.find_opt t.sites site_addr with
+  | None -> raise (Host_error (Printf.sprintf "stray svc at 0x%x" site_addr))
+  | Some info -> (
+    match info with
+    | Translator.S_call { target; ret_guest = _ } ->
+      let h = translate_block t target in
+      let off = h - site_addr in
+      let cond = (decode_host t site_addr).cond in
+      if t.chain && Result.is_ok (V7m.encode (at ~cond (Bl off))) then
+        patch t site_addr (at ~cond (Bl off));
+      cpu.Exec.r.(lr) <- site_addr + 4;
+      set_pc t cpu h
+    | Translator.S_jump { target } ->
+      let h = translate_block t target in
+      let cond = (decode_host t site_addr).cond in
+      let off = h - site_addr in
+      if t.chain && Result.is_ok (V7m.encode (at ~cond (B off))) then
+        patch t site_addr (at ~cond (B off));
+      set_pc t cpu h
+    | Translator.S_tail { target } ->
+      let h = translate_block t target in
+      let off = h - site_addr in
+      if t.chain && Result.is_ok (V7m.encode (at (B off))) then
+        patch t site_addr (at (B off));
+      set_pc t cpu h
+    | Translator.S_emu { name; _ } ->
+      set_pc t cpu (site_addr + 4);
+      t.cb.on_emu name cpu
+    | Translator.S_hook { name; _ } ->
+      set_pc t cpu (site_addr + 4);
+      t.cb.on_hook name cpu
+    | Translator.S_indirect { reg; ret_guest = _ } ->
+      charge t cost_exit_pc;
+      let target = guest_reg t cpu reg in
+      let h = translate_block t target in
+      cpu.Exec.r.(lr) <- site_addr + 4;
+      set_pc t cpu h
+    | Translator.S_exit_pc ->
+      charge t cost_exit_pc;
+      let gtarget = Mem.ram_read t.soc.Soc.mem Layout.env_next_pc 4 in
+      if gtarget = Layout.exit_magic then begin
+        set_pc t cpu Layout.exit_magic
+      end
+      else begin
+        let h = translate_block t gtarget in
+        set_pc t cpu h
+      end
+    | Translator.S_guest_svc { n; _ } ->
+      set_pc t cpu (site_addr + 4);
+      t.cb.on_guest_svc n cpu
+    | Translator.S_fallback { reason; gpc; skippable } ->
+      set_pc t cpu (site_addr + 4);
+      t.cb.on_fallback reason ~guest_pc:gpc ~skippable cpu)
+
+and decode_host t addr =
+  match Hashtbl.find_opt t.decode_cache addr with
+  | Some i -> i
+  | None ->
+    let w = Mem.ram_read t.soc.Soc.mem addr 4 in
+    let i =
+      try V7m.decode w
+      with V7m.Decode_error _ | Invalid_argument _ ->
+        raise (Host_error (Printf.sprintf "bad host fetch at 0x%x (0x%x)" addr w))
+    in
+    Hashtbl.add t.decode_cache addr i;
+    i
+
+(* -------------------- guest-state accessors ------------------------- *)
+
+(** [guest_reg t cpu i] reads guest register [i] for the current mode
+    (pass-through, scratch-emulated or env-emulated). *)
+and guest_reg t (cpu : Exec.cpu) i =
+  match t.mode with
+  | Translator.Ark ->
+    if i = Rules.scratch then Mem.ram_read t.soc.Soc.mem Layout.env_r10 4
+    else cpu.Exec.r.(i)
+  | Translator.Mid ->
+    if i = 10 || i = 11 || i = sp || i = lr then
+      Mem.ram_read t.soc.Soc.mem (Layout.env_reg i) 4
+    else cpu.Exec.r.(i)
+  | Translator.Baseline -> Mem.ram_read t.soc.Soc.mem (Layout.env_reg i) 4
+
+let set_guest_reg t (cpu : Exec.cpu) i v =
+  match t.mode with
+  | Translator.Ark ->
+    if i = Rules.scratch then Mem.ram_write t.soc.Soc.mem Layout.env_r10 4 v
+    else cpu.Exec.r.(i) <- Bits.mask32 v
+  | Translator.Mid ->
+    if i = 10 || i = 11 || i = sp || i = lr then
+      Mem.ram_write t.soc.Soc.mem (Layout.env_reg i) 4 v
+    else cpu.Exec.r.(i) <- Bits.mask32 v
+  | Translator.Baseline ->
+    Mem.ram_write t.soc.Soc.mem (Layout.env_reg i) 4 v
+
+(* ----------------------------- run ---------------------------------- *)
+
+(** [run t cpu ~fuel] executes translated code until the context returns
+    to {!Layout.exit_magic} (raising {!Context_exit}) or a callback
+    raises. The [cpu] is mutated in place; callbacks observe a host pc
+    that is always a valid resume point. *)
+let run t (cpu : Exec.cpu) ~fuel =
+  let n = ref 0 in
+  while true do
+    if !n >= fuel then raise (Host_error "DBT fuel exhausted");
+    incr n;
+    let pcv = cpu.Exec.r.(pc) in
+    if pcv = Layout.exit_magic then raise Context_exit;
+    if not (in_cache t pcv) then
+      raise
+        (Host_error (Printf.sprintf "host pc outside code cache: 0x%x" pcv));
+    if t.irq_dispatch && Hashtbl.mem t.block_starts pcv then
+      t.cb.on_irq_window cpu;
+    let i = decode_host t pcv in
+    t.cur_pc <- pcv;
+    t.pc_overridden <- false;
+    t.host_executed <- t.host_executed + 1;
+    Core.count_instruction t.soc.Soc.m3;
+    Core.charge t.soc.Soc.m3
+      (Core.instr_cycles t.soc.Soc.m3 + Core.fetch_cost t.soc.Soc.m3 pcv);
+    match Exec.step cpu t.env ~addr:pcv i with
+    | Exec.Next -> if not t.pc_overridden then cpu.Exec.r.(pc) <- pcv + 4
+    | Exec.Branched -> Core.charge t.soc.Soc.m3 cost_taken_branch
+  done
+
+(** [entry_host t gpc] — host address for guest entry [gpc], translating
+    on demand (used by ARK to start contexts). *)
+let entry_host t gpc = translate_block t gpc
+
+(** [guest_point_of_host t haddr] — guest address for a saved host resume
+    point, for fallback migration. *)
+let guest_point_of_host t haddr = Hashtbl.find_opt t.host_points haddr

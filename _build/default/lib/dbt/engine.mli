@@ -1,0 +1,92 @@
+(** The DBT execution engine on the peripheral core.
+
+    Owns the code cache (a region of shared DRAM), the guest->host block
+    map, the site table, direct-branch patching ("chaining"), and the
+    host execution loop — a V7M interpreter charged against the M3 core
+    model, fetching emitted words through the M3's cache.
+
+    The engine is policy-free: ARK supplies {!callbacks} for emulated
+    services, hooks, guest hypercalls, interrupt windows and fallback.
+    Callbacks may raise to take control; the engine always leaves the
+    context's host pc at the correct resume point first. *)
+
+open Tk_isa
+open Tk_machine
+
+type callbacks = {
+  mutable on_emu : string -> Exec.cpu -> unit;
+  mutable on_hook : string -> Exec.cpu -> unit;
+  mutable on_guest_svc : int -> Exec.cpu -> unit;
+  mutable on_fallback :
+    string -> guest_pc:int -> skippable:bool -> Exec.cpu -> unit;
+      (** returning normally skips the cold call (drain mode) *)
+  mutable on_irq_window : Exec.cpu -> unit;
+      (** invoked at translation-block boundaries (§4.2) *)
+  mutable on_gic_access : write:bool -> int -> int -> int;
+      (** MPU-fault emulation of the CPU's interrupt controller:
+          [on_gic_access ~write addr value] returns the read value *)
+}
+
+exception Context_exit
+(** the context returned to {!Layout.exit_magic}: its entry call is done *)
+
+exception Host_error of string
+(** engine invariant violation (bad host fetch, cache overflow, ...) *)
+
+type t = {
+  soc : Soc.t;
+  mode : Translator.mode;
+  mutable classify_target : int -> Translator.target_class;
+  cb : callbacks;
+  mutable cursor : int;  (** code-cache allocation point *)
+  block_map : (int, int) Hashtbl.t;  (** guest block start -> host addr *)
+  block_starts : (int, int) Hashtbl.t;  (** host block start -> guest *)
+  sites : (int, Translator.site_info) Hashtbl.t;  (** host addr -> site *)
+  host_points : (int, int) Hashtbl.t;
+      (** host addr -> guest addr for every point that can appear in a
+          saved context or on the stack — fallback's rewrite map (§5.3) *)
+  decode_cache : (int, Types.inst) Hashtbl.t;
+  mutable cur_pc : int;
+  mutable pc_overridden : bool;
+  mutable chain : bool;  (** patch direct branches (ablation knob) *)
+  mutable block_limit : int;  (** guest instructions per block *)
+  mutable irq_dispatch : bool;  (** ARK's spinlock emulation pauses this *)
+  mutable env : Exec.env;
+  mutable guest_translated : int;
+  mutable host_emitted : int;
+  mutable blocks : int;
+  mutable engine_exits : int;
+  mutable patches : int;
+  mutable host_executed : int;
+}
+
+val cost_taken_branch : int
+(** extra cycles per taken branch on the prediction-less M3 *)
+
+val create : soc:Soc.t -> mode:Translator.mode -> unit -> t
+
+val in_cache : t -> int -> bool
+(** is the address inside the emitted code cache? *)
+
+val translate_block : t -> int -> int
+(** [translate_block t gpc] — host address of the block at guest [gpc],
+    translating and emitting on demand *)
+
+val entry_host : t -> int -> int
+(** alias of {!translate_block} for starting contexts *)
+
+val guest_reg : t -> Exec.cpu -> int -> int
+(** read guest register [i] under the engine's mode (pass-through,
+    scratch-emulated or env-emulated) *)
+
+val set_guest_reg : t -> Exec.cpu -> int -> int -> unit
+
+val guest_point_of_host : t -> int -> int option
+(** guest address for a saved host resume point (fallback migration) *)
+
+val run : t -> Exec.cpu -> fuel:int -> unit
+(** [run t cpu ~fuel] executes translated code until the context returns
+    to {!Layout.exit_magic} (raising {!Context_exit}) or a callback
+    raises; [cpu] is mutated in place and is always at a valid resume
+    point when callbacks fire.
+    @raise Host_error on engine errors or fuel exhaustion *)

@@ -1,0 +1,35 @@
+(** DBT memory-layout constants shared by translator and engine. *)
+
+(** Returning to this address means the DBT context's entry call is done
+    (outside RAM, recognisable, never a valid fetch target). *)
+let exit_magic = 0xF0000000
+
+(** The engine's guest-visible state block ("env"), in shared DRAM near
+    the top of RAM (outside the kernel image and the page pool).
+
+    ARK mode uses one slot: the emulated guest r10 — the register the
+    host repurposes as the dedicated scratch (§5.2). Baseline/QEMU mode
+    keeps the whole emulated guest CPU here, addressed off host r11. *)
+let env_base = 0x10FF0000
+
+let env_r10 = env_base  (* ARK: emulated guest r10 *)
+let env_flags_spill = env_base + 4  (* ARK: flag save/restore slot *)
+
+(* baseline: emulated guest registers r0..r15 *)
+let env_reg i = env_base + 0x40 + (4 * i)
+let env_guest_flags = env_base + 0x80
+let env_next_pc = env_base + 0x84  (* where exit stubs leave the guest pc *)
+
+(** SVC immediates in emitted host code — informational only (the engine
+    dispatches on the SVC's address via the site table), but they make
+    disassembly and traces readable. *)
+let svc_call = 33
+
+let svc_jump = 34
+let svc_emu = 35
+let svc_hook = 36
+let svc_indirect = 37
+let svc_exit_pc = 38
+let svc_fallback = 39
+let svc_guest = 40  (* forwarded guest hypercall *)
+let svc_tail = 41

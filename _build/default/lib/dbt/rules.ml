@@ -1,0 +1,282 @@
+(** ARK's translation rules: guest (V7A) instruction -> host (V7M)
+    instruction sequence (§5.1).
+
+    Most instructions translate by {e identity} — the same AST re-encoded
+    in the host encoding. The rest get a few "amendment" instructions
+    using the dedicated scratch register r10 (whose guest counterpart is
+    emulated in memory, §5.2) and, when an instruction itself touches
+    guest r10, the dead register r12. Amendment instructions never set
+    condition flags, preserving the flag-passthrough invariant; they
+    carry the guest instruction's condition so a skipped guest
+    instruction skips its amendments too.
+
+    The classification these rules induce over {!Tk_isa.Spec} is exactly
+    the paper's Table 3; [test_rules.ml] checks the two agree. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+exception Untranslatable of string
+
+let untranslatable fmt = Printf.ksprintf (fun s -> raise (Untranslatable s)) fmt
+
+(** The dedicated scratch: guest r10 is emulated at {!Layout.env_r10}. *)
+let scratch = 10
+
+(** Secondary scratch for instructions that themselves use r10 — "a dead
+    register", r12 being the intra-procedure-call scratch the guest
+    compiler leaves dead at amendment points. *)
+let scratch2 = 12
+
+let lo16 v = v land 0xFFFF
+let hi16 v = (v lsr 16) land 0xFFFF
+
+(** [movw_movt ~cond rd v] — 1-2 instructions loading [v] into [rd]. *)
+let movw_movt ~cond rd value =
+  let value = Bits.mask32 value in
+  at ~cond (Movw (rd, lo16 value))
+  :: (if hi16 value <> 0 then [ at ~cond (Movt (rd, hi16 value)) ] else [])
+
+(* a rotation k such that the value is an 8-bit constant rotated right:
+   enables the paper's mov+ror amendment pair (Table 4 G2) *)
+let ror_candidate value =
+  let value = Bits.mask32 value in
+  let rec go k =
+    if k > 31 then None
+    else
+      let b = Bits.rol32 value k in
+      if b < 256 then Some (b, k) else go (k + 1)
+  in
+  if value < 256 then None else go 1
+
+(** [materialize ~cond rd v] — shortest amendment sequence leaving
+    constant [v] in [rd] without touching flags. *)
+let materialize ~cond rd value =
+  let value = Bits.mask32 value in
+  if V7m.imm_ok value then [ at ~cond (Dp (MOV, false, rd, 0, Imm value)) ]
+  else
+    match ror_candidate value with
+    | Some (b, k) ->
+      [ at ~cond (Dp (MOV, false, rd, 0, Imm b));
+        at ~cond (Dp (MOV, false, rd, 0, Sreg (rd, ROR, k))) ]
+    | None -> movw_movt ~cond rd value
+
+let reads_pc i = List.mem pc (regs_read i)
+
+let uses_r10 i =
+  List.mem scratch (regs_read i) || List.mem scratch (regs_written i)
+
+(* substitute register [old] with [rep] in the operand positions of a
+   non-control instruction (used to replace pc reads with a materialized
+   constant) *)
+let subst_reg ~old ~rep { cond; op } =
+  let s r = if r = old then rep else r in
+  let s2 = function
+    | Imm v -> Imm v
+    | Reg r -> Reg (s r)
+    | Sreg (r, k, a) -> Sreg (s r, k, a)
+    | Sregreg (r, k, rs) -> Sregreg (s r, k, s rs)
+  in
+  let op =
+    match op with
+    | Dp (o, fl, rd, rn, op2) -> Dp (o, fl, rd, s rn, s2 op2)
+    | Mem m ->
+      let off = match m.off with
+        | Oimm _ as x -> x
+        | Oreg (r, k, a) -> Oreg (s r, k, a)
+      in
+      Mem { m with rn = s m.rn; off }
+    | other -> other
+  in
+  { cond; op }
+
+(* one mov putting a (possibly shifted) register operand into [rd].
+   [s] makes it a MOVS: needed when a flag-setting LOGICAL guest
+   instruction has its shift split out — the shifter's carry-out must
+   land in C, and the subsequent register-operand logical op leaves C
+   untouched (the second flag caveat of §5.2) *)
+let shift_to ?(s = false) ~cond rd = function
+  | Reg r -> [ at ~cond (Dp (MOV, s, rd, 0, Reg r)) ]
+  | Sreg (r, k, a) -> [ at ~cond (Dp (MOV, s, rd, 0, Sreg (r, k, a))) ]
+  | Sregreg (r, k, rs) ->
+    [ at ~cond (Dp (MOV, s, rd, 0, Sregreg (r, k, rs))) ]
+  | Imm v -> materialize ~cond rd v
+
+let is_logical = function
+  | AND | ORR | EOR | BIC | MOV | MVN | TST | TEQ -> true
+  | ADD | ADC | SUB | SBC | RSB | RSC | CMP | CMN -> false
+
+(* Conditional multi-instruction sequences must evaluate the guest
+   condition exactly ONCE, before the sequence: a flag-setting member
+   (e.g. a conditional SUBS) would otherwise change the condition its own
+   trailing amendments re-evaluate. We emit a skip branch with the
+   inverse condition and run the body unconditionally — the Thumb-2
+   branch-around equivalent of an IT block (see the §5.2 flag caveats). *)
+let wrap_cond cond hosts =
+  match hosts with
+  | [] | [ _ ] -> hosts
+  | _ when cond = AL -> hosts
+  | _ ->
+    let body = List.map (fun h -> { h with cond = AL }) hosts in
+    at ~cond:(negate_cond cond) (B (4 * (List.length body + 1))) :: body
+
+(** [legalize ~gpc i] — the host sequence for non-control-flow guest
+    instruction [i] at guest address [gpc], with its Table 3 category.
+    Conditional multi-instruction results are wrapped by {!wrap_cond}.
+    @raise Untranslatable for instructions ARK sends to fallback. *)
+let rec legalize ~gpc ({ cond; _ } as i) : Spec.category * inst list =
+  let cat, hosts = legalize_unwrapped ~gpc i in
+  (cat, wrap_cond cond hosts)
+
+and legalize_unwrapped ~gpc ({ cond; _ } as i) : Spec.category * inst list =
+  if uses_r10 i then begin
+    (* guest r10 is emulated in memory: load it around the instruction,
+       legalizing the core with the secondary scratch *)
+    let cat, core = legalize_core ~gpc ~sc:scratch2 i in
+    let prefix =
+      movw_movt ~cond scratch Layout.env_r10
+      @ [ at ~cond (Mem { ld = true; size = Word; rt = scratch; rn = scratch;
+                          off = Oimm 0; idx = Offset }) ]
+    in
+    let suffix =
+      if List.mem scratch (regs_written i) then
+        movw_movt ~cond scratch2 Layout.env_r10
+        @ [ at ~cond (Mem { ld = false; size = Word; rt = scratch;
+                            rn = scratch2; off = Oimm 0; idx = Offset }) ]
+      else []
+    in
+    (cat, prefix @ core @ suffix)
+  end
+  else legalize_core ~gpc ~sc:scratch i
+
+and legalize_core ~gpc ~sc ({ cond; op } as i) : Spec.category * inst list =
+  (* pc-relative data access: the guest pc is a link-time constant *)
+  if reads_pc i then
+    match op with
+    | B _ | Bl _ | Bx _ | Blx_r _ -> untranslatable "control flow in legalize"
+    | _ ->
+      let pre = movw_movt ~cond sc (gpc + 8) in
+      let cat, rest = legalize_core ~gpc ~sc (subst_reg ~old:pc ~rep:sc i) in
+      ignore cat;
+      (Spec.Const_constraint, pre @ rest)
+  else
+    match V7m.encode i with
+    | Ok _ -> (Spec.Identity, [ i ])
+    | Error _ -> (
+      match op with
+      | Dp (RSC, s, rd, rn, op2) ->
+        (* rsc rd, rn, op2 = op2 - rn - !C; SBC with operands swapped *)
+        (match op2 with
+        | Reg r -> (Spec.No_counterpart, [ at ~cond (Dp (SBC, s, rd, r, Reg rn)) ])
+        | _ ->
+          ( Spec.No_counterpart,
+            shift_to ~cond sc op2 @ [ at ~cond (Dp (SBC, s, rd, sc, Reg rn)) ] ))
+      | Swp (rd, rm, rn) ->
+        ( Spec.No_counterpart,
+          [ at ~cond (Mem { ld = true; size = Word; rt = sc; rn;
+                            off = Oimm 0; idx = Offset });
+            at ~cond (Mem { ld = false; size = Word; rt = rm; rn;
+                            off = Oimm 0; idx = Offset });
+            at ~cond (Dp (MOV, false, rd, 0, Reg sc)) ] )
+      | Irq_ret -> untranslatable "guest exception return (emulated early stage)"
+      | Wfi -> untranslatable "wfi (only in the emulated scheduler)"
+      | Cps _ -> untranslatable "interrupt masking (emulated spinlocks)"
+      | Udf n -> untranslatable "udf #%d" n
+      | Dp (o, s, rd, rn, Imm v) ->
+        ( Spec.Const_constraint,
+          materialize ~cond sc v @ [ at ~cond (Dp (o, s, rd, rn, Reg sc)) ] )
+      | Dp (o, s, rd, rn, (Sregreg _ as op2)) ->
+        let sets =
+          s || (match o with CMP | CMN | TST | TEQ -> true | _ -> false)
+        in
+        ( Spec.Shift_mode,
+          shift_to ~s:(sets && is_logical o) ~cond sc op2
+          @ [ at ~cond (Dp (o, s, rd, rn, Reg sc)) ] )
+      | Mem ({ off = Oimm o; idx = Offset; _ } as m) ->
+        ( Spec.Const_constraint,
+          materialize ~cond sc o
+          @ [ at ~cond (Mem { m with off = Oreg (sc, LSL, 0) }) ] )
+      | Mem ({ off = Oimm o; idx = Pre; _ } as m) ->
+        if m.ld && m.rt = m.rn then untranslatable "writeback into base";
+        ( Spec.Side_effect,
+          materialize ~cond sc o
+          @ [ at ~cond (Dp (ADD, false, m.rn, m.rn, Reg sc));
+              at ~cond (Mem { m with off = Oimm 0; idx = Offset }) ] )
+      | Mem ({ off = Oimm o; idx = Post; _ } as m) ->
+        if m.ld && m.rt = m.rn then untranslatable "writeback into base";
+        ( Spec.Side_effect,
+          (at ~cond (Mem { m with off = Oimm 0; idx = Offset })
+          :: materialize ~cond sc o)
+          @ [ at ~cond (Dp (ADD, false, m.rn, m.rn, Reg sc)) ] )
+      | Mem ({ off = Oreg (rm, k, a); idx = Offset; _ } as m) ->
+        ( Spec.Shift_mode,
+          shift_to ~cond sc (Sreg (rm, k, a))
+          @ [ at ~cond (Mem { m with off = Oreg (sc, LSL, 0) }) ] )
+      | Mem ({ off = Oreg (rm, k, a); idx = Pre; _ } as m) ->
+        if m.ld && m.rt = m.rn then untranslatable "writeback into base";
+        ( Spec.Side_effect,
+          shift_to ~cond sc (Sreg (rm, k, a))
+          @ [ at ~cond (Dp (ADD, false, m.rn, m.rn, Reg sc));
+              at ~cond (Mem { m with off = Oimm 0; idx = Offset }) ] )
+      | Mem ({ off = Oreg (rm, k, a); idx = Post; _ } as m) ->
+        (* the paper's Table 4 G1: ldr r0, [r1], r2, lsr #4 *)
+        if m.ld && m.rt = m.rn then untranslatable "writeback into base";
+        let add =
+          if k = LSL && a = 0 then
+            [ at ~cond (Dp (ADD, false, m.rn, m.rn, Reg rm)) ]
+          else
+            shift_to ~cond sc (Sreg (rm, k, a))
+            @ [ at ~cond (Dp (ADD, false, m.rn, m.rn, Reg sc)) ]
+        in
+        ( Spec.Side_effect,
+          at ~cond (Mem { m with off = Oimm 0; idx = Offset }) :: add )
+      | Dp _ | Movw _ | Movt _ | Mul _ | Mla _ | Udiv _ | Ldm _
+      | Stm _ | B _ | Bl _ | Bx _ | Blx_r _ | Clz _ | Sxt _ | Uxt _ | Rev _
+      | Mrs _ | Msr _ | Svc _ | Nop ->
+        untranslatable "no rule for `%s'" (to_string i))
+
+(** [legalize_nowrap ~gpc ~sc i] — like {!legalize} but without the
+    guest-r10 emulation wrap, amending with scratch [sc]; used by the
+    Mid engine, which owns r10 itself. The caller is responsible for
+    condition wrapping across its whole per-instruction emission. *)
+let legalize_nowrap ~gpc ~sc i = legalize_core ~gpc ~sc i
+
+(** [subst_all ~old ~rep i] substitutes register [old] with [rep] in all
+    positions (destination included) of a data-processing or memory
+    instruction.
+    @raise Untranslatable for other shapes *)
+let subst_all ~old ~rep { cond; op } =
+  let s r = if r = old then rep else r in
+  let s2 = function
+    | Imm v -> Imm v
+    | Reg r -> Reg (s r)
+    | Sreg (r, k, a) -> Sreg (s r, k, a)
+    | Sregreg (r, k, rs) -> Sregreg (s r, k, s rs)
+  in
+  let op =
+    match op with
+    | Dp (o, fl, rd, rn, op2) -> Dp (o, fl, s rd, s rn, s2 op2)
+    | Mem m ->
+      let off = match m.off with
+        | Oimm _ as x -> x
+        | Oreg (r, k, a) -> Oreg (s r, k, a)
+      in
+      Mem { m with rt = s m.rt; rn = s m.rn; off }
+    | _ -> untranslatable "subst_all: unsupported shape"
+  in
+  { cond; op }
+
+(** [classify i] — Table 3 view: category and host-instruction count for
+    one guest instruction (at a nominal address). *)
+let classify i =
+  let cat, hosts = legalize ~gpc:0x10010000 i in
+  (cat, List.length hosts)
+
+(** Sanity: every emitted host instruction must encode in V7M. *)
+let check_encodable hosts =
+  List.iter
+    (fun h ->
+      match V7m.encode h with
+      | Ok _ -> ()
+      | Error e -> untranslatable "amendment not encodable: %s (%s)" (to_string h) e)
+    hosts

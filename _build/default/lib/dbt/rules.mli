@@ -1,0 +1,66 @@
+(** ARK's translation rules: guest (V7A) instruction -> host (V7M)
+    sequence (paper §5.1).
+
+    Identity translation re-encodes the same AST; everything else gets a
+    few "amendment" instructions using the dedicated scratch register
+    r10 (guest r10 is emulated in memory) and, where needed, the dead
+    register r12. The induced classification over {!Tk_isa.Spec} is
+    Table 3. *)
+
+open Tk_isa
+
+exception Untranslatable of string
+(** instructions ARK does not translate (exception return, WFI,
+    interrupt masking, writeback-into-base): the translator turns these
+    into fallback sites *)
+
+val scratch : int
+(** the dedicated scratch register, r10 (§5.2) *)
+
+val scratch2 : int
+(** the secondary "dead register" scratch, r12 *)
+
+val movw_movt : cond:Types.cond -> int -> int -> Types.inst list
+(** [movw_movt ~cond rd v] — 1-2 instructions loading constant [v] *)
+
+val materialize : cond:Types.cond -> int -> int -> Types.inst list
+(** shortest flag-preserving amendment sequence leaving a constant in a
+    register: V7M immediate, the mov+ror pair of Table 4 G2, or
+    movw/movt *)
+
+val is_logical : Types.dp_op -> bool
+(** logical ops take their carry from the shifter; arithmetic ops from
+    the carry chain — the distinction behind the MOVS amendment rule *)
+
+val subst_reg : old:int -> rep:int -> Types.inst -> Types.inst
+(** substitute a register in operand positions (pc-relative reads) *)
+
+val subst_all : old:int -> rep:int -> Types.inst -> Types.inst
+(** substitute a register everywhere, destination included (the Mid
+    engine's sp replacement).
+    @raise Untranslatable on non data-processing/memory shapes *)
+
+val wrap_cond : Types.cond -> Types.inst list -> Types.inst list
+(** conditional multi-instruction sequences evaluate the guest condition
+    exactly once: a skip branch with the inverse condition around an
+    unconditional body (the §5.2 flag caveat, IT-block style) *)
+
+val legalize : gpc:int -> Types.inst -> Spec.category * Types.inst list
+(** [legalize ~gpc i] — the host sequence for non-control-flow guest
+    instruction [i] at guest address [gpc], condition-wrapped, with its
+    Table 3 category.
+    @raise Untranslatable for fallback instructions *)
+
+val legalize_nowrap :
+  gpc:int -> sc:int -> Types.inst -> Spec.category * Types.inst list
+(** like {!legalize} without the guest-r10 emulation wrap, amending with
+    scratch [sc]; used by the Mid engine, which owns r10. The caller is
+    responsible for condition wrapping. *)
+
+val classify : Types.inst -> Spec.category * int
+(** Table 3 view: category and host-instruction count for one guest
+    instruction *)
+
+val check_encodable : Types.inst list -> unit
+(** assert every host instruction encodes in V7M.
+    @raise Untranslatable otherwise *)

@@ -1,0 +1,499 @@
+(** Translation-block construction for the three engine configurations.
+
+    {ul
+    {- [Ark]: the paper's full design — identity rules + amendments
+       ({!Rules}), register/flag passthrough, direct stack and
+       call/return (§5);}
+    {- [Mid]: baseline + register/flag passthrough only (the middle bar
+       of Figure 6): SP/LR/PC still emulated in the env block, returns
+       still exit to the engine;}
+    {- [Baseline]: the straight QEMU port — every guest register and the
+       flags live in memory off the reserved host r11; each guest
+       instruction expands into load/compute/store.}}
+
+    The translator emits host instructions plus {e sites}: engine
+    trap points (SVC) for direct calls/jumps pending patching, emulated
+    services, hooks, indirect calls, engine exits and fallback. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+type mode = Ark | Mid | Baseline
+
+(** How the engine reaches non-host-resolvable control transfers. *)
+type site_info =
+  | S_call of { target : int; ret_guest : int }
+      (** direct guest call; patched to a host BL *)
+  | S_jump of { target : int }  (** direct branch; patched to host B<cond> *)
+  | S_tail of { target : int }  (** block fallthrough; patched to host B *)
+  | S_emu of { name : string; resume_guest : int }
+      (** downcall into an emulated kernel service *)
+  | S_hook of { name : string; resume_guest : int }
+      (** observation hook; execution then continues *)
+  | S_indirect of { reg : int; ret_guest : int }
+      (** call through a register holding a guest address *)
+  | S_exit_pc  (** baseline/mid: next guest pc is in [Layout.env_next_pc] *)
+  | S_guest_svc of { n : int; resume_guest : int }
+      (** forwarded guest hypercall *)
+  | S_fallback of { reason : string; gpc : int; skippable : bool }
+      (** cold path / untranslatable: migrate to the CPU at [gpc].
+          [skippable] = the site is a diagnostic call (WARN/syslog) that
+          drain mode may emulate and step over; terminal untranslatable
+          sites are not skippable *)
+
+type emit =
+  | E_inst of inst
+  | E_site of cond * site_info * int  (** cond, info, svc immediate *)
+
+type block = {
+  b_guest_start : int;
+  b_guest_count : int;  (** guest instructions consumed *)
+  b_emits : emit list;
+}
+
+(** Classification of a direct call target, provided by ARK from the
+    resolved {!Kabi}. *)
+type target_class =
+  | T_normal
+  | T_emu of string
+  | T_hook of string
+  | T_cold of string
+
+type ctx = {
+  mode : mode;
+  classify_target : int -> target_class;
+  block_limit : int;  (** guest instructions per translation block *)
+  read_guest : int -> inst;  (** decode guest word at address *)
+}
+
+let default_block_limit = 16
+
+(* ---------------------- baseline/mid helpers ------------------------ *)
+
+(* env offsets relative to host r11 = Layout.env_base *)
+let off_reg i = 0x40 + (4 * i)
+let off_flags = 0x80
+let off_next_pc = 0x84
+
+let ldg ~cond rt i =
+  at ~cond (Mem { ld = true; size = Word; rt; rn = 11; off = Oimm (off_reg i);
+                  idx = Offset })
+
+let stg ~cond rt i =
+  at ~cond (Mem { ld = false; size = Word; rt; rn = 11; off = Oimm (off_reg i);
+                  idx = Offset })
+
+let load_flags ~cond =
+  [ at ~cond (Mem { ld = true; size = Word; rt = 3; rn = 11;
+                    off = Oimm off_flags; idx = Offset });
+    at ~cond (Msr 3) ]
+
+let save_flags ~cond =
+  [ at ~cond (Mrs 3);
+    at ~cond (Mem { ld = false; size = Word; rt = 3; rn = 11;
+                    off = Oimm off_flags; idx = Offset }) ]
+
+let set_next_pc ~cond rt =
+  at ~cond (Mem { ld = false; size = Word; rt; rn = 11;
+                  off = Oimm off_next_pc; idx = Offset })
+
+exception Stop  (* block ends *)
+
+(* ------------------------- ARK translation -------------------------- *)
+
+let translate_inst_ark ctx gpc (gi : inst) (push : emit -> unit) =
+  let c = gi.cond in
+  match gi.op with
+  | Bl off -> (
+    let target = Bits.mask32 (gpc + off) in
+    match ctx.classify_target target with
+    | T_emu name ->
+      push (E_site (c, S_emu { name; resume_guest = gpc + 4 }, Layout.svc_emu))
+    | T_cold name ->
+      push (E_site (c, S_fallback { reason = name; gpc; skippable = true }, Layout.svc_fallback))
+    | T_hook name ->
+      push (E_site (c, S_hook { name; resume_guest = gpc }, Layout.svc_hook));
+      push (E_site (c, S_call { target; ret_guest = gpc + 4 }, Layout.svc_call))
+    | T_normal ->
+      push (E_site (c, S_call { target; ret_guest = gpc + 4 }, Layout.svc_call)))
+  | B off ->
+    let target = Bits.mask32 (gpc + off) in
+    push (E_site (c, S_jump { target }, Layout.svc_jump));
+    if c = AL then raise Stop
+  | Bx _ ->
+    (* return: LR holds a host (code cache) address — §5.3 *)
+    push (E_inst gi);
+    if c = AL then raise Stop
+  | Blx_r reg ->
+    push (E_site (c, S_indirect { reg; ret_guest = gpc + 4 }, Layout.svc_indirect))
+  | Ldm (_, _, regs) when List.mem pc regs ->
+    (* pop {..., pc}: the popped word is a host return address *)
+    push (E_inst gi);
+    if c = AL then raise Stop
+  | Dp ((MOV | ADD | SUB), _, rd, _, _) when rd = pc ->
+    push (E_inst gi);
+    if c = AL then raise Stop
+  | Svc n ->
+    push (E_site (c, S_guest_svc { n; resume_guest = gpc + 4 }, Layout.svc_guest))
+  | _ -> (
+    match Rules.legalize ~gpc gi with
+    | _, hosts -> List.iter (fun h -> push (E_inst h)) hosts
+    | exception Rules.Untranslatable reason ->
+      push (E_site (AL, S_fallback { reason; gpc; skippable = false }, Layout.svc_fallback));
+      raise Stop)
+
+(* ------------------------ Baseline translation ---------------------- *)
+
+(* load op2 from env; returns (setup hosts, operand2 for the final op).
+   Shifts stay inline in the final op so the shifter carry-out reaches
+   the flags exactly as the guest's would. [s_logical] marks a
+   flag-setting logical guest op, whose split register-shift must MOVS. *)
+let baseline_op2 ~cond ~s_logical (op2 : operand2) =
+  match op2 with
+  | Imm v when V7m.imm_ok v -> ([], Imm v)
+  | Imm v -> (Rules.materialize ~cond 1 v, Reg 1)
+  | Reg r -> ([ ldg ~cond 1 r ], Reg 1)
+  | Sreg (r, k, a) -> ([ ldg ~cond 1 r ], Sreg (1, k, a))
+  | Sregreg (r, k, rs) ->
+    ( [ ldg ~cond 1 r; ldg ~cond 2 rs;
+        at ~cond (Dp (MOV, s_logical, 1, 0, Sregreg (1, k, 2))) ],
+      Reg 1 )
+
+let translate_inst_baseline ctx gpc (gi : inst) (push : emit -> unit) =
+  let c = gi.cond in
+  let emit l = List.iter (fun h -> push (E_inst h)) l in
+  (* guest flags -> host flags: needed for conditions and carry-in ops;
+     the straightforward port just always restores them *)
+  emit (load_flags ~cond:AL);
+  match gi.op with
+  | Dp (o, s, rd, rn, op2) ->
+    let s_logical = (s || match o with TST | TEQ -> true | _ -> false)
+                    && Rules.is_logical o in
+    let setup, op2h = baseline_op2 ~cond:c ~s_logical op2 in
+    emit setup;
+    let uses_rn = match o with MOV | MVN -> false | _ -> true in
+    if uses_rn then emit [ ldg ~cond:c 0 rn ];
+    (match o with
+    | RSC ->
+      (* no host RSC: swap operands into an SBC *)
+      (match op2h with
+      | Reg 1 -> emit [ at ~cond:c (Dp (SBC, s, 2, 1, Reg 0)) ]
+      | _ ->
+        emit [ at ~cond:c (Dp (MOV, false, 1, 0, op2h));
+               at ~cond:c (Dp (SBC, s, 2, 1, Reg 0)) ])
+    | MOV | MVN -> emit [ at ~cond:c (Dp (o, s, 2, 0, op2h)) ]
+    | _ -> emit [ at ~cond:c (Dp (o, s, 2, 0, op2h)) ]);
+    (match o with
+    | CMP | CMN | TST | TEQ -> ()
+    | _ -> emit [ stg ~cond:c 2 rd ]);
+    if s || (match o with CMP | CMN | TST | TEQ -> true | _ -> false) then
+      emit (save_flags ~cond:c)
+  | Movw (rd, v) -> emit [ at ~cond:c (Movw (0, v)); stg ~cond:c 0 rd ]
+  | Movt (rd, v) ->
+    emit [ ldg ~cond:c 0 rd; at ~cond:c (Movt (0, v)); stg ~cond:c 0 rd ]
+  | Mul (s, rd, rn, rm) ->
+    emit [ ldg ~cond:c 0 rn; ldg ~cond:c 1 rm;
+           at ~cond:c (Mul (s, 2, 0, 1)); stg ~cond:c 2 rd ];
+    if s then emit (save_flags ~cond:c)
+  | Mla (rd, rn, rm, ra) ->
+    emit [ ldg ~cond:c 0 rn; ldg ~cond:c 1 rm; ldg ~cond:c 2 ra;
+           at ~cond:c (Mla (3, 0, 1, 2)); stg ~cond:c 3 rd ]
+  | Udiv (rd, rn, rm) ->
+    emit [ ldg ~cond:c 0 rn; ldg ~cond:c 1 rm;
+           at ~cond:c (Udiv (2, 0, 1)); stg ~cond:c 2 rd ]
+  | Clz (rd, rm) -> emit [ ldg ~cond:c 0 rm; at ~cond:c (Clz (1, 0)); stg ~cond:c 1 rd ]
+  | Sxt (sz, rd, rm) ->
+    emit [ ldg ~cond:c 0 rm; at ~cond:c (Sxt (sz, 1, 0)); stg ~cond:c 1 rd ]
+  | Uxt (sz, rd, rm) ->
+    emit [ ldg ~cond:c 0 rm; at ~cond:c (Uxt (sz, 1, 0)); stg ~cond:c 1 rd ]
+  | Rev (rd, rm) -> emit [ ldg ~cond:c 0 rm; at ~cond:c (Rev (1, 0)); stg ~cond:c 1 rd ]
+  | Mrs rd ->
+    emit [ at ~cond:c (Mem { ld = true; size = Word; rt = 0; rn = 11;
+                             off = Oimm off_flags; idx = Offset });
+           stg ~cond:c 0 rd ]
+  | Msr rs ->
+    emit [ ldg ~cond:c 0 rs;
+           at ~cond:c (Mem { ld = false; size = Word; rt = 0; rn = 11;
+                             off = Oimm off_flags; idx = Offset }) ]
+  | Swp (rd, rm, rn) ->
+    emit [ ldg ~cond:c 0 rn;
+           at ~cond:c (Mem { ld = true; size = Word; rt = 1; rn = 0;
+                             off = Oimm 0; idx = Offset });
+           ldg ~cond:c 2 rm;
+           at ~cond:c (Mem { ld = false; size = Word; rt = 2; rn = 0;
+                             off = Oimm 0; idx = Offset });
+           stg ~cond:c 1 rd ]
+  | Mem { ld; size; rt; rn; off; idx } ->
+    emit [ ldg ~cond:c 0 rn ];
+    (* offset value -> r1 *)
+    (match off with
+    | Oimm o -> emit (Rules.materialize ~cond:c 1 (Bits.mask32 o))
+    | Oreg (rm, k, a) ->
+      emit [ ldg ~cond:c 1 rm ];
+      if not (k = LSL && a = 0) then
+        emit [ at ~cond:c (Dp (MOV, false, 1, 0, Sreg (1, k, a))) ]);
+    (* effective address -> r2 *)
+    (match idx with
+    | Offset | Pre -> emit [ at ~cond:c (Dp (ADD, false, 2, 0, Reg 1)) ]
+    | Post -> emit [ at ~cond:c (Dp (MOV, false, 2, 0, Reg 0)) ]);
+    if ld then begin
+      emit [ at ~cond:c (Mem { ld = true; size; rt = 3; rn = 2; off = Oimm 0;
+                               idx = Offset }) ];
+      if rt = pc then begin
+        emit [ set_next_pc ~cond:c 3 ];
+        push (E_site (c, S_exit_pc, Layout.svc_exit_pc))
+      end
+      else emit [ stg ~cond:c 3 rt ]
+    end
+    else
+      emit [ ldg ~cond:c 3 rt;
+             at ~cond:c (Mem { ld = false; size; rt = 3; rn = 2; off = Oimm 0;
+                               idx = Offset }) ];
+    (match idx with
+    | Pre | Post ->
+      emit [ at ~cond:c (Dp (ADD, false, 0, 0, Reg 1)); stg ~cond:c 0 rn ]
+    | Offset -> ())
+  | Stm (rn, wb, regs) ->
+    let n = List.length regs in
+    emit [ ldg ~cond:c 0 rn;
+           at ~cond:c (Dp (SUB, false, 0, 0, Imm (4 * n))) ];
+    List.iteri
+      (fun i r ->
+        emit [ ldg ~cond:c 2 r;
+               at ~cond:c (Mem { ld = false; size = Word; rt = 2; rn = 0;
+                                 off = Oimm (4 * i); idx = Offset }) ])
+      regs;
+    if wb then emit [ stg ~cond:c 0 rn ]
+  | Ldm (rn, wb, regs) ->
+    let n = List.length regs in
+    let has_pc = List.mem pc regs in
+    emit [ ldg ~cond:c 0 rn ];
+    List.iteri
+      (fun i r ->
+        emit [ at ~cond:c (Mem { ld = true; size = Word; rt = 2; rn = 0;
+                                 off = Oimm (4 * i); idx = Offset }) ];
+        if r = pc then emit [ set_next_pc ~cond:c 2 ]
+        else emit [ stg ~cond:c 2 r ])
+      regs;
+    if wb then
+      emit [ at ~cond:c (Dp (ADD, false, 0, 0, Imm (4 * n))); stg ~cond:c 0 rn ];
+    if has_pc then begin
+      push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+      if c = AL then raise Stop
+    end
+  | B off ->
+    push (E_site (c, S_jump { target = Bits.mask32 (gpc + off) }, Layout.svc_jump));
+    if c = AL then raise Stop
+  | Bl off -> (
+    let target = Bits.mask32 (gpc + off) in
+    match ctx.classify_target target with
+    | T_emu name ->
+      (* marshal args: the emu handler reads guest state from env *)
+      push (E_site (c, S_emu { name; resume_guest = gpc + 4 }, Layout.svc_emu))
+    | T_cold name ->
+      push (E_site (c, S_fallback { reason = name; gpc; skippable = true }, Layout.svc_fallback))
+    | T_hook name ->
+      push (E_site (c, S_hook { name; resume_guest = gpc }, Layout.svc_hook));
+      emit (Rules.movw_movt ~cond:c 3 (gpc + 4));
+      emit [ stg ~cond:c 3 lr ];
+      push (E_site (c, S_jump { target }, Layout.svc_jump));
+      if c = AL then raise Stop
+    | T_normal ->
+      emit (Rules.movw_movt ~cond:c 3 (gpc + 4));
+      emit [ stg ~cond:c 3 lr ];
+      push (E_site (c, S_jump { target }, Layout.svc_jump));
+      if c = AL then raise Stop)
+  | Bx r ->
+    emit [ ldg ~cond:c 3 r; set_next_pc ~cond:c 3 ];
+    push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+    if c = AL then raise Stop
+  | Blx_r r ->
+    emit [ ldg ~cond:c 3 r; set_next_pc ~cond:c 3 ];
+    emit (Rules.movw_movt ~cond:c 2 (gpc + 4));
+    emit [ stg ~cond:c 2 lr ];
+    push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+    if c = AL then raise Stop
+  | Svc n ->
+    emit [ ldg ~cond:c 0 0; ldg ~cond:c 1 1; ldg ~cond:c 2 2 ];
+    push (E_site (c, S_guest_svc { n; resume_guest = gpc + 4 }, Layout.svc_guest));
+    emit [ stg ~cond:c 0 0 ]
+  | Nop -> ()
+  | Wfi | Cps _ | Irq_ret | Udf _ ->
+    push (E_site (AL, S_fallback { reason = "unsupported in baseline"; gpc; skippable = false },
+                  Layout.svc_fallback));
+    raise Stop
+
+(* ------------------------- Mid translation -------------------------- *)
+
+(* r0-r9 and r12 pass through; r10 scratch, r11 env base; SP/LR/PC
+   emulated; flags pass through. *)
+let mid_emulated r = r = 10 || r = 11 || r = sp || r = lr || r = pc
+
+let translate_inst_mid ctx gpc (gi : inst) (push : emit -> unit) =
+  let c = gi.cond in
+  let emit l = List.iter (fun h -> push (E_inst h)) l in
+  let fallback reason =
+    push (E_site (AL, S_fallback { reason; gpc; skippable = false }, Layout.svc_fallback));
+    raise Stop
+  in
+  match gi.op with
+  | B off ->
+    push (E_site (c, S_jump { target = Bits.mask32 (gpc + off) }, Layout.svc_jump));
+    if c = AL then raise Stop
+  | Bl off -> (
+    let target = Bits.mask32 (gpc + off) in
+    match ctx.classify_target target with
+    | T_emu name ->
+      push (E_site (c, S_emu { name; resume_guest = gpc + 4 }, Layout.svc_emu))
+    | T_cold name ->
+      push (E_site (c, S_fallback { reason = name; gpc; skippable = true }, Layout.svc_fallback))
+    | T_hook name ->
+      push (E_site (c, S_hook { name; resume_guest = gpc }, Layout.svc_hook));
+      emit (Rules.movw_movt ~cond:c 10 (gpc + 4));
+      emit [ stg ~cond:c 10 lr ];
+      push (E_site (c, S_jump { target }, Layout.svc_jump));
+      if c = AL then raise Stop
+    | T_normal ->
+      emit (Rules.movw_movt ~cond:c 10 (gpc + 4));
+      emit [ stg ~cond:c 10 lr ];
+      push (E_site (c, S_jump { target }, Layout.svc_jump));
+      if c = AL then raise Stop)
+  | Bx r when not (mid_emulated r) ->
+    emit [ set_next_pc ~cond:c r ];
+    push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+    if c = AL then raise Stop
+  | Bx r ->
+    emit [ ldg ~cond:c 10 r; set_next_pc ~cond:c 10 ];
+    push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+    if c = AL then raise Stop
+  | Blx_r r ->
+    if mid_emulated r then fallback "blx through emulated reg";
+    emit [ set_next_pc ~cond:c r ];
+    emit (Rules.movw_movt ~cond:c 10 (gpc + 4));
+    emit [ stg ~cond:c 10 lr ];
+    push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+    if c = AL then raise Stop
+  | Svc n ->
+    push (E_site (c, S_guest_svc { n; resume_guest = gpc + 4 }, Layout.svc_guest))
+  | Stm (rn, wb, regs) when rn = sp ->
+    let n = List.length regs in
+    emit [ ldg ~cond:c 10 sp;
+           at ~cond:c (Dp (SUB, false, 10, 10, Imm (4 * n))) ];
+    List.iteri
+      (fun i r ->
+        if r = lr then
+          emit [ ldg ~cond:c 12 lr;
+                 at ~cond:c (Mem { ld = false; size = Word; rt = 12; rn = 10;
+                                   off = Oimm (4 * i); idx = Offset }) ]
+        else if mid_emulated r then fallback "stm of emulated reg"
+        else
+          emit [ at ~cond:c (Mem { ld = false; size = Word; rt = r; rn = 10;
+                                   off = Oimm (4 * i); idx = Offset }) ])
+      regs;
+    if wb then emit [ stg ~cond:c 10 sp ]
+  | Ldm (rn, wb, regs) when rn = sp ->
+    let n = List.length regs in
+    let has_pc = List.mem pc regs in
+    emit [ ldg ~cond:c 10 sp ];
+    List.iteri
+      (fun i r ->
+        if r = pc then
+          emit [ at ~cond:c (Mem { ld = true; size = Word; rt = 12; rn = 10;
+                                   off = Oimm (4 * i); idx = Offset });
+                 set_next_pc ~cond:c 12 ]
+        else if r = lr then
+          emit [ at ~cond:c (Mem { ld = true; size = Word; rt = 12; rn = 10;
+                                   off = Oimm (4 * i); idx = Offset });
+                 stg ~cond:c 12 lr ]
+        else if mid_emulated r then fallback "ldm of emulated reg"
+        else
+          emit [ at ~cond:c (Mem { ld = true; size = Word; rt = r; rn = 10;
+                                   off = Oimm (4 * i); idx = Offset }) ])
+      regs;
+    if wb then
+      emit [ at ~cond:c (Dp (ADD, false, 10, 10, Imm (4 * n)));
+             stg ~cond:c 10 sp ];
+    if has_pc then begin
+      push (E_site (c, S_exit_pc, Layout.svc_exit_pc));
+      if c = AL then raise Stop
+    end
+  | _ ->
+    let reads = regs_read gi and writes = regs_written gi in
+    let emul =
+      List.sort_uniq compare (List.filter mid_emulated (reads @ writes))
+    in
+    if emul = [] then (
+      (* same as ARK, except r10 is a free host scratch (no wrap) *)
+      match Rules.legalize_nowrap ~gpc ~sc:10 gi with
+      | _, hosts -> List.iter (fun h -> push (E_inst h)) hosts
+      | exception Rules.Untranslatable reason -> fallback reason)
+    else if emul = [ sp ] then (
+      (* sp-based: load the emulated sp into r10, substitute everywhere,
+         amend with the dead r12, store sp back if written *)
+      emit [ ldg ~cond:c 10 sp ];
+      match
+        Rules.legalize_nowrap ~gpc ~sc:12 (Rules.subst_all ~old:sp ~rep:10 gi)
+      with
+      | _, hosts ->
+        List.iter (fun h -> push (E_inst h)) hosts;
+        if List.mem sp writes then emit [ stg ~cond:c 10 sp ]
+      | exception Rules.Untranslatable reason -> fallback reason)
+    else fallback "mid: emulated register use"
+
+(* --------------------------- block driver --------------------------- *)
+
+let strip_emit = function
+  | E_inst i -> E_inst { i with cond = AL }
+  | E_site (_, info, code) -> E_site (AL, info, code)
+
+(* Mid/Baseline build multi-emit sequences by hand, so they need the same
+   once-only condition evaluation Rules.wrap_cond gives ARK: a skip
+   branch with the inverse condition around an unconditional body. For
+   Baseline the two flag-restoring emits stay in front (host flags must
+   hold the guest flags before the skip branch tests them). *)
+let wrap_emits mode (gi : inst) emits =
+  let skip n =
+    E_inst (at ~cond:(negate_cond gi.cond) (B (4 * (n + 1))))
+  in
+  match mode with
+  | Ark -> emits
+  | Mid ->
+    if gi.cond = AL || List.length emits <= 1 then emits
+    else skip (List.length emits) :: List.map strip_emit emits
+  | Baseline -> (
+    match emits with
+    | a :: b :: rest when gi.cond <> AL && List.length rest > 1 ->
+      a :: b :: skip (List.length rest) :: List.map strip_emit rest
+    | _ -> emits)
+
+(** [translate ctx ~gpc] builds one translation block starting at guest
+    address [gpc]. *)
+let translate ctx ~gpc : block =
+  let emits = ref [] in
+  let one =
+    match ctx.mode with
+    | Ark -> translate_inst_ark ctx
+    | Mid -> translate_inst_mid ctx
+    | Baseline -> translate_inst_baseline ctx
+  in
+  let count = ref 0 in
+  let stopped = ref false in
+  (try
+     while (not !stopped) && !count < ctx.block_limit do
+       let a = gpc + (4 * !count) in
+       let gi = ctx.read_guest a in
+       incr count;
+       let local = ref [] in
+       (try one a gi (fun e -> local := e :: !local)
+        with Stop -> stopped := true);
+       List.iter
+         (fun e -> emits := e :: !emits)
+         (wrap_emits ctx.mode gi (List.rev !local))
+     done;
+     if not !stopped then
+       (* fell off the limit: chain to the next guest instruction *)
+       emits :=
+         E_site (AL, S_tail { target = gpc + (4 * !count) }, Layout.svc_tail)
+         :: !emits
+   with Stop -> ());
+  { b_guest_start = gpc; b_guest_count = !count; b_emits = List.rev !emits }

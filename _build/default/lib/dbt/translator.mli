@@ -1,0 +1,69 @@
+(** Translation-block construction for the three engine configurations
+    (the Figure 6 comparison):
+
+    - [Ark]: the paper's full design (§5) — identity rules + amendments,
+      register/flag passthrough, direct stack and call/return;
+    - [Mid]: baseline + register/flag passthrough only;
+    - [Baseline]: the straight QEMU port — guest registers and flags in
+      memory off host r11, every guest instruction expanded into
+      load/compute/store. *)
+
+open Tk_isa
+
+type mode = Ark | Mid | Baseline
+
+(** Engine trap points embedded in emitted code as host SVCs; the engine
+    dispatches on the SVC's address. *)
+type site_info =
+  | S_call of { target : int; ret_guest : int }
+      (** direct guest call; patched to a host BL once resolved *)
+  | S_jump of { target : int }
+      (** direct branch; patched to a host B<cond> *)
+  | S_tail of { target : int }  (** block fallthrough chain *)
+  | S_emu of { name : string; resume_guest : int }
+      (** downcall into an emulated kernel service *)
+  | S_hook of { name : string; resume_guest : int }
+      (** observation hook; execution continues into the translated body *)
+  | S_indirect of { reg : int; ret_guest : int }
+      (** call through a register holding a guest address *)
+  | S_exit_pc
+      (** baseline/mid: the next guest pc is in [Layout.env_next_pc] *)
+  | S_guest_svc of { n : int; resume_guest : int }
+      (** forwarded guest hypercall *)
+  | S_fallback of { reason : string; gpc : int; skippable : bool }
+      (** cold path / untranslatable: migrate to the CPU at [gpc];
+          [skippable] marks diagnostic calls drain mode may step over *)
+
+type emit =
+  | E_inst of Types.inst  (** encodable host instruction *)
+  | E_site of Types.cond * site_info * int
+      (** trap point: condition, dispatch info, SVC immediate (cosmetic) *)
+
+type block = {
+  b_guest_start : int;
+  b_guest_count : int;  (** guest instructions consumed *)
+  b_emits : emit list;
+}
+
+(** Classification of direct call targets, supplied by ARK from the
+    resolved Table 2 ABI. *)
+type target_class =
+  | T_normal
+  | T_emu of string
+  | T_hook of string
+  | T_cold of string
+
+type ctx = {
+  mode : mode;
+  classify_target : int -> target_class;
+  block_limit : int;  (** guest instructions per translation block *)
+  read_guest : int -> Types.inst;  (** decode the guest word at address *)
+}
+
+val default_block_limit : int
+
+val translate : ctx -> gpc:int -> block
+(** [translate ctx ~gpc] builds one translation block starting at guest
+    address [gpc]: instructions until a control transfer (or the block
+    limit, then a tail-chain site), each conditional multi-emit sequence
+    wrapped for once-only condition evaluation. *)

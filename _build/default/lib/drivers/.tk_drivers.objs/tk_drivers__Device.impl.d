@@ -1,0 +1,1 @@
+lib/drivers/device.ml: Array Bool Clock Intc List Mem Soc Tk_machine

@@ -1,0 +1,1 @@
+lib/drivers/dlib_src.ml: Device Ir Layout Tk_isa Tk_kcc Tk_kernel

@@ -1,0 +1,1 @@
+lib/drivers/driver_common.ml: Ir Layout Tk_isa Tk_kcc Tk_kernel Tk_machine

@@ -1,0 +1,1 @@
+lib/drivers/driver_power.ml: Device Driver_common Ir Layout Tk_isa Tk_kcc Tk_kernel

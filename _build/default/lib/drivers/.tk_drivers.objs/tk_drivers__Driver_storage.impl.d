@@ -1,0 +1,1 @@
+lib/drivers/driver_storage.ml: Device Driver_common Ir Layout List Stdlib Tk_isa Tk_kcc Tk_kernel

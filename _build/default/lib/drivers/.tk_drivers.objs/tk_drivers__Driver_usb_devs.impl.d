@@ -1,0 +1,1 @@
+lib/drivers/driver_usb_devs.ml: Device Driver_common Ir Layout Stdlib Tk_isa Tk_kcc Tk_kernel

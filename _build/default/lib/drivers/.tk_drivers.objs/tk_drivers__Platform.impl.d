@@ -1,0 +1,1 @@
+lib/drivers/platform.ml: Device Dlib_src Driver_power Driver_storage Driver_usb_devs Driver_wifi Image Layout List Tk_kcc Tk_kernel Tk_machine

@@ -1,0 +1,190 @@
+(** Guest driver libraries (the paper's "driver libs" layer, Fig. 3a):
+    generic device polling, I2C transactions, DMA transfers, firmware
+    upload, USB port power, MMC host claiming, the common clock
+    framework. All translated under ARK; they call into kernel services
+    (udelay, mutexes, completions) that may divert to emulation. *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+module Dev = Device
+
+(* dev field loads: the device struct layout comes from the kernel Layout *)
+let dbase lay d = ldw (v d + int lay.Layout.dev_mmio)
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ (* bounded status poll: returns 1 when (STATUS & mask) = want *)
+    func "dev_wait_status" ~params:[ "dev"; "mask"; "want"; "spins" ]
+      ~locals:[ "base"; "s"; "i" ]
+      [ assign "base" (dbase lay "dev");
+        assign "i" (int 0);
+        while_ (v "i" < v "spins")
+          [ assign "s" (ldw (v "base" + int Dev.r_status));
+            if_ ((v "s" land v "mask") == v "want") [ ret (int 1) ] [];
+            expr (call "udelay" [ int 2 ]);
+            assign "i" (v "i" + int 1) ];
+        ret (int 0) ];
+    func "dev_cmd" ~params:[ "dev"; "c" ]
+      [ stw (dbase lay "dev" + int Dev.r_cmd) (v "c"); ret0 ];
+    (* long waits sleep between checks (Linux uses msleep beyond ~10us);
+       the CPU idles instead of spinning — the §2.1 idle epochs *)
+    func "dev_wait_done_sleep" ~params:[ "dev"; "ms_budget" ]
+      ~locals:[ "base"; "s"; "left" ]
+      [ assign "base" (dbase lay "dev");
+        assign "left" (v "ms_budget");
+        while_ (int 1)
+          [ assign "s" (ldw (v "base" + int Dev.r_status));
+            if_ ((v "s" land int 4) != int 0) [ ret (int 1) ] [];
+            if_ (v "left" == int 0) [ ret (int 0) ] [];
+            expr (call "msleep" [ int 1 ]);
+            assign "left" (v "left" - int 1) ];
+        ret (int 0) ];
+    (* device context save/verify: the compute-heavy part of real
+       suspend/resume paths (descriptor walks, register caches,
+       checksums) — translated code, the DBT's bread and butter *)
+    func "dev_state_hash" ~params:[ "dev"; "buf"; "words"; "passes" ]
+      ~locals:[ "i"; "p"; "acc" ]
+      [ assign "acc" (int 0x9E3779B9);
+        assign "p" (int 0);
+        while_ (v "p" < v "passes")
+          [ assign "i" (int 0);
+            while_ (v "i" < v "words")
+              [ assign "acc"
+                  ((v "acc" + ldw (v "buf" + (v "i" lsl int 2)))
+                  lxor (v "acc" lsr int 7));
+                if_ ((v "i" land int 3) == int 0)
+                  [ stw (v "buf" + (v "i" lsl int 2)) (v "acc") ]
+                  [];
+                assign "i" (v "i" + int 1) ];
+            assign "p" (v "p" + int 1) ];
+        stw (dbase lay "dev" + int Dev.r_scratch + int 28) (v "acc");
+        ret (v "acc") ];
+    func "dev_irq_enable" ~params:[ "dev"; "on" ]
+      [ stw (dbase lay "dev" + int Dev.r_irq_en) (v "on"); ret0 ];
+    (* I2C-style configuration transaction against a slow bus *)
+    func "i2c_write" ~params:[ "dev"; "reg"; "val" ] ~locals:[ "base"; "ok" ]
+      [ assign "base" (dbase lay "dev");
+        stw (v "base" + int Dev.r_scratch + ((v "reg" land int 7) lsl int 2))
+          (v "val");
+        expr (call "dev_cmd" [ v "dev"; int 4 ]);
+        assign "ok" (call "dev_wait_status" [ v "dev"; int 2; int 0; int 400 ]);
+        expr (call "dev_cmd" [ v "dev"; int 3 ]);
+        ret (v "ok") ];
+    (* polled DMA transfer; dir 1 = mem->dev, 2 = dev->mem *)
+    func "dma_xfer_poll" ~params:[ "dev"; "addr"; "len"; "dir" ]
+      ~locals:[ "base"; "ok" ]
+      [ assign "base" (dbase lay "dev");
+        if_ (v "dir" == int 1)
+          [ stw (v "base" + int Dev.r_dma_src) (v "addr") ]
+          [ stw (v "base" + int Dev.r_dma_dst) (v "addr") ];
+        stw (v "base" + int Dev.r_dma_len) (v "len");
+        stw (v "base" + int Dev.r_dma_ctrl) (v "dir");
+        assign "ok"
+          (call "dev_wait_status" [ v "dev"; int 0x20; int 0x20; int 4000 ]);
+        expr (call "dev_cmd" [ v "dev"; int 3 ]);
+        ret (v "ok") ];
+    (* IRQ-completed DMA: waits on the device's own completion
+       ([dev_priv]), signalled by its (threaded) IRQ handler *)
+    func "dma_xfer_irq" ~params:[ "dev"; "addr"; "len"; "dir" ]
+      ~locals:[ "base" ]
+      [ assign "base" (dbase lay "dev");
+        if_ (v "dir" == int 1)
+          [ stw (v "base" + int Dev.r_dma_src) (v "addr") ]
+          [ stw (v "base" + int Dev.r_dma_dst) (v "addr") ];
+        stw (v "base" + int Dev.r_dma_len) (v "len");
+        stw (v "base" + int Dev.r_dma_ctrl) (v "dir");
+        ret
+          (call "wait_for_completion_timeout"
+             [ ldw (v "dev" + int lay.Layout.dev_priv); int 40 ]) ];
+    (* firmware upload through the FIFO, memory-intensive (§4.5) *)
+    func "fw_upload" ~params:[ "dev"; "blob"; "words" ]
+      ~locals:[ "base"; "i"; "w"; "chunk" ]
+      [ assign "base" (dbase lay "dev");
+        (* stage through a freshly allocated bounce buffer, 64B chunks *)
+        assign "chunk" (call "kmalloc" [ int 64 ]);
+        if_ (v "chunk" == int 0) [ ret (int 0) ] [];
+        assign "i" (int 0);
+        while_ (v "i" < v "words")
+          [ if_ ((v "i" land int 15) == int 0)
+              [ expr (call "memcpy" [ v "chunk"; v "blob" + (v "i" lsl int 2);
+                                      int 64 ]) ]
+              [];
+            while_ (ldw (v "base" + int Dev.r_fifo_space) == int 0)
+              [ expr (call "udelay" [ int 1 ]) ];
+            assign "w" (ldw (v "chunk" + ((v "i" land int 15) lsl int 2)));
+            stw (v "base" + int Dev.r_fifo) (v "w");
+            assign "i" (v "i" + int 1) ];
+        expr (call "kfree" [ v "chunk" ]);
+        (* firmware boot completion arrives by interrupt *)
+        ret
+          (call "wait_for_completion_timeout"
+             [ ldw (v "dev" + int lay.Layout.dev_priv); int 8 ]) ];
+    (* USB core: port power management with endpoint quiescing *)
+    func "usb_port_suspend" ~params:[ "dev" ]
+      ~locals:[ "base"; "ep"; "s"; "ok" ]
+      [ expr (call "mutex_lock" [ glob "usb_mutex" ]);
+        assign "base" (dbase lay "dev");
+        (* quiesce endpoints: control-heavy little state machine *)
+        assign "ep" (int 0);
+        while_ (v "ep" < int 4)
+          [ assign "s" (ldw (v "base" + int Dev.r_scratch + (v "ep" lsl int 2)));
+            if_ ((v "s" land int 1) != int 0)
+              [ (* active endpoint: request halt, spin briefly *)
+                stw (v "base" + int Dev.r_scratch + (v "ep" lsl int 2))
+                  (v "s" lor int 2);
+                expr (call "udelay" [ int 1 ]) ]
+              [ if_ ((v "s" land int 4) != int 0)
+                  [ stw (v "base" + int Dev.r_scratch + (v "ep" lsl int 2))
+                      (int 0) ]
+                  [] ];
+            assign "ep" (v "ep" + int 1) ];
+        expr (call "dev_cmd" [ v "dev"; int 1 ]);
+        assign "ok" (call "dev_wait_done_sleep" [ v "dev"; int 5 ]);
+        expr (call "dev_cmd" [ v "dev"; int 3 ]);
+        expr (call "mutex_unlock" [ glob "usb_mutex" ]);
+        ret (v "ok") ];
+    func "usb_port_resume" ~params:[ "dev" ] ~locals:[ "base"; "ep"; "ok" ]
+      [ expr (call "mutex_lock" [ glob "usb_mutex" ]);
+        assign "base" (dbase lay "dev");
+        expr (call "dev_cmd" [ v "dev"; int 2 ]);
+        assign "ok" (call "dev_wait_done_sleep" [ v "dev"; int 8 ]);
+        expr (call "dev_cmd" [ v "dev"; int 3 ]);
+        (* re-arm endpoints *)
+        assign "ep" (int 0);
+        while_ (v "ep" < int 4)
+          [ stw (v "base" + int Dev.r_scratch + (v "ep" lsl int 2)) (int 1);
+            expr (call "udelay" [ int 1 ]);
+            assign "ep" (v "ep" + int 1) ];
+        expr (call "mutex_unlock" [ glob "usb_mutex" ]);
+        ret (v "ok") ];
+    (* MMC core: host claiming *)
+    func "mmc_claim_host" [ expr (call "mutex_lock" [ glob "mmc_mutex" ]); ret0 ];
+    func "mmc_release_host"
+      [ expr (call "mutex_unlock" [ glob "mmc_mutex" ]); ret0 ];
+    (* common clock framework: refcounted gates behind a mutex (§4.4's
+       clk mutex example) *)
+    func "clk_disable" ~params:[ "id" ] ~locals:[ "p"; "c" ]
+      [ expr (call "mutex_lock" [ glob "clk_mutex" ]);
+        assign "p" (glob "clk_refcnt" + ((v "id" land int 7) lsl int 2));
+        assign "c" (ldw (v "p") - int 1);
+        stw (v "p") (v "c");
+        if_ (v "c" == int 0) [ expr (call "udelay" [ int 4 ]) ] [];
+        expr (call "mutex_unlock" [ glob "clk_mutex" ]);
+        ret0 ];
+    func "clk_enable" ~params:[ "id" ] ~locals:[ "p"; "c" ]
+      [ expr (call "mutex_lock" [ glob "clk_mutex" ]);
+        assign "p" (glob "clk_refcnt" + ((v "id" land int 7) lsl int 2));
+        assign "c" (ldw (v "p") + int 1);
+        stw (v "p") (v "c");
+        if_ (v "c" == int 1)
+          [ (* gate ungating + PLL relock *)
+            expr (call "udelay" [ int 6 ]) ]
+          [];
+        expr (call "mutex_unlock" [ glob "clk_mutex" ]);
+        ret0 ] ]
+
+let data (lay : Layout.t) : Tk_isa.Asm.datum list =
+  [ Tk_isa.Asm.data "usb_mutex" lay.Layout.mtx_size;
+    Tk_isa.Asm.data "mmc_mutex" lay.Layout.mtx_size;
+    Tk_isa.Asm.data "clk_mutex" lay.Layout.mtx_size;
+    Tk_isa.Asm.data ~words:[ 1; 1; 1; 1; 1; 1; 1; 1 ] "clk_refcnt" 32 ]

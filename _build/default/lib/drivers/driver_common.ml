@@ -1,0 +1,43 @@
+(** Shared scaffolding for the guest drivers: device-struct instances and
+    their init/registration functions. *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+
+(** Builds "<name>_init": fills the device struct, registers the IRQ
+    handler (optionally threaded) and the device with the PM core, and
+    enables the device's IRQ line. [priv] names a datum stored in
+    [dev_priv] (usually the driver's completion). *)
+let init_func (lay : Layout.t) ~name ~index ?(flags = 0) ?handler ?thread_fn
+    ?priv ?(extra = []) () : Ir.func =
+  let dev = "dev_" ^ name in
+  let irq_line = Tk_machine.Soc.dev_irq index in
+  func (name ^ "_init") ~locals:[ "d" ]
+    ([ assign "d" (glob dev);
+       stw (v "d" + int lay.dev_mmio) (int (Tk_machine.Soc.dev_base index));
+       stw (v "d" + int lay.dev_irq) (int irq_line);
+       stw (v "d" + int lay.dev_suspend) (glob (name ^ "_suspend"));
+       stw (v "d" + int lay.dev_resume) (glob (name ^ "_resume"));
+       stw (v "d" + int lay.dev_flags) (int flags);
+       stw (v "d" + int lay.dev_state) (int 1);
+       (match priv with
+       | Some p -> stw (v "d" + int lay.dev_priv) (glob p)
+       | None -> stw (v "d" + int lay.dev_priv) (int 0)) ]
+    @ (match handler with
+      | Some h ->
+        [ expr
+            (call "request_irq"
+               [ int irq_line; glob h;
+                 (match thread_fn with Some t -> glob t | None -> int 0);
+                 v "d" ]);
+          expr (call "dev_irq_enable" [ v "d"; int 1 ]) ]
+      | None -> [])
+    @ extra
+    @ [ expr (call "device_register" [ v "d" ]); ret0 ])
+
+(** Device struct + completion data for a driver. *)
+let dev_data (lay : Layout.t) ~name ?(completion = false) () =
+  Tk_isa.Asm.data ("dev_" ^ name) lay.dev_size
+  :: (if completion then [ Tk_isa.Asm.data (name ^ "_done") lay.cmp_size ]
+      else [])

@@ -1,0 +1,66 @@
+(** The PMIC regulator (TWL6030-like), behind a slow I2C bus.
+
+    Exercises threaded IRQ: each configuration transaction completes by
+    interrupt, acknowledged in the threaded handler; voltage ramps add
+    [udelay] busy-waits bound by physics, not CPU speed (§2.1). *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+module Dev = Device
+
+let reg_index = 4
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ func "reg_irq_handler" ~params:[ "line"; "d" ] ~locals:[ "s" ]
+      [ assign "s" (ldw (ldw (v "d" + int lay.dev_mmio) + int Dev.r_status));
+        if_ ((v "s" land int 4) != int 0)
+          [ ret (int Layout.irq_wake_thread) ]
+          [ ret (int Layout.irq_none) ] ];
+    func "reg_irq_thread" ~params:[ "line"; "d" ]
+      [ expr (call "dev_cmd" [ v "d"; int 3 ]);
+        expr (call "complete" [ ldw (v "d" + int lay.dev_priv) ]);
+        ret (int Layout.irq_handled) ];
+    (* one IRQ-completed I2C transaction *)
+    func "reg_i2c_txn" ~params:[ "d"; "reg"; "val" ] ~locals:[ "base"; "ok" ]
+      [ assign "base" (ldw (v "d" + int lay.dev_mmio));
+        stw (v "base" + int Dev.r_scratch + ((v "reg" land int 7) lsl int 2))
+          (v "val");
+        expr (call "dev_cmd" [ v "d"; int 4 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 10 ]);
+        ret (v "ok") ];
+    func "reg_suspend" ~params:[ "d" ] ~locals:[ "ok" ]
+      [ (* program sleep voltages for the two rails we own *)
+        assign "ok" (call "reg_i2c_txn" [ v "d"; int 1; int 0x0A ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x2E0 ]); ret (Neg (int 1)) ]
+          [];
+        assign "ok" (call "reg_i2c_txn" [ v "d"; int 2; int 0x0A ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x2E1 ]); ret (Neg (int 1)) ]
+          [];
+        expr (call "dev_state_hash" [ v "d"; glob "reg_hashbuf"; int 256; int 1 ]);
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "reg_resume" ~params:[ "d" ] ~locals:[ "ok"; "rail" ]
+      [ assign "rail" (int 1);
+        while_ (v "rail" <= int 4)
+          [ assign "ok" (call "reg_i2c_txn" [ v "d"; v "rail"; int 0x3C ]);
+            if_ (v "ok" == int 0)
+              [ expr (call "warn" [ int 0x2E2 ]); ret (Neg (int 1)) ]
+              [];
+            (* voltage ramp-up time *)
+            expr (call "udelay" [ int 10 ]);
+            assign "rail" (v "rail" + int 1) ];
+        expr (call "dev_state_hash" [ v "d"; glob "reg_hashbuf"; int 256; int 1 ]);
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    Driver_common.init_func lay ~name:"reg" ~index:reg_index
+      ~handler:"reg_irq_handler" ~thread_fn:"reg_irq_thread" ~priv:"reg_done"
+      () ]
+
+let data (lay : Layout.t) : Tk_isa.Asm.datum list =
+  Driver_common.dev_data lay ~name:"reg" ~completion:true ()
+  @ [ Tk_isa.Asm.data "reg_hashbuf" 1024 ]

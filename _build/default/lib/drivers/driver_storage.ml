@@ -1,0 +1,185 @@
+(** Storage drivers: SD card, USB flash drive, MMC host controller.
+
+    Per the paper's §7.1 service matrix: SD exercises slab + threaded
+    IRQ; Flash exercises deferred work + slab + DMA (through the USB
+    core); the MMC controller exercises deferred work + slab + the MMC
+    host mutex + the clock framework. *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+module Dev = Device
+
+let sd_index = 0
+let flash_index = 1
+let mmc_index = 2
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let wa = lay.work_arg in
+  [ (* ------------------------------ SD ----------------------------- *)
+    func "sd_irq_handler" ~params:[ "line"; "d" ] ~locals:[ "s" ]
+      [ assign "s" (ldw (ldw (v "d" + int lay.dev_mmio) + int Dev.r_status));
+        if_ ((v "s" land int 0x64) != int 0)
+          [ ret (int Layout.irq_wake_thread) ]
+          [ ret (int Layout.irq_none) ] ];
+    func "sd_irq_thread" ~params:[ "line"; "d" ]
+      [ expr (call "dev_cmd" [ v "d"; int 3 ]);
+        expr (call "complete" [ ldw (v "d" + int lay.dev_priv) ]);
+        ret (int Layout.irq_handled) ];
+    func "sd_suspend" ~params:[ "d" ] ~locals:[ "buf"; "acc"; "j"; "base"; "ok" ]
+      [ assign "base" (ldw (v "d" + int lay.dev_mmio));
+        (* sync "cached blocks": checksum the block cache through a slab
+           bounce buffer, hand the digest to the card *)
+        assign "buf" (call "kmalloc" [ int 512 ]);
+        if_ (v "buf" == int 0)
+          [ expr (call "warn" [ int 0x5D0 ]); ret (Neg (int 1)) ]
+          [];
+        expr (call "memcpy" [ v "buf"; glob "sd_cache"; int 512 ]);
+        assign "acc" (int 0);
+        assign "j" (int 0);
+        while_ (v "j" < int 128)
+          [ assign "acc" (v "acc" lxor ldw (v "buf" + (v "j" lsl int 2)));
+            assign "j" (v "j" + int 1) ];
+        stw (v "base" + int Dev.r_scratch + int 4) (v "acc");
+        expr (call "kfree" [ v "buf" ]);
+        expr (call "dev_state_hash" [ v "d"; glob "sd_hashbuf"; int 4096; int 1 ]);
+        expr (call "dev_cmd" [ v "d"; int 1 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 10 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x5D1 ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "sd_resume" ~params:[ "d" ] ~locals:[ "ok" ]
+      [ expr (call "dev_state_hash" [ v "d"; glob "sd_hashbuf"; int 4096; int 1 ]);
+        expr (call "dev_cmd" [ v "d"; int 2 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 15 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x5D2 ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    Driver_common.init_func lay ~name:"sd" ~index:sd_index
+      ~handler:"sd_irq_handler" ~thread_fn:"sd_irq_thread" ~priv:"sd_done" ();
+    (* ----------------------------- Flash --------------------------- *)
+    (* deferred flush: runs on the system workqueue *)
+    func "flash_flush_work" ~params:[ "work" ] ~locals:[ "d"; "buf" ]
+      [ assign "d" (ldw (v "work" + int wa));
+        assign "buf" (call "kmalloc" [ int 1024 ]);
+        if_ (v "buf" != int 0)
+          [ expr (call "memset" [ v "buf"; int 0xA5; int 1024 ]);
+            expr (call "dma_xfer_poll" [ v "d"; v "buf"; int 1024; int 1 ]);
+            expr (call "kfree" [ v "buf" ]) ]
+          [];
+        expr (call "complete" [ glob "flash_flush_done" ]);
+        ret0 ];
+    func "flash_suspend" ~params:[ "d" ] ~locals:[ "ok" ]
+      [ expr (call "queue_work_on" [ int 0; glob "system_wq"; glob "flash_work" ]);
+        assign "ok"
+          (call "wait_for_completion_timeout" [ glob "flash_flush_done"; int 30 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0xF1A ]); ret (Neg (int 1)) ]
+          [];
+        assign "ok" (call "usb_port_suspend" [ v "d" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0xF1B ]); ret (Neg (int 1)) ]
+          [];
+        expr (call "dev_state_hash" [ v "d"; glob "flash_hashbuf"; int 4096; int 1 ]);
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "flash_resume" ~params:[ "d" ] ~locals:[ "ok"; "buf" ]
+      [ assign "ok" (call "usb_port_resume" [ v "d" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0xF1C ]); ret (Neg (int 1)) ]
+          [];
+        (* re-read the FAT cache *)
+        assign "buf" (call "kmalloc" [ int 1024 ]);
+        if_ (v "buf" != int 0)
+          [ expr (call "dma_xfer_poll" [ v "d"; v "buf"; int 1024; int 2 ]);
+            expr (call "kfree" [ v "buf" ]) ]
+          [];
+        expr (call "dev_state_hash" [ v "d"; glob "flash_hashbuf"; int 4096; int 1 ]);
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    Driver_common.init_func lay ~name:"flash" ~index:flash_index
+      ~extra:
+        [ stw (glob "flash_work" + int lay.work_fn) (glob "flash_flush_work");
+          stw (glob "flash_work" + int wa) (v "d") ]
+      ();
+    (* --------------------------- MMC host -------------------------- *)
+    func "mmc_irq_handler" ~params:[ "line"; "d" ] ~locals:[ "s" ]
+      [ assign "s" (ldw (ldw (v "d" + int lay.dev_mmio) + int Dev.r_status));
+        if_ ((v "s" land int 4) != int 0)
+          [ expr (call "dev_cmd" [ v "d"; int 3 ]);
+            expr (call "complete" [ ldw (v "d" + int lay.dev_priv) ]);
+            ret (int Layout.irq_handled) ]
+          [ ret (int Layout.irq_none) ] ];
+    (* background request retirement, cancelled at suspend *)
+    func "mmc_bg_work" ~params:[ "work" ] ~locals:[ "d"; "req" ]
+      [ assign "d" (ldw (v "work" + int wa));
+        assign "req" (call "kmalloc" [ int 96 ]);
+        if_ (v "req" != int 0)
+          [ stw (v "req") (int 0x4D4D43);
+            expr (call "kfree" [ v "req" ]) ]
+          [];
+        ret0 ];
+    func "mmc_suspend" ~params:[ "d" ] ~locals:[ "req"; "ok" ]
+      [ (* clean up pending IO before powering down (§2.1) *)
+        expr (call "cancel_work" [ glob "system_wq"; glob "mmc_work" ]);
+        expr (call "mmc_claim_host" []);
+        assign "req" (call "kmalloc" [ int 64 ]);
+        expr (call "dev_cmd" [ v "d"; int 1 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 10 ]);
+        expr (call "kfree" [ v "req" ]);
+        expr (call "dev_state_hash" [ v "d"; glob "mmc_hashbuf"; int 2048; int 1 ]);
+        expr (call "clk_disable" [ int 2 ]);
+        expr (call "mmc_release_host" []);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x33C ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "mmc_resume" ~params:[ "d" ] ~locals:[ "ok" ]
+      [ expr (call "mmc_claim_host" []);
+        expr (call "clk_enable" [ int 2 ]);
+        expr (call "dev_cmd" [ v "d"; int 2 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 15 ]);
+        expr (call "dev_state_hash" [ v "d"; glob "mmc_hashbuf"; int 2048; int 1 ]);
+        (* restart background retirement *)
+        expr (call "queue_work_on" [ int 0; glob "system_wq"; glob "mmc_work" ]);
+        expr (call "mmc_release_host" []);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x33D ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    Driver_common.init_func lay ~name:"mmc" ~index:mmc_index
+      ~handler:"mmc_irq_handler" ~priv:"mmc_done"
+      ~extra:
+        [ stw (glob "mmc_work" + int lay.work_fn) (glob "mmc_bg_work");
+          stw (glob "mmc_work" + int wa) (v "d") ]
+      () ]
+
+let data (lay : Layout.t) : Tk_isa.Asm.datum list =
+  let cache_words =
+    List.init 128 (fun i ->
+        Stdlib.( land ) (Stdlib.( * ) i 2654435761) 0xFFFFFFFF)
+  in
+  Driver_common.dev_data lay ~name:"sd" ~completion:true ()
+  @ Driver_common.dev_data lay ~name:"flash" ()
+  @ Driver_common.dev_data lay ~name:"mmc" ~completion:true ()
+  @ [ Tk_isa.Asm.data ~words:cache_words "sd_cache" 512;
+      Tk_isa.Asm.data "sd_hashbuf" 16384;
+      Tk_isa.Asm.data "flash_hashbuf" 16384;
+      Tk_isa.Asm.data "mmc_hashbuf" 16384;
+      Tk_isa.Asm.data "flash_work" lay.work_size;
+      Tk_isa.Asm.data "flash_flush_done" lay.cmp_size;
+      Tk_isa.Asm.data "mmc_work" lay.work_size ]

@@ -1,0 +1,186 @@
+(** The USB host controller and its attached input devices (keyboard,
+    camera, Bluetooth adapter).
+
+    The controller's suspend/resume is the control-heaviest path of the
+    benchmark — dense branches over port state, exactly why USB shows the
+    highest DBT overhead in Figure 6. The attached devices exercise the
+    USB core (port power), deferred work, slab and DMA draining. *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+module Dev = Device
+
+let usb_index = 3
+let kb_index = 5
+let cam_index = 6
+let bt_index = 7
+
+(* A generic USB function device: drain its transfer ring via DMA from a
+   deferred workitem, then port-suspend; mirrored on resume. *)
+let usb_function_driver (lay : Layout.t) ~name ~drain_bytes ~warn_base
+    ~hash_words ~hash_passes =
+  let wa = lay.work_arg in
+  [ func (name ^ "_drain_work") ~params:[ "work" ] ~locals:[ "d"; "buf" ]
+      [ assign "d" (ldw (v "work" + int wa));
+        assign "buf" (call "kmalloc" [ int drain_bytes ]);
+        if_ (v "buf" != int 0)
+          [ (* pull pending reports/frames out of the ring *)
+            expr (call "dma_xfer_poll" [ v "d"; v "buf"; int drain_bytes; int 2 ]);
+            expr (call "kfree" [ v "buf" ]) ]
+          [];
+        expr (call "complete" [ glob (name ^ "_drained") ]);
+        ret0 ];
+    func (name ^ "_suspend") ~params:[ "d" ] ~locals:[ "ok" ]
+      [ expr (call "queue_work_on" [ int 0; glob "system_wq"; glob (name ^ "_work") ]);
+        assign "ok"
+          (call "wait_for_completion_timeout" [ glob (name ^ "_drained"); int 30 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int warn_base ]); ret (Neg (int 1)) ]
+          [];
+        assign "ok" (call "usb_port_suspend" [ v "d" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int (Stdlib.( + ) warn_base 1) ]);
+            ret (Neg (int 1)) ]
+          [];
+        expr (call "dev_state_hash"
+                [ v "d"; glob (name ^ "_hashbuf"); int hash_words;
+                  int hash_passes ]);
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func (name ^ "_resume") ~params:[ "d" ] ~locals:[ "ok" ]
+      [ assign "ok" (call "usb_port_resume" [ v "d" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int (Stdlib.( + ) warn_base 2) ]);
+            ret (Neg (int 1)) ]
+          [];
+        expr (call "dev_state_hash"
+                [ v "d"; glob (name ^ "_hashbuf"); int hash_words;
+                  int hash_passes ]);
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ] ]
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let wa = lay.work_arg in
+  [ (* ------------------------ USB host controller ------------------- *)
+    (* hub status walk: per-port nested decisions, branch-dense *)
+    func "usb_hub_quiesce" ~params:[ "d" ]
+      ~locals:[ "base"; "port"; "s"; "changes" ]
+      [ assign "base" (ldw (v "d" + int lay.dev_mmio));
+        assign "changes" (int 0);
+        assign "port" (int 0);
+        while_ (v "port" < int 4)
+          [ assign "s"
+              (ldw (v "base" + int Dev.r_scratch
+                   + ((v "port" land int 7) lsl int 2)));
+            if_ ((v "s" land int 1) != int 0)
+              [ if_ ((v "s" land int 2) != int 0)
+                  [ (* enabled + connected: signal selective suspend *)
+                    stw (v "base" + int Dev.r_scratch
+                        + ((v "port" land int 7) lsl int 2))
+                      (v "s" lor int 8);
+                    assign "changes" (v "changes" + int 1) ]
+                  [ (* connected, disabled: power the port down *)
+                    stw (v "base" + int Dev.r_scratch
+                        + ((v "port" land int 7) lsl int 2))
+                      (v "s" land int 0xF5);
+                    expr (call "udelay" [ int 1 ]) ] ]
+              [ if_ ((v "s" land int 4) != int 0)
+                  [ (* overcurrent latched: clear and log *)
+                    stw (v "base" + int Dev.r_scratch
+                        + ((v "port" land int 7) lsl int 2))
+                      (int 0);
+                    expr (call "syslog" [ v "port" ]) ]
+                  [] ];
+            assign "port" (v "port" + int 1) ];
+        ret (v "changes") ];
+    func "usb_suspend" ~params:[ "d" ] ~locals:[ "ok"; "tries" ]
+      [ expr (call "cancel_work" [ glob "system_wq"; glob "usb_work" ]);
+        expr (call "mutex_lock" [ glob "usb_mutex" ]);
+        (* quiesce until the hub reports no more active ports *)
+        assign "tries" (int 0);
+        while_ (v "tries" < int 4)
+          [ if_ (call "usb_hub_quiesce" [ v "d" ] == int 0) [ Break ] [];
+            expr (call "msleep" [ int 1 ]);
+            assign "tries" (v "tries" + int 1) ];
+        expr (call "dev_state_hash" [ v "d"; glob "usb_hashbuf"; int 4096; int 2 ]);
+        expr (call "dev_cmd" [ v "d"; int 1 ]);
+        assign "ok" (call "dev_wait_done_sleep" [ v "d"; int 6 ]);
+        expr (call "dev_cmd" [ v "d"; int 3 ]);
+        expr (call "clk_disable" [ int 3 ]);
+        expr (call "mutex_unlock" [ glob "usb_mutex" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x0B0 ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "usb_resume" ~params:[ "d" ] ~locals:[ "ok"; "port"; "base" ]
+      [ expr (call "mutex_lock" [ glob "usb_mutex" ]);
+        expr (call "clk_enable" [ int 3 ]);
+        expr (call "dev_cmd" [ v "d"; int 2 ]);
+        assign "ok" (call "dev_wait_done_sleep" [ v "d"; int 10 ]);
+        expr (call "dev_cmd" [ v "d"; int 3 ]);
+        (* re-enumerate ports *)
+        assign "base" (ldw (v "d" + int lay.dev_mmio));
+        assign "port" (int 0);
+        while_ (v "port" < int 4)
+          [ stw (v "base" + int Dev.r_scratch + ((v "port" land int 7) lsl int 2))
+              (int 3);
+            expr (call "udelay" [ int 2 ]);
+            assign "port" (v "port" + int 1) ];
+        expr (call "dev_state_hash" [ v "d"; glob "usb_hashbuf"; int 4096; int 2 ]);
+        (* restart hub status polling *)
+        expr (call "queue_work_on" [ int 0; glob "system_wq"; glob "usb_work" ]);
+        expr (call "mutex_unlock" [ glob "usb_mutex" ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x0B1 ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    func "usb_hub_work" ~params:[ "work" ] ~locals:[ "d" ]
+      [ assign "d" (ldw (v "work" + int wa));
+        expr (call "usb_hub_quiesce" [ v "d" ]);
+        ret0 ];
+    Driver_common.init_func lay ~name:"usb" ~index:usb_index
+      ~extra:
+        [ stw (glob "usb_work" + int lay.work_fn) (glob "usb_hub_work");
+          stw (glob "usb_work" + int wa) (v "d") ]
+      () ]
+  @ usb_function_driver lay ~name:"kb" ~drain_bytes:256 ~warn_base:0x6B0
+      ~hash_words:2048 ~hash_passes:1
+  @ [ Driver_common.init_func lay ~name:"kb" ~index:kb_index
+        ~extra:
+          [ stw (glob "kb_work" + int lay.work_fn) (glob "kb_drain_work");
+            stw (glob "kb_work" + int wa) (v "d") ]
+        () ]
+  @ usb_function_driver lay ~name:"cam" ~drain_bytes:2048 ~warn_base:0xCA0
+      ~hash_words:4096 ~hash_passes:1
+  @ [ Driver_common.init_func lay ~name:"cam" ~index:cam_index
+        ~extra:
+          [ stw (glob "cam_work" + int lay.work_fn) (glob "cam_drain_work");
+            stw (glob "cam_work" + int wa) (v "d") ]
+        () ]
+  @ usb_function_driver lay ~name:"bt" ~drain_bytes:512 ~warn_base:0xB70
+      ~hash_words:2048 ~hash_passes:1
+  @ [ Driver_common.init_func lay ~name:"bt" ~index:bt_index
+        ~extra:
+          [ stw (glob "bt_work" + int lay.work_fn) (glob "bt_drain_work");
+            stw (glob "bt_work" + int wa) (v "d") ]
+        () ]
+
+let data (lay : Layout.t) : Tk_isa.Asm.datum list =
+  Driver_common.dev_data lay ~name:"usb" ()
+  @ Driver_common.dev_data lay ~name:"kb" ()
+  @ Driver_common.dev_data lay ~name:"cam" ()
+  @ Driver_common.dev_data lay ~name:"bt" ()
+  @ [ Tk_isa.Asm.data "usb_hashbuf" 16384;
+      Tk_isa.Asm.data "kb_hashbuf" 16384;
+      Tk_isa.Asm.data "cam_hashbuf" 16384;
+      Tk_isa.Asm.data "bt_hashbuf" 16384;
+      Tk_isa.Asm.data "usb_work" lay.work_size;
+      Tk_isa.Asm.data "kb_work" lay.work_size;
+      Tk_isa.Asm.data "kb_drained" lay.cmp_size;
+      Tk_isa.Asm.data "cam_work" lay.work_size;
+      Tk_isa.Asm.data "cam_drained" lay.cmp_size;
+      Tk_isa.Asm.data "bt_work" lay.work_size;
+      Tk_isa.Asm.data "bt_drained" lay.cmp_size ]

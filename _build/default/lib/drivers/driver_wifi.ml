@@ -1,0 +1,143 @@
+(** The WiFi NIC (TI WL1251-like): the richest driver of the benchmark.
+
+    Exercises everything at once, as the paper's WiFi does (§7.1): slab
+    (packet buffers), softirq (RX drain tasklet), DMA (TX ring flush),
+    threaded IRQ (command completion), its own workqueue (scan work) and
+    firmware upload on resume. Its resume is also the fault-injection
+    point: a wedged firmware never answers the power-on command, the
+    driver times out and WARNs — the cold path that makes ARK fall back
+    to the CPU (§7.3 observed exactly this in 4/1000 runs). *)
+
+open Tk_kernel
+open Tk_kcc
+open Ir
+module Dev = Device
+
+let wifi_index = 8
+let fw_words = 512  (* 2 KiB firmware image *)
+let n_pkts = 8
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let wa = lay.work_arg in
+  [ func "wifi_irq_handler" ~params:[ "line"; "d" ] ~locals:[ "s" ]
+      [ assign "s" (ldw (ldw (v "d" + int lay.dev_mmio) + int Dev.r_status));
+        if_ ((v "s" land int 0x64) != int 0)
+          [ ret (int Layout.irq_wake_thread) ]
+          [ ret (int Layout.irq_none) ] ];
+    func "wifi_irq_thread" ~params:[ "line"; "d" ]
+      [ expr (call "dev_cmd" [ v "d"; int 3 ]);
+        expr (call "complete" [ ldw (v "d" + int lay.dev_priv) ]);
+        ret (int Layout.irq_handled) ];
+    (* softirq: free pending RX packet buffers *)
+    func "wifi_rx_tasklet" ~params:[ "arg" ] ~locals:[ "i"; "p" ]
+      [ assign "i" (int 0);
+        while_ (v "i" < int n_pkts)
+          [ assign "p" (ldw (glob "wifi_pkts" + (v "i" lsl int 2)));
+            if_ (v "p" != int 0)
+              [ expr (call "kfree" [ v "p" ]);
+                stw (glob "wifi_pkts" + (v "i" lsl int 2)) (int 0) ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        expr (call "complete" [ glob "wifi_drained" ]);
+        ret0 ];
+    (* periodic scan work on the driver's own workqueue *)
+    func "wifi_scan_work" ~params:[ "work" ] ~locals:[ "d"; "buf"; "j"; "acc" ]
+      [ assign "d" (ldw (v "work" + int wa));
+        assign "buf" (call "kmalloc" [ int 256 ]);
+        if_ (v "buf" != int 0)
+          [ assign "acc" (int 0);
+            assign "j" (int 0);
+            while_ (v "j" < int 32)
+              [ stw (v "buf" + (v "j" lsl int 2)) (v "acc");
+                assign "acc" ((v "acc" + v "j") lxor (v "acc" lsr int 5));
+                assign "j" (v "j" + int 1) ];
+            expr (call "kfree" [ v "buf" ]) ]
+          [];
+        ret0 ];
+    (* pre-suspend traffic: allocate pending RX packets (called by the
+       harness before the ephemeral task sleeps, so the drain happens on
+       the offloaded side — "freeing pending WiFi packets", §4.3) *)
+    func "wifi_prepare_traffic" ~locals:[ "i"; "p" ]
+      [ assign "i" (int 0);
+        while_ (v "i" < int n_pkts)
+          [ assign "p" (call "kmalloc" [ int 128 ]);
+            if_ (v "p" != int 0)
+              [ stw (v "p") (v "i");
+                stw (glob "wifi_pkts" + (v "i" lsl int 2)) (v "p") ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        expr (call "queue_work_on" [ int 0; glob "wifi_wq"; glob "wifi_scan" ]);
+        ret0 ];
+    func "wifi_suspend" ~params:[ "d" ] ~locals:[ "ok"; "buf" ]
+      [ (* drain RX through the softirq path *)
+        expr (call "tasklet_schedule" [ glob "wifi_tasklet" ]);
+        assign "ok"
+          (call "wait_for_completion_timeout" [ glob "wifi_drained"; int 10 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x3F0 ]); ret (Neg (int 1)) ]
+          [];
+        expr (call "cancel_work" [ glob "wifi_wq"; glob "wifi_scan" ]);
+        (* flush the TX ring to the device *)
+        assign "buf" (call "kmalloc" [ int 2048 ]);
+        if_ (v "buf" != int 0)
+          [ expr (call "memset" [ v "buf"; int 0x7E; int 2048 ]);
+            (* completion signalled through the threaded IRQ *)
+            expr (call "dma_xfer_irq" [ v "d"; v "buf"; int 2048; int 1 ]);
+            expr (call "kfree" [ v "buf" ]) ]
+          [];
+        expr (call "dev_state_hash"
+                [ v "d"; glob "wifi_hashbuf"; int 4096; int 2 ]);
+        expr (call "dev_cmd" [ v "d"; int 1 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 10 ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x3F1 ]); ret (Neg (int 1)) ]
+          [];
+        stw (v "d" + int lay.dev_state) (int 0);
+        ret (int 0) ];
+    func "wifi_resume" ~params:[ "d" ] ~locals:[ "ok" ]
+      [ expr (call "dev_cmd" [ v "d"; int 2 ]);
+        assign "ok"
+          (call "wait_for_completion_timeout"
+             [ ldw (v "d" + int lay.dev_priv); int 20 ]);
+        if_ (v "ok" == int 0)
+          [ (* firmware did not respond to the power-on command — the
+               §7.3 glitch. Cancel this resume attempt and diagnose. *)
+            expr (call "warn" [ int 0x3F2 ]);
+            ret (Neg (int 1)) ]
+          [];
+        assign "ok" (call "fw_upload" [ v "d"; glob "wifi_fw"; int fw_words ]);
+        if_ (v "ok" == int 0)
+          [ expr (call "warn" [ int 0x3F3 ]); ret (Neg (int 1)) ]
+          [];
+        expr (call "dev_state_hash"
+                [ v "d"; glob "wifi_hashbuf"; int 4096; int 2 ]);
+        (* restart scanning *)
+        expr (call "queue_work_on" [ int 0; glob "wifi_wq"; glob "wifi_scan" ]);
+        stw (v "d" + int lay.dev_state) (int 1);
+        ret (int 0) ];
+    Driver_common.init_func lay ~name:"wifi" ~index:wifi_index
+      ~handler:"wifi_irq_handler" ~thread_fn:"wifi_irq_thread"
+      ~priv:"wifi_done"
+      ~extra:
+        [ stw (glob "wifi_tasklet" + int lay.tl_fn) (glob "wifi_rx_tasklet");
+          stw (glob "wifi_tasklet" + int lay.tl_arg) (v "d");
+          stw (glob "wifi_scan" + int lay.work_fn) (glob "wifi_scan_work");
+          stw (glob "wifi_scan" + int wa) (v "d") ]
+      () ]
+
+let data (lay : Layout.t) : Tk_isa.Asm.datum list =
+  let fw_blob =
+    List.init fw_words (fun i ->
+        Stdlib.( land )
+          (Stdlib.( + ) (Stdlib.( * ) i 0x01000193) 0x811C9DC5)
+          0xFFFFFFFF)
+  in
+  Driver_common.dev_data lay ~name:"wifi" ~completion:true ()
+  @ [ Tk_isa.Asm.data "wifi_tasklet" lay.tl_size;
+      Tk_isa.Asm.data "wifi_scan" lay.work_size;
+      Tk_isa.Asm.data "wifi_drained" lay.cmp_size;
+      Tk_isa.Asm.data "wifi_pkts" (Stdlib.( * ) n_pkts 4);
+      Tk_isa.Asm.data "wifi_hashbuf" 16384;
+      Tk_isa.Asm.data ~words:fw_blob "wifi_fw" (Stdlib.( * ) fw_words 4) ]

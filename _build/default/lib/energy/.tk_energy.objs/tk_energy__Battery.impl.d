@@ -1,0 +1,1 @@
+lib/energy/battery.ml: Power_model Tk_machine

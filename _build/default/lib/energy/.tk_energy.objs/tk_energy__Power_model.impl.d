@@ -1,0 +1,1 @@
+lib/energy/power_model.ml: Core Tk_machine

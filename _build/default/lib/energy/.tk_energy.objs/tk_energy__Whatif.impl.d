@@ -1,0 +1,1 @@
+lib/energy/whatif.ml: Core List Power_model Soc Tk_machine

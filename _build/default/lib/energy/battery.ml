@@ -1,0 +1,40 @@
+(** Battery-life projection (§7.4) and the big.LITTLE comparison.
+
+    The paper projects battery-life extension for ephemeral-task
+    workloads from [38]: a wakeup cycle spends fraction [susp_frac] of
+    its system energy in the kernel's suspend/resume, of which the
+    device phases — the part ARK offloads — are [phase_frac] (54% on
+    average per the §2.1 pilot study [92]); ARK reduces that slice to
+    [ark_rel]. Whole-cycle energy scales by
+    [1 - susp_frac*phase_frac*(1-ark_rel)] and battery life by its
+    inverse: 0.9 x 0.54 x 0.34 recovers the paper's 18%. *)
+
+(** [extension ~susp_frac ~ark_rel] — battery-life extension factor. *)
+let extension ?(phase_frac = 0.54) ~susp_frac ~ark_rel () =
+  1.0 /. (1.0 -. (susp_frac *. phase_frac *. (1.0 -. ark_rel))) -. 1.0
+
+(** [hours_per_day ext] — extra hours on a 24 h budget. *)
+let hours_per_day ext = 24.0 *. (1.0 -. (1.0 /. (1.0 +. ext)))
+
+(* ------------------------- big.LITTLE (§7.4) ------------------------ *)
+
+(** LITTLE-core parameters from the characterizations the paper cites:
+    40 mW idle [69], 1.3x the big core's energy efficiency at 70% of its
+    clock [47]; DRAM utilization favorably assumed equal to the big
+    core's. *)
+type little = { l_idle_mw : float; l_eff : float; l_clock_frac : float }
+
+let little_defaults = { l_idle_mw = 40.0; l_eff = 1.3; l_clock_frac = 0.7 }
+
+(** [little_relative ~a9 ~busy_ms ~idle_ms ~e_native] — energy of running
+    the same phase on a LITTLE core, relative to native-on-big. *)
+let little_relative ?(l = little_defaults) ~(a9 : Tk_machine.Core.params)
+    ~busy_ms ~idle_ms ~e_native_uj () =
+  let busy_l = busy_ms /. l.l_clock_frac in
+  let p_busy_l = a9.Tk_machine.Core.busy_mw *. l.l_clock_frac /. l.l_eff in
+  let e_little =
+    (busy_l *. (p_busy_l +. Power_model.p_mem_active_base_mw +. Power_model.p_io_mw))
+    +. (idle_ms
+       *. (l.l_idle_mw +. Power_model.p_mem_sr_mw +. Power_model.p_io_mw))
+  in
+  e_little /. e_native_uj

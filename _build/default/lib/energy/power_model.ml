@@ -1,0 +1,66 @@
+(** The §7.4 system-level energy model.
+
+    {v E = E_core + T_idle * (P_mem_sr + P_io) + T_busy * (P_mem + P_io) v}
+
+    [E_core] integrates the per-core busy/idle powers of Table 6 over the
+    measured activity; DRAM active power follows a Micron-style LPDDR2
+    model driven by the measured read/write bandwidth (cache misses +
+    DMA); self-refresh is 1.3 mW; average IO power during suspend/resume
+    is 5 mW (both values straight from the paper). All energies are in
+    microjoules (mW x ms). *)
+
+open Tk_machine
+
+(** DRAM power parameters (LPDDR2, Micron TN4201-style). *)
+let p_mem_sr_mw = 1.3
+
+let p_mem_active_base_mw = 6.0
+let p_mem_per_mbps_rd = 0.55
+let p_mem_per_mbps_wr = 0.65
+
+(** Average IO power while devices are quiescing (from [90] via §7.4). *)
+let p_io_mw = 5.0
+
+type breakdown = {
+  e_core_busy : float;  (** uJ *)
+  e_core_idle : float;
+  e_dram : float;
+  e_io : float;
+  busy_ms : float;
+  idle_ms : float;
+  rd_mbps : float;
+  wr_mbps : float;
+}
+
+let total b = b.e_core_busy +. b.e_core_idle +. b.e_dram +. b.e_io
+
+(** [of_activity ~params ~act ~dma_bytes] evaluates the model for one
+    measured phase on one core. [dma_bytes] adds device-mastered DRAM
+    traffic (reads, writes) on top of the core's cache-miss traffic. *)
+let of_activity ~(params : Core.params) ~(act : Core.activity)
+    ?(dma_bytes = (0, 0)) () =
+  let busy_ms = float_of_int act.Core.a_busy_ps /. 1e9 in
+  let idle_ms = float_of_int act.Core.a_idle_ps /. 1e9 in
+  let dma_rd, dma_wr = dma_bytes in
+  let rd_bytes = act.Core.a_rd_bytes + dma_rd in
+  let wr_bytes = act.Core.a_wr_bytes + dma_wr in
+  let active_ms = busy_ms +. idle_ms in
+  let mbps bytes =
+    if active_ms <= 0.0 then 0.0
+    else float_of_int bytes /. 1e6 /. (active_ms /. 1e3)
+  in
+  let rd_mbps = mbps rd_bytes and wr_mbps = mbps wr_bytes in
+  let p_mem =
+    p_mem_active_base_mw
+    +. (p_mem_per_mbps_rd *. rd_mbps)
+    +. (p_mem_per_mbps_wr *. wr_mbps)
+  in
+  { e_core_busy = busy_ms *. params.Core.busy_mw;
+    e_core_idle = idle_ms *. params.Core.idle_mw;
+    e_dram = (busy_ms *. p_mem) +. (idle_ms *. p_mem_sr_mw);
+    e_io = (busy_ms +. idle_ms) *. p_io_mw;
+    busy_ms; idle_ms; rd_mbps; wr_mbps }
+
+(** [deep_sleep_uj ms] — platform deep-sleep energy: DRAM self-refresh
+    plus a 0.5 mW sleep floor; every core is off. *)
+let deep_sleep_uj ms = ms *. (p_mem_sr_mw +. 0.5)

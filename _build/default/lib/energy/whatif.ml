@@ -1,0 +1,60 @@
+(** The Figure 7 what-if analysis.
+
+    How does ARK's relative system energy depend on (a) the DBT overhead
+    and (b) the processor-core usage of the native kernel? Evaluated
+    analytically from the same power model the measurements use, exactly
+    as §7.4 does, yielding the two break-even overheads the paper calls
+    out: below ~3.5x ARK saves energy even at 100% busy; above ~5.2x it
+    wastes energy even at 20% busy. *)
+
+open Tk_machine
+
+(** [relative_energy ~overhead ~busy_frac ~rd_mbps_m3] — ARK's system
+    energy as a fraction of native's, for a native phase of unit
+    duration with [busy_frac] of it busy, when the DBT runs at
+    [overhead] (M3 cycles per A9 cycle; busy time scales by
+    [overhead * clock_ratio]). *)
+let relative_energy ?(rd_mbps_m3 = 16.0) ?(rd_mbps_a9 = 4.0)
+    ~(a9 : Core.params) ~(m3 : Core.params) ~overhead ~busy_frac () =
+  let clock_ratio = float_of_int a9.Core.freq_mhz /. float_of_int m3.Core.freq_mhz in
+  let busy_n = busy_frac and idle = 1.0 -. busy_frac in
+  let busy_a = busy_n *. overhead *. clock_ratio in
+  let p_mem rd =
+    Power_model.p_mem_active_base_mw +. (Power_model.p_mem_per_mbps_rd *. rd)
+  in
+  let e_native =
+    (busy_n *. (a9.Core.busy_mw +. p_mem rd_mbps_a9 +. Power_model.p_io_mw))
+    +. (idle
+       *. (a9.Core.idle_mw +. Power_model.p_mem_sr_mw +. Power_model.p_io_mw))
+  in
+  let e_ark =
+    (busy_a *. (m3.Core.busy_mw +. p_mem rd_mbps_m3 +. Power_model.p_io_mw))
+    +. (idle
+       *. (m3.Core.idle_mw +. Power_model.p_mem_sr_mw +. Power_model.p_io_mw))
+  in
+  e_ark /. e_native
+
+(** [break_even ~busy_frac] — the DBT overhead at which ARK's energy
+    equals native's for a given native busy fraction (bisection). *)
+let break_even ?(a9 = Soc.a9_params) ?(m3 = Soc.m3_params) ~busy_frac () =
+  let f ov = relative_energy ~a9 ~m3 ~overhead:ov ~busy_frac () -. 1.0 in
+  let rec go lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if f mid > 0.0 then go lo mid (n - 1) else go mid hi (n - 1)
+  in
+  if f 0.01 > 0.0 then 0.0
+  else if f 100.0 < 0.0 then infinity
+  else go 0.01 100.0 60
+
+(** [grid ~overheads ~busy_fracs] — the Figure 7 heat-map series. *)
+let grid ?(a9 = Soc.a9_params) ?(m3 = Soc.m3_params) ~overheads ~busy_fracs () =
+  List.map
+    (fun busy_frac ->
+      ( busy_frac,
+        List.map
+          (fun ov ->
+            (ov, relative_energy ~a9 ~m3 ~overhead:ov ~busy_frac ()))
+          overheads ))
+    busy_fracs

@@ -1,0 +1,1 @@
+lib/harness/ark_run.ml: Array Asm Clock Core Exec Hyper Image Interp Kabi Layout List Mem Native_run Platform Soc Timer Tk_dbt Tk_drivers Tk_isa Tk_kernel Tk_machine Transkernel

@@ -1,0 +1,1 @@
+lib/harness/ark_run.mli: Core Native_run Tk_dbt Tk_drivers Tk_kernel Tk_machine Transkernel

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ark_run Core Device List Mem Native_run Option Platform Soc Tk_dbt Tk_drivers Tk_energy Tk_kernel Tk_machine Transkernel

@@ -1,0 +1,1 @@
+lib/harness/native_run.ml: Array Asm Char Clock Core Exec Interp List Mem Platform Printf Soc Timer Tk_drivers Tk_isa Tk_kernel Tk_machine Types

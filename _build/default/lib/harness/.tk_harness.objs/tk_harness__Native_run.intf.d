@@ -1,0 +1,1 @@
+lib/harness/native_run.mli: Core Interp Tk_drivers Tk_kernel Tk_machine

@@ -1,0 +1,167 @@
+(** The offloaded execution arm: ARK on the peripheral core.
+
+    This module plays the paper's small CPU-side kernel module: it is
+    compiled "with the kernel" (so it may use {!Tk_kernel} internals to
+    collect handoff data), builds the {!Transkernel.Manifest}, performs
+    the handoff around each device phase, and — on fallback — receives
+    migrated contexts back into native execution (§6).
+
+    ARK itself ({!Transkernel.Ark}) sees none of the kernel's internals:
+    the manifest carries the Table 2 ABI plus opaque pointers. *)
+
+open Tk_isa
+open Tk_machine
+open Tk_kernel
+open Tk_drivers
+module Ark = Transkernel.Ark
+module Manifest = Transkernel.Manifest
+module Translator = Tk_dbt.Translator
+
+type phase_event = {
+  ev_code : int;
+  ev_time_ns : int;
+  ev_m3 : Core.activity;
+}
+
+type t = {
+  nat : Native_run.t;  (** the booted platform (native side) *)
+  ark : Ark.t;
+  mutable events : phase_event list;
+  mutable fallbacks : (string * int) list;  (** reason, time *)
+}
+
+let plat t = t.nat.Native_run.plat
+
+(* ------------------------ manifest (handoff) ------------------------ *)
+
+let build_manifest (plat : Platform.t) : Manifest.t =
+  let image = plat.built.Image.image in
+  let lay = plat.built.Image.layout in
+  let abi = plat.built.Image.abi in
+  (* collect registered threaded IRQs: module-side code, entitled to walk
+     its own kernel's structures *)
+  let mem = plat.soc.Soc.mem in
+  let descs = ref [] in
+  let irq_desc = Asm.symbol image "irq_desc" in
+  for line = 0 to Soc.nlines - 1 do
+    let d = irq_desc + (line * lay.Layout.irqd_size) in
+    if Mem.ram_read mem (d + lay.Layout.irqd_thread_fn) 4 <> 0 then
+      descs := d :: !descs
+  done;
+  { Manifest.abi_addr_of = abi.Kabi.addr_of;
+    abi_name_of = abi.Kabi.name_of_addr;
+    jiffies_addr = abi.Kabi.jiffies_addr;
+    entry_suspend = Asm.symbol image "dpm_suspend";
+    entry_resume = Asm.symbol image "dpm_resume";
+    workqueues =
+      List.map (Asm.symbol image) [ "system_wq"; "pm_wq"; "wifi_wq" ];
+    threaded_irqs = List.rev !descs;
+    tick_ns = Layout.jiffy_ns;
+    ms_ns = Layout.ms_ns;
+    exit_to = Asm.symbol image "call_exit_stub" }
+
+(** [create ?layout ?mode ?sleep_ms ()] boots the platform natively and
+    prepares ARK. [mode] picks the DBT optimization level. *)
+let create ?layout ?devices ?(mode = Translator.Ark) ?sleep_ms ?m3_cache_kb
+    () =
+  let plat = Platform.create ?layout ?m3_cache_kb () in
+  let nat = Native_run.create ?devices ?sleep_ms ~plat () in
+  let man = build_manifest plat in
+  let ark = Ark.create ~soc:plat.soc ~mode ~man () in
+  let t = { nat; ark; events = []; fallbacks = [] } in
+  ark.Ark.on_hypercall <-
+    (fun n cpu ->
+      if n = Hyper.phase_mark then
+        t.events <-
+          { ev_code = Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0;
+            ev_time_ns = plat.soc.Soc.clock.Clock.now;
+            ev_m3 = Core.activity plat.soc.Soc.m3 }
+          :: t.events
+      else if n = Hyper.warn_hit then
+        t.nat.Native_run.warns <-
+          Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0
+          :: t.nat.Native_run.warns);
+  t
+
+(* resume a migrated context natively: the receiver-thread step of §6 *)
+let receive_fallback t (st : Ark.guest_state) =
+  let nat = t.nat in
+  let cpu = nat.Native_run.interp.Interp.cpu in
+  Array.blit st.Ark.g_regs 0 cpu.Exec.r 0 16;
+  Exec.set_flags_word cpu st.Ark.g_flags;
+  cpu.Exec.irq_on <- true;
+  (try Interp.run nat.Native_run.interp ~fuel:200_000_000
+   with Interp.Halt _ -> ());
+  nat.Native_run.last_exit_r0
+
+let record t code =
+  t.events <-
+    { ev_code = code; ev_time_ns = (plat t).soc.Soc.clock.Clock.now;
+      ev_m3 = Core.activity (plat t).soc.Soc.m3 }
+    :: t.events
+
+(** [suspend_resume_cycle t] runs one full ephemeral-task cycle with the
+    device phases offloaded: native freeze -> handoff -> ARK dpm_suspend
+    -> platform sleep -> ARK dpm_resume -> handback -> native thaw.
+    Returns [`Ok] or [`Fell_back reason]. *)
+let suspend_resume_cycle ?(prepare_traffic = true) ?(resume_native = false) t =
+  let nat = t.nat in
+  let soc = (plat t).soc in
+  if prepare_traffic && List.mem "wifi" nat.Native_run.devices then
+    ignore (Native_run.call nat "wifi_prepare_traffic" []);
+  ignore (Native_run.call nat "freeze_processes" []);
+  (* ---- handoff: the kernel shuts down the CPU and passes control ---- *)
+  Timer.stop_tick soc.Soc.cpu_timer;
+  record t Hyper.ph_suspend_begin;
+  let result = ref `Ok in
+  (match Ark.run_phase t.ark `Suspend with
+  | Ark.Completed -> ()
+  | Ark.Fell_back { fb_reason; fb_state } ->
+    t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
+    result := `Fell_back fb_reason;
+    (* CPU takes over: restart its tick, finish the phase natively *)
+    Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+    ignore (receive_fallback t fb_state);
+    Timer.stop_tick soc.Soc.cpu_timer);
+  record t Hyper.ph_suspend_end;
+  (* ---- platform deep sleep ---- *)
+  record t 900;
+  Clock.advance soc.Soc.clock nat.Native_run.sleep_ns;
+  nat.Native_run.sleep_ns_total <-
+    nat.Native_run.sleep_ns_total + nat.Native_run.sleep_ns;
+  record t 901;
+  (* ---- resume ---- *)
+  record t Hyper.ph_resume_begin;
+  (if resume_native then begin
+     (* urgent wakeup: the kernel resumes on the CPU natively (§4) *)
+     Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+     ignore (Native_run.call nat "dpm_resume" []);
+     Timer.stop_tick soc.Soc.cpu_timer
+   end
+   else
+     match Ark.run_phase t.ark `Resume with
+     | Ark.Completed -> ()
+     | Ark.Fell_back { fb_reason; fb_state } ->
+       t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
+       result := `Fell_back fb_reason;
+       Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+       ignore (receive_fallback t fb_state);
+       Timer.stop_tick soc.Soc.cpu_timer);
+  record t Hyper.ph_resume_end;
+  (* ---- handback: CPU resumes, thaws user space ---- *)
+  Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+  ignore (Native_run.call nat "thaw_processes" []);
+  !result
+
+(** Per-cycle phase events, oldest first (same shape as the native
+    runner's). *)
+let events_of_cycle t ~before =
+  let evs = ref [] and n = ref (List.length t.events - before) in
+  List.iter
+    (fun e ->
+      if !n > 0 then begin
+        evs := e :: !evs;
+        decr n
+      end)
+    t.events;
+  !evs

@@ -1,0 +1,51 @@
+(** The offloaded execution arm: ARK on the peripheral core.
+
+    Plays the paper's small CPU-side kernel module: builds the handoff
+    {!Transkernel.Manifest} (Table 2 ABI + opaque pointers), performs
+    the handoff around each device phase, and receives migrated contexts
+    back into native execution on fallback (§6). *)
+
+open Tk_machine
+
+type phase_event = { ev_code : int; ev_time_ns : int; ev_m3 : Core.activity }
+
+type t = {
+  nat : Native_run.t;  (** the booted platform (native side) *)
+  ark : Transkernel.Ark.t;
+  mutable events : phase_event list;  (** newest first *)
+  mutable fallbacks : (string * int) list;  (** (reason, time) *)
+}
+
+val plat : t -> Tk_drivers.Platform.t
+
+val build_manifest : Tk_drivers.Platform.t -> Transkernel.Manifest.t
+(** collect the handoff data the kernel module is entitled to: resolved
+    Table 2 ABI, workqueue/threaded-IRQ pointers, tick configuration,
+    handoff-return stub *)
+
+val create :
+  ?layout:Tk_kernel.Layout.t ->
+  ?devices:string list ->
+  ?mode:Tk_dbt.Translator.mode ->
+  ?sleep_ms:int ->
+  ?m3_cache_kb:int ->
+  unit ->
+  t
+(** boot the platform natively and prepare ARK; [mode] picks the DBT
+    optimization level (the Figure 6 bars) *)
+
+val receive_fallback : t -> Transkernel.Ark.guest_state -> int
+(** resume a migrated context natively on the CPU (the receiver step of
+    §6); returns the shim's final r0 *)
+
+val suspend_resume_cycle :
+  ?prepare_traffic:bool -> ?resume_native:bool -> t ->
+  [ `Ok | `Fell_back of string ]
+(** one full ephemeral-task cycle with the device phases offloaded:
+    native freeze -> handoff -> ARK dpm_suspend -> deep sleep -> ARK
+    dpm_resume -> handback -> native thaw. [resume_native] models the
+    urgent-wakeup path (§4): resume runs on the CPU instead. *)
+
+val events_of_cycle : t -> before:int -> phase_event list
+(** the phase events recorded since [before] (a prior length of
+    [t.events]), oldest first *)

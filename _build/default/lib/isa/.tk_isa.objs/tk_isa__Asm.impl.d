@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bits Hashtbl List Printf Types V7a

@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Bits Bool List Types

@@ -1,0 +1,1 @@
+lib/isa/spec.ml: List Types

@@ -1,0 +1,1 @@
+lib/isa/types.ml: List Printf String

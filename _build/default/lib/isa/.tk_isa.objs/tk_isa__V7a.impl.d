@@ -1,0 +1,1 @@
+lib/isa/v7a.ml: Bits Bool Fun List Printf Result Types

@@ -1,0 +1,1 @@
+lib/isa/v7m.ml: Bits Bool Fun List Printf Result Types

@@ -1,0 +1,163 @@
+(** Assembler and linker for guest (V7A) kernel images.
+
+    {!Tk_kcc} (and a little hand-written assembly in the kernel) produces
+    {!item} lists; [link] lays out code and data, resolves labels, encodes
+    every instruction with {!V7a.encode} and yields an {!image}: encoded
+    words plus a symbol table. The image is loaded verbatim into simulated
+    DRAM — the DBT engine later reads those very words back.
+
+    Labels are global; a fragment's name is implicitly a label at its
+    first instruction. *)
+
+open Types
+
+type item =
+  | Label of string  (** local label *)
+  | Ins of inst  (** fully resolved instruction *)
+  | Bcc of cond * string  (** conditional branch to label *)
+  | Jmp of string  (** unconditional branch to label *)
+  | Call of string  (** BL to label *)
+  | Adr of reg * string  (** rd := address of label (movw+movt pair) *)
+  | Word of int  (** literal data word in the code stream *)
+
+(** A named code fragment (one function). *)
+type fragment = { name : string; items : item list }
+
+(** A named data object: [words] initialize the front, the rest of [size]
+    bytes is zero. *)
+type datum = { dname : string; size : int; words : int list }
+
+let data ?(words = []) dname size = { dname; size; words }
+
+(** Linked image: encoded guest words, base address, symbol table and the
+    reverse map used for traces and fallback diagnostics. *)
+type image = {
+  base : int;
+  code_size : int;  (** bytes of code (before the data section) *)
+  words : int array;  (** code then data, word-indexed from [base] *)
+  symbols : (string, int) Hashtbl.t;
+  sym_of_addr : (int, string) Hashtbl.t;  (** function entry points *)
+  frag_sizes : (string * int) list;  (** per-fragment code bytes *)
+}
+
+exception Link_error of string
+
+let link_err fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+let item_size = function
+  | Label _ -> 0
+  | Ins _ | Bcc _ | Jmp _ | Call _ | Word _ -> 4
+  | Adr _ -> 8
+
+(** [fragment_size f] is the code size of [f] in bytes. *)
+let fragment_size f =
+  List.fold_left (fun acc i -> acc + item_size i) 0 f.items
+
+(** [symbol image name] is the address of [name].
+    @raise Link_error if undefined. *)
+let symbol image name =
+  match Hashtbl.find_opt image.symbols name with
+  | Some a -> a
+  | None -> link_err "undefined symbol %s" name
+
+(** [symbol_opt image name] is the address of [name], if defined. *)
+let symbol_opt image name = Hashtbl.find_opt image.symbols name
+
+(** [link ~base fragments data] lays out [fragments] starting at [base]
+    (word-aligned), followed by the data section, resolves all label
+    references and encodes to V7A.
+    @raise Link_error on duplicate/undefined symbols or encoding failure *)
+let link ~base fragments (data : datum list) : image =
+  if base land 3 <> 0 then link_err "base 0x%x not word aligned" base;
+  let symbols = Hashtbl.create 256 in
+  let sym_of_addr = Hashtbl.create 256 in
+  let define name addr =
+    if Hashtbl.mem symbols name then link_err "duplicate symbol %s" name;
+    Hashtbl.add symbols name addr
+  in
+  (* pass 1: addresses *)
+  let cursor = ref base in
+  let frag_sizes = ref [] in
+  List.iter
+    (fun f ->
+      define f.name !cursor;
+      Hashtbl.replace sym_of_addr !cursor f.name;
+      let start = !cursor in
+      List.iter
+        (fun it ->
+          (match it with
+          | Label l -> define l !cursor
+          | _ -> ());
+          cursor := !cursor + item_size it)
+        f.items;
+      frag_sizes := (f.name, !cursor - start) :: !frag_sizes)
+    fragments;
+  let code_size = !cursor - base in
+  (* data section, 8-byte aligned *)
+  cursor := (!cursor + 7) land lnot 7;
+  List.iter
+    (fun d ->
+      define d.dname !cursor;
+      cursor := !cursor + ((d.size + 3) land lnot 3))
+    data;
+  let total = !cursor - base in
+  let words = Array.make (total / 4) 0 in
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> link_err "undefined symbol %s" name
+  in
+  let emit addr inst =
+    match V7a.encode inst with
+    | Ok w -> words.((addr - base) / 4) <- w
+    | Error e ->
+      link_err "cannot encode `%s' at 0x%x: %s" (Types.to_string inst) addr e
+  in
+  (* pass 2: emit *)
+  let cursor = ref base in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun it ->
+          let a = !cursor in
+          (match it with
+          | Label _ -> ()
+          | Ins i -> emit a i
+          | Bcc (c, l) -> emit a { cond = c; op = B (resolve l - a) }
+          | Jmp l -> emit a { cond = AL; op = B (resolve l - a) }
+          | Call l -> emit a { cond = AL; op = Bl (resolve l - a) }
+          | Adr (rd, l) ->
+            let v = resolve l in
+            emit a (at (Movw (rd, v land 0xFFFF)));
+            emit (a + 4) (at (Movt (rd, (v lsr 16) land 0xFFFF)))
+          | Word w -> words.((a - base) / 4) <- Bits.mask32 w);
+          cursor := !cursor + item_size it)
+        f.items)
+    fragments;
+  (* data *)
+  let cursor = ref (base + ((code_size + 7) land lnot 7)) in
+  List.iter
+    (fun (d : datum) ->
+      List.iteri
+        (fun i w -> words.((!cursor - base) / 4 + i) <- Bits.mask32 w)
+        d.words;
+      cursor := !cursor + ((d.size + 3) land lnot 3))
+    data;
+  { base; code_size; words; symbols; sym_of_addr;
+    frag_sizes = List.rev !frag_sizes }
+
+(** [nearest_symbol image addr] names the fragment containing [addr] (for
+    traces): ["name+0xoff"]. *)
+let nearest_symbol image addr =
+  let best = ref None in
+  Hashtbl.iter
+    (fun a name ->
+      if a <= addr then
+        match !best with
+        | Some (ba, _) when ba >= a -> ()
+        | _ -> best := Some (a, name))
+    image.sym_of_addr;
+  match !best with
+  | Some (a, name) when addr = a -> name
+  | Some (a, name) -> Printf.sprintf "%s+0x%x" name (addr - a)
+  | None -> Printf.sprintf "0x%x" addr

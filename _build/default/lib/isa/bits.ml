@@ -1,0 +1,57 @@
+(** 32-bit arithmetic on OCaml [int]s.
+
+    The whole simulator represents 32-bit machine words as native [int]s
+    masked to the low 32 bits — far faster than boxed [int32] in the
+    interpreter hot loops. This module is the single place where masking,
+    sign handling, rotation and field packing live. *)
+
+let mask32 x = x land 0xFFFFFFFF
+
+(** [s32 x] reinterprets the low 32 bits of [x] as a signed value. *)
+let s32 x =
+  let x = mask32 x in
+  if x land 0x80000000 <> 0 then x - 0x100000000 else x
+
+(** [bit x i] is bit [i] of [x] as a bool. *)
+let bit x i = (x lsr i) land 1 = 1
+
+(** [ror32 x n] rotates the 32-bit value right by [n] (mod 32). *)
+let ror32 x n =
+  let n = n land 31 in
+  if n = 0 then mask32 x else mask32 ((x lsr n) lor (x lsl (32 - n)))
+
+(** [rol32 x n] rotates left. *)
+let rol32 x n = ror32 x ((32 - n) land 31)
+
+(** [sext v bits] sign-extends the low [bits] bits of [v]. *)
+let sext v bits =
+  let m = 1 lsl (bits - 1) in
+  let v = v land ((1 lsl bits) - 1) in
+  if v land m <> 0 then v - (1 lsl bits) else v
+
+(** Field packing for instruction encodings: [put w pos len v] inserts the
+    [len]-bit value [v] at bit [pos]; raises if [v] does not fit. *)
+let put w pos len v =
+  assert (v >= 0 && v < 1 lsl len);
+  w lor (v lsl pos)
+
+(** [get w pos len] extracts the [len]-bit field at [pos]. *)
+let get w pos len = (w lsr pos) land ((1 lsl len) - 1)
+
+(** [clz32 x] counts leading zeros of the 32-bit value (32 for 0). *)
+let clz32 x =
+  let x = mask32 x in
+  if x = 0 then 32
+  else
+    let rec go n i = if bit x i then n else go (n + 1) (i - 1) in
+    go 0 31
+
+(** [highest_bit x] is the index of the most significant set bit, or -1. *)
+let highest_bit x = 31 - clz32 x
+
+(** [lowest_bit x] is the index of the least significant set bit, or -1. *)
+let lowest_bit x =
+  if x = 0 then -1
+  else
+    let rec go i = if bit x i then i else go (i + 1) in
+    go 0

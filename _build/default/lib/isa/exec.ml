@@ -1,0 +1,275 @@
+(** Single-instruction semantics, shared by both ISAs.
+
+    V7A and V7M implement the same semantics in different encodings, so
+    one executor serves both the simulated Cortex-A9 (decoding {!V7a}
+    words — "native execution") and the simulated Cortex-M3 (decoding
+    {!V7m} words out of the DBT code cache). The equivalence of the two
+    paths is what the differential property tests check.
+
+    Conventions (documented simplifications vs architectural ARM):
+    {ul
+    {- reads of PC (r15) yield [instruction address + 8] (A32 style);}
+    {- an [Imm] or plain [Reg] operand2 leaves the carry flag unchanged
+       (we do not model the encoder's rotation carry-out);}
+    {- shift amounts are taken literally (no "LSR #0 means 32").}} *)
+
+open Types
+
+(** Architectural state of one core: 16 registers, NZCV flags, IRQ enable.
+    Values are 32-bit-masked OCaml ints. *)
+type cpu = {
+  r : int array;
+  mutable n : bool;
+  mutable z : bool;
+  mutable c : bool;
+  mutable v : bool;
+  mutable irq_on : bool;
+}
+
+let make_cpu () =
+  { r = Array.make 16 0; n = false; z = false; c = false; v = false;
+    irq_on = false }
+
+(** [copy_into src dst] copies all architectural state. *)
+let copy_into src dst =
+  Array.blit src.r 0 dst.r 0 16;
+  dst.n <- src.n; dst.z <- src.z; dst.c <- src.c; dst.v <- src.v;
+  dst.irq_on <- src.irq_on
+
+(** [flags_word cpu] packs NZCV into bits 31:28 (MRS view). *)
+let flags_word cpu =
+  (Bool.to_int cpu.n lsl 31) lor (Bool.to_int cpu.z lsl 30)
+  lor (Bool.to_int cpu.c lsl 29) lor (Bool.to_int cpu.v lsl 28)
+
+(** [set_flags_word cpu w] unpacks bits 31:28 into NZCV (MSR view). *)
+let set_flags_word cpu w =
+  cpu.n <- Bits.bit w 31; cpu.z <- Bits.bit w 30;
+  cpu.c <- Bits.bit w 29; cpu.v <- Bits.bit w 28
+
+(** Environment an instruction executes against: memory plus the traps
+    that escape pure data flow. The owner (core interpreter or DBT
+    engine) decides what those mean. *)
+type env = {
+  load : int -> int -> int;  (** [load addr nbytes], zero-extended *)
+  store : int -> int -> int -> unit;  (** [store addr nbytes value] *)
+  svc : cpu -> int -> unit;
+  wfi : cpu -> unit;
+  irq_ret : cpu -> unit;
+  undef : cpu -> inst -> unit;  (** UDF or unimplementable op *)
+}
+
+(** [cond_holds cpu c] evaluates condition [c] against the flags. *)
+let cond_holds cpu = function
+  | AL -> true
+  | EQ -> cpu.z
+  | NE -> not cpu.z
+  | CS -> cpu.c
+  | CC -> not cpu.c
+  | MI -> cpu.n
+  | PL -> not cpu.n
+  | VS -> cpu.v
+  | VC -> not cpu.v
+  | HI -> cpu.c && not cpu.z
+  | LS -> (not cpu.c) || cpu.z
+  | GE -> cpu.n = cpu.v
+  | LT -> cpu.n <> cpu.v
+  | GT -> (not cpu.z) && cpu.n = cpu.v
+  | LE -> cpu.z || cpu.n <> cpu.v
+
+let shift_value kind v amt carry_in =
+  let v = Bits.mask32 v in
+  match kind, amt with
+  | _, 0 -> v, carry_in
+  | LSL, a when a < 32 -> Bits.mask32 (v lsl a), Bits.bit v (32 - a)
+  | LSL, _ -> 0, false
+  | LSR, a when a < 32 -> v lsr a, Bits.bit v (a - 1)
+  | LSR, _ -> 0, false
+  | ASR, a when a < 32 ->
+    Bits.mask32 (Bits.s32 v asr a), Bits.bit v (a - 1)
+  | ASR, _ -> (if Bits.bit v 31 then 0xFFFFFFFF else 0), Bits.bit v 31
+  | ROR, a ->
+    let r = Bits.ror32 v (a land 31) in
+    r, Bits.bit r 31
+
+(** Result of executing one instruction: did it write the PC? *)
+type outcome = Next | Branched
+
+(** [step cpu env ~addr inst] executes [inst] located at [addr]. Returns
+    {!Branched} iff the instruction wrote PC (the caller otherwise
+    advances PC by 4). All register/flag effects are applied to [cpu]. *)
+let step cpu env ~addr ({ cond; op } as inst) : outcome =
+  if not (cond_holds cpu cond) then Next
+  else begin
+    let rd_pc = ref false in
+    let rget r = if r = pc then Bits.mask32 (addr + 8) else cpu.r.(r) in
+    let rset r v =
+      if r = pc then begin
+        cpu.r.(pc) <- Bits.mask32 v land lnot 1;
+        rd_pc := true
+      end
+      else cpu.r.(r) <- Bits.mask32 v
+    in
+    (match op with
+    | Dp (o, s, rd, rn, op2) ->
+      let op2v, shc =
+        match op2 with
+        | Imm v -> Bits.mask32 v, cpu.c
+        | Reg r -> rget r, cpu.c
+        | Sreg (r, k, a) -> shift_value k (rget r) a cpu.c
+        | Sregreg (r, k, rs) -> shift_value k (rget r) (rget rs land 0xFF) cpu.c
+      in
+      let rnv = rget rn in
+      let logical res =
+        if s then begin
+          cpu.n <- Bits.bit res 31; cpu.z <- res = 0; cpu.c <- shc
+        end;
+        res
+      in
+      (* TST/TEQ (like CMP/CMN) always set flags; they have no S bit *)
+      let logical_always res =
+        cpu.n <- Bits.bit res 31;
+        cpu.z <- res = 0;
+        cpu.c <- shc;
+        res
+      in
+      let arith ~sub ?(rev = false) ~carry () =
+        let a, b = if rev then op2v, rnv else rnv, op2v in
+        let b' = if sub then Bits.mask32 (lnot b) else b in
+        let cin = Bool.to_int carry in
+        let full = a + b' + cin in
+        let res = Bits.mask32 full in
+        if s then begin
+          cpu.n <- Bits.bit res 31;
+          cpu.z <- res = 0;
+          cpu.c <- full > 0xFFFFFFFF;
+          let sa = Bits.bit a 31 and sb = Bits.bit b' 31 and sr = Bits.bit res 31 in
+          cpu.v <- sa = sb && sa <> sr
+        end;
+        res
+      in
+      (match o with
+      | MOV -> rset rd (logical op2v)
+      | MVN -> rset rd (logical (Bits.mask32 (lnot op2v)))
+      | AND -> rset rd (logical (rnv land op2v))
+      | ORR -> rset rd (logical (rnv lor op2v))
+      | EOR -> rset rd (logical (rnv lxor op2v))
+      | BIC -> rset rd (logical (rnv land lnot op2v))
+      | TST -> ignore (logical_always (rnv land op2v))
+      | TEQ -> ignore (logical_always (rnv lxor op2v))
+      | ADD -> rset rd (arith ~sub:false ~carry:false ())
+      | ADC -> rset rd (arith ~sub:false ~carry:cpu.c ())
+      | SUB -> rset rd (arith ~sub:true ~carry:true ())
+      | SBC -> rset rd (arith ~sub:true ~carry:cpu.c ())
+      | RSB -> rset rd (arith ~sub:true ~rev:true ~carry:true ())
+      | RSC -> rset rd (arith ~sub:true ~rev:true ~carry:cpu.c ())
+      | CMP ->
+        (* CMP/CMN always set flags regardless of the s bit *)
+        let full = rnv + Bits.mask32 (lnot op2v) + 1 in
+        let res = Bits.mask32 full in
+        cpu.n <- Bits.bit res 31;
+        cpu.z <- res = 0;
+        cpu.c <- full > 0xFFFFFFFF;
+        let sb = Bits.bit (Bits.mask32 (lnot op2v)) 31 in
+        cpu.v <- Bits.bit rnv 31 = sb && Bits.bit rnv 31 <> Bits.bit res 31
+      | CMN ->
+        let full = rnv + op2v in
+        let res = Bits.mask32 full in
+        cpu.n <- Bits.bit res 31;
+        cpu.z <- res = 0;
+        cpu.c <- full > 0xFFFFFFFF;
+        cpu.v <- Bits.bit rnv 31 = Bits.bit op2v 31
+                 && Bits.bit rnv 31 <> Bits.bit res 31)
+    | Movw (rd, i) -> rset rd i
+    | Movt (rd, i) -> rset rd ((rget rd land 0xFFFF) lor (i lsl 16))
+    | Mul (s, rd, rn, rm) ->
+      let res = Bits.mask32 (rget rn * rget rm) in
+      if s then begin cpu.n <- Bits.bit res 31; cpu.z <- res = 0 end;
+      rset rd res
+    | Mla (rd, rn, rm, ra) -> rset rd (rget rn * rget rm + rget ra)
+    | Udiv (rd, rn, rm) ->
+      let d = rget rm in
+      rset rd (if d = 0 then 0 else rget rn / d)
+    | Mem { ld; size; rt; rn; off; idx } ->
+      let offv =
+        match off with
+        | Oimm i -> i
+        | Oreg (rm, k, a) -> fst (shift_value k (rget rm) a cpu.c)
+      in
+      let base = rget rn in
+      let addr_eff =
+        match idx with
+        | Offset | Pre -> Bits.mask32 (base + offv)
+        | Post -> base
+      in
+      let nb = bytes_of_mem_size size in
+      if ld then begin
+        let v = env.load addr_eff nb in
+        (* writeback first so a loaded rt = rn wins *)
+        (match idx with
+        | Pre -> rset rn (base + offv)
+        | Post -> rset rn (base + offv)
+        | Offset -> ());
+        rset rt v
+      end
+      else begin
+        let vmask = (1 lsl (nb * 8)) - 1 in
+        env.store addr_eff nb (rget rt land vmask);
+        match idx with
+        | Pre | Post -> rset rn (base + offv)
+        | Offset -> ()
+      end
+    | Ldm (rn, wb, regs) ->
+      let base = rget rn in
+      let nregs = List.length regs in
+      let values =
+        List.mapi (fun i r -> r, env.load (Bits.mask32 (base + (4 * i))) 4) regs
+      in
+      if wb then rset rn (base + (4 * nregs));
+      List.iter (fun (r, v) -> rset r v) values
+    | Stm (rn, wb, regs) ->
+      let base = rget rn in
+      let n = List.length regs in
+      let start = Bits.mask32 (base - (4 * n)) in
+      List.iteri (fun i r -> env.store (Bits.mask32 (start + (4 * i))) 4 (rget r)) regs;
+      if wb then rset rn start
+    | B off -> rset pc (addr + off)
+    | Bl off ->
+      rset lr (addr + 4);
+      rset pc (addr + off)
+    | Bx r -> rset pc (rget r)
+    | Blx_r r ->
+      let target = rget r in
+      rset lr (addr + 4);
+      rset pc target
+    | Clz (rd, rm) -> rset rd (Bits.clz32 (rget rm))
+    | Sxt (sz, rd, rm) ->
+      let v = rget rm in
+      rset rd
+        (match sz with
+        | Byte -> Bits.mask32 (Bits.sext (v land 0xFF) 8)
+        | Half -> Bits.mask32 (Bits.sext (v land 0xFFFF) 16)
+        | Word -> v)
+    | Uxt (sz, rd, rm) ->
+      let v = rget rm in
+      rset rd
+        (match sz with Byte -> v land 0xFF | Half -> v land 0xFFFF | Word -> v)
+    | Rev (rd, rm) ->
+      let v = rget rm in
+      rset rd
+        (((v land 0xFF) lsl 24) lor ((v land 0xFF00) lsl 8)
+        lor ((v lsr 8) land 0xFF00) lor ((v lsr 24) land 0xFF))
+    | Mrs rd -> rset rd (flags_word cpu)
+    | Msr rs -> set_flags_word cpu (rget rs)
+    | Svc n -> env.svc cpu n
+    | Wfi -> env.wfi cpu
+    | Cps en -> cpu.irq_on <- en
+    | Irq_ret -> env.irq_ret cpu; rd_pc := true
+    | Swp (rd, rm, rn) ->
+      let a = rget rn in
+      let old = env.load a 4 in
+      env.store a 4 (rget rm);
+      rset rd old
+    | Nop -> ()
+    | Udf _ -> env.undef cpu inst);
+    if !rd_pc then Branched else Next
+  end

@@ -1,0 +1,307 @@
+(** Shared instruction AST for the two sibling ISAs.
+
+    The guest ("V7A", modelled on ARMv7-A A32) and the host ("V7M",
+    modelled on ARMv7-M Thumb-2) implement {e the same instruction
+    semantics in different encodings with different restrictions} — exactly
+    the ISA-similarity property the transkernel exploits (§2.2, §5 of the
+    paper). Both ISAs therefore share this AST; what differs is which
+    shapes each ISA can {e encode} ({!V7a} vs {!V7m}) and hence which guest
+    instructions translate by identity and which need amendment
+    instructions.
+
+    Registers 0..12 are general purpose; 13 = SP, 14 = LR, 15 = PC. Both
+    ISAs use PC/LR/SP the same way and share NZCV condition flags — the
+    passthrough properties of §5.2/§5.3. *)
+
+type reg = int
+
+let sp = 13
+let lr = 14
+let pc = 15
+
+(** Condition codes, identical semantics in both ISAs. *)
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC | HI | LS | GE | LT | GT | LE | AL
+
+let cond_of_int = function
+  | 0 -> EQ | 1 -> NE | 2 -> CS | 3 -> CC | 4 -> MI | 5 -> PL | 6 -> VS
+  | 7 -> VC | 8 -> HI | 9 -> LS | 10 -> GE | 11 -> LT | 12 -> GT | 13 -> LE
+  | 14 -> AL
+  | n -> invalid_arg (Printf.sprintf "cond_of_int %d" n)
+
+let int_of_cond = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3 | MI -> 4 | PL -> 5 | VS -> 6
+  | VC -> 7 | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11 | GT -> 12 | LE -> 13
+  | AL -> 14
+
+(** [negate_cond c] is the inverse condition (EQ <-> NE, ...). *)
+let negate_cond = function
+  | EQ -> NE | NE -> EQ | CS -> CC | CC -> CS | MI -> PL | PL -> MI
+  | VS -> VC | VC -> VS | HI -> LS | LS -> HI | GE -> LT | LT -> GE
+  | GT -> LE | LE -> GT | AL -> AL
+
+type shift_kind = LSL | LSR | ASR | ROR
+
+let shift_kind_of_int = function
+  | 0 -> LSL | 1 -> LSR | 2 -> ASR | 3 -> ROR
+  | n -> invalid_arg (Printf.sprintf "shift_kind_of_int %d" n)
+
+let int_of_shift_kind = function LSL -> 0 | LSR -> 1 | ASR -> 2 | ROR -> 3
+
+(** Second operand of data-processing instructions. [Simm] is an already
+    decoded 32-bit constant (encodability differs per ISA); [Sreg] shifts
+    by an immediate; [Sregreg] shifts by a register — a shape V7M cannot
+    express inside a data-processing instruction except as a bare move
+    (the "richer shift modes" translation category). *)
+type operand2 =
+  | Imm of int
+  | Reg of reg
+  | Sreg of reg * shift_kind * int
+  | Sregreg of reg * shift_kind * reg
+
+type dp_op =
+  | MOV | MVN | ADD | ADC | SUB | SBC | RSB | RSC
+  | AND | ORR | EOR | BIC | CMP | CMN | TST | TEQ
+
+let dp_op_of_int = function
+  | 0 -> MOV | 1 -> MVN | 2 -> ADD | 3 -> ADC | 4 -> SUB | 5 -> SBC
+  | 6 -> RSB | 7 -> RSC | 8 -> AND | 9 -> ORR | 10 -> EOR | 11 -> BIC
+  | 12 -> CMP | 13 -> CMN | 14 -> TST | 15 -> TEQ
+  | n -> invalid_arg (Printf.sprintf "dp_op_of_int %d" n)
+
+let int_of_dp_op = function
+  | MOV -> 0 | MVN -> 1 | ADD -> 2 | ADC -> 3 | SUB -> 4 | SBC -> 5
+  | RSB -> 6 | RSC -> 7 | AND -> 8 | ORR -> 9 | EOR -> 10 | BIC -> 11
+  | CMP -> 12 | CMN -> 13 | TST -> 14 | TEQ -> 15
+
+type mem_size = Word | Byte | Half
+
+let mem_size_of_int = function
+  | 0 -> Word | 1 -> Byte | 2 -> Half
+  | n -> invalid_arg (Printf.sprintf "mem_size_of_int %d" n)
+
+let int_of_mem_size = function Word -> 0 | Byte -> 1 | Half -> 2
+let bytes_of_mem_size = function Word -> 4 | Byte -> 1 | Half -> 2
+
+(** Addressing mode: plain offset, pre-indexed with writeback, or
+    post-indexed. Writeback forms with register offsets are the "side
+    effect" translation category — V7M has no counterpart. *)
+type index = Offset | Pre | Post
+
+type mem_off =
+  | Oimm of int (* signed byte offset *)
+  | Oreg of reg * shift_kind * int (* register offset, shifted by imm *)
+
+type op =
+  | Dp of dp_op * bool * reg * reg * operand2
+      (** [Dp (op, s, rd, rn, op2)]; [rn] ignored for MOV/MVN, [rd]
+          ignored for CMP/CMN/TST/TEQ. [s] = set flags. *)
+  | Movw of reg * int  (** rd := imm16 (zero-extended) *)
+  | Movt of reg * int  (** rd(31:16) := imm16 *)
+  | Mul of bool * reg * reg * reg  (** rd := rn * rm *)
+  | Mla of reg * reg * reg * reg  (** rd := rn * rm + ra *)
+  | Udiv of reg * reg * reg
+  | Mem of { ld : bool; size : mem_size; rt : reg; rn : reg;
+             off : mem_off; idx : index }
+  | Ldm of reg * bool * reg list
+      (** load-multiple, increment-after: pop when rn = SP + writeback *)
+  | Stm of reg * bool * reg list
+      (** store-multiple, decrement-before: push when rn = SP + writeback *)
+  | B of int  (** pc-relative branch, signed byte offset from this inst *)
+  | Bl of int  (** call: lr := addr of next inst *)
+  | Bx of reg  (** branch to register (function return via [Bx lr]) *)
+  | Blx_r of reg  (** indirect call through register *)
+  | Clz of reg * reg
+  | Sxt of mem_size * reg * reg  (** sign-extend byte/half *)
+  | Uxt of mem_size * reg * reg  (** zero-extend byte/half *)
+  | Rev of reg * reg  (** byte-reverse *)
+  | Mrs of reg  (** rd := NZCV flags (packed in bits 31:28) *)
+  | Msr of reg  (** NZCV flags := rd(31:28) *)
+  | Svc of int  (** supervisor call: DBT engine trap on the host *)
+  | Wfi  (** wait for interrupt: core idles until an event *)
+  | Cps of bool  (** interrupt enable (true) / disable (false) *)
+  | Irq_ret  (** simulation stand-in for exception return *)
+  | Swp of reg * reg * reg  (** [Swp (rd, rm, rn)]: guest-only atomic swap;
+                                no V7M counterpart *)
+  | Nop
+  | Udf of int  (** permanently undefined: triggers a fault *)
+
+(** A conditional instruction. V7M conditionality stands in for Thumb-2 IT
+    blocks so that identity translation of conditional guest code stays
+    1:1 (see DESIGN.md §4.2). *)
+type inst = { cond : cond; op : op }
+
+let at ?(cond = AL) op = { cond; op }
+
+(* -------------------------------------------------------------------- *)
+(* Pretty-printing (assembly-like, used by tests, traces and Table 4)    *)
+(* -------------------------------------------------------------------- *)
+
+let reg_name r =
+  match r with
+  | 13 -> "sp" | 14 -> "lr" | 15 -> "pc"
+  | _ -> Printf.sprintf "r%d" r
+
+let cond_suffix = function
+  | AL -> ""
+  | EQ -> "eq" | NE -> "ne" | CS -> "cs" | CC -> "cc" | MI -> "mi"
+  | PL -> "pl" | VS -> "vs" | VC -> "vc" | HI -> "hi" | LS -> "ls"
+  | GE -> "ge" | LT -> "lt" | GT -> "gt" | LE -> "le"
+
+let shift_name = function LSL -> "lsl" | LSR -> "lsr" | ASR -> "asr" | ROR -> "ror"
+
+let dp_name = function
+  | MOV -> "mov" | MVN -> "mvn" | ADD -> "add" | ADC -> "adc" | SUB -> "sub"
+  | SBC -> "sbc" | RSB -> "rsb" | RSC -> "rsc" | AND -> "and" | ORR -> "orr"
+  | EOR -> "eor" | BIC -> "bic" | CMP -> "cmp" | CMN -> "cmn" | TST -> "tst"
+  | TEQ -> "teq"
+
+let string_of_operand2 = function
+  | Imm i -> Printf.sprintf "#0x%x" i
+  | Reg r -> reg_name r
+  | Sreg (r, k, a) -> Printf.sprintf "%s, %s #%d" (reg_name r) (shift_name k) a
+  | Sregreg (r, k, rs) ->
+    Printf.sprintf "%s, %s %s" (reg_name r) (shift_name k) (reg_name rs)
+
+let string_of_off = function
+  | Oimm 0 -> ""
+  | Oimm i -> Printf.sprintf ", #%d" i
+  | Oreg (r, LSL, 0) -> Printf.sprintf ", %s" (reg_name r)
+  | Oreg (r, k, a) -> Printf.sprintf ", %s, %s #%d" (reg_name r) (shift_name k) a
+
+let string_of_reglist regs =
+  "{" ^ String.concat ", " (List.map reg_name regs) ^ "}"
+
+(** [to_string ?wide i] renders [i] in assembly syntax. [wide] appends the
+    ".w" qualifier V7M listings use (matching Table 4 of the paper). *)
+let to_string ?(wide = false) { cond; op } =
+  let c = cond_suffix cond in
+  let w = if wide then ".w" else "" in
+  let m name = name ^ (if name = "" then "" else c) ^ w in
+  match op with
+  | Dp (o, s, rd, rn, op2) ->
+    let sfx = if s then "s" else "" in
+    let base = dp_name o ^ sfx ^ c ^ w in
+    (match o with
+    | MOV | MVN -> Printf.sprintf "%s %s, %s" base (reg_name rd) (string_of_operand2 op2)
+    | CMP | CMN | TST | TEQ ->
+      Printf.sprintf "%s %s, %s" base (reg_name rn) (string_of_operand2 op2)
+    | ADD | ADC | SUB | SBC | RSB | RSC | AND | ORR | EOR | BIC ->
+      Printf.sprintf "%s %s, %s, %s" base (reg_name rd) (reg_name rn)
+        (string_of_operand2 op2))
+  | Movw (rd, i) -> Printf.sprintf "%s %s, #0x%x" (m "movw") (reg_name rd) i
+  | Movt (rd, i) -> Printf.sprintf "%s %s, #0x%x" (m "movt") (reg_name rd) i
+  | Mul (s, rd, rn, rm) ->
+    Printf.sprintf "mul%s%s%s %s, %s, %s" (if s then "s" else "") c w
+      (reg_name rd) (reg_name rn) (reg_name rm)
+  | Mla (rd, rn, rm, ra) ->
+    Printf.sprintf "%s %s, %s, %s, %s" (m "mla") (reg_name rd) (reg_name rn)
+      (reg_name rm) (reg_name ra)
+  | Udiv (rd, rn, rm) ->
+    Printf.sprintf "%s %s, %s, %s" (m "udiv") (reg_name rd) (reg_name rn)
+      (reg_name rm)
+  | Mem { ld; size; rt; rn; off; idx } ->
+    let opn = (if ld then "ldr" else "str")
+              ^ (match size with Word -> "" | Byte -> "b" | Half -> "h")
+              ^ c ^ w in
+    (match idx with
+    | Offset -> Printf.sprintf "%s %s, [%s%s]" opn (reg_name rt) (reg_name rn)
+                  (string_of_off off)
+    | Pre -> Printf.sprintf "%s %s, [%s%s]!" opn (reg_name rt) (reg_name rn)
+               (string_of_off off)
+    | Post ->
+      let suffix =
+        match off with
+        | Oimm i -> Printf.sprintf "#%d" i
+        | Oreg (r, LSL, 0) -> reg_name r
+        | Oreg (r, k, a) ->
+          Printf.sprintf "%s, %s #%d" (reg_name r) (shift_name k) a
+      in
+      Printf.sprintf "%s %s, [%s], %s" opn (reg_name rt) (reg_name rn) suffix)
+  | Ldm (rn, wb, regs) ->
+    if rn = sp && wb then Printf.sprintf "%s %s" (m "pop") (string_of_reglist regs)
+    else
+      Printf.sprintf "%s %s%s, %s" (m "ldm") (reg_name rn) (if wb then "!" else "")
+        (string_of_reglist regs)
+  | Stm (rn, wb, regs) ->
+    if rn = sp && wb then Printf.sprintf "%s %s" (m "push") (string_of_reglist regs)
+    else
+      Printf.sprintf "%s %s%s, %s" (m "stmdb") (reg_name rn)
+        (if wb then "!" else "") (string_of_reglist regs)
+  | B off -> Printf.sprintf "b%s%s .%+d" c w off
+  | Bl off -> Printf.sprintf "bl%s .%+d" c off
+  | Bx r -> Printf.sprintf "bx%s %s" c (reg_name r)
+  | Blx_r r -> Printf.sprintf "blx%s %s" c (reg_name r)
+  | Clz (rd, rm) -> Printf.sprintf "%s %s, %s" (m "clz") (reg_name rd) (reg_name rm)
+  | Sxt (sz, rd, rm) ->
+    Printf.sprintf "%s %s, %s"
+      (m (match sz with Byte -> "sxtb" | Half -> "sxth" | Word -> "sxtw"))
+      (reg_name rd) (reg_name rm)
+  | Uxt (sz, rd, rm) ->
+    Printf.sprintf "%s %s, %s"
+      (m (match sz with Byte -> "uxtb" | Half -> "uxth" | Word -> "uxtw"))
+      (reg_name rd) (reg_name rm)
+  | Rev (rd, rm) -> Printf.sprintf "%s %s, %s" (m "rev") (reg_name rd) (reg_name rm)
+  | Mrs rd -> Printf.sprintf "%s %s, apsr" (m "mrs") (reg_name rd)
+  | Msr rd -> Printf.sprintf "%s apsr, %s" (m "msr") (reg_name rd)
+  | Svc n -> Printf.sprintf "svc%s #%d" c n
+  | Wfi -> m "wfi"
+  | Cps true -> "cpsie i"
+  | Cps false -> "cpsid i"
+  | Irq_ret -> m "irqret"
+  | Swp (rd, rm, rn) ->
+    Printf.sprintf "%s %s, %s, [%s]" (m "swp") (reg_name rd) (reg_name rm)
+      (reg_name rn)
+  | Nop -> m "nop"
+  | Udf n -> Printf.sprintf "udf #%d" n
+
+(** Registers read by an instruction (approximate; used by the translator
+    for scratch-register pressure checks and by tests). *)
+let regs_read { op; _ } =
+  let of_op2 = function
+    | Imm _ -> []
+    | Reg r -> [ r ]
+    | Sreg (r, _, _) -> [ r ]
+    | Sregreg (r, _, rs) -> [ r; rs ]
+  in
+  let of_off = function Oimm _ -> [] | Oreg (r, _, _) -> [ r ] in
+  match op with
+  | Dp ((MOV | MVN), _, _, _, op2) -> of_op2 op2
+  | Dp (_, _, _, rn, op2) -> rn :: of_op2 op2
+  | Movw _ -> []
+  | Movt (rd, _) -> [ rd ]
+  | Mul (_, _, rn, rm) -> [ rn; rm ]
+  | Mla (_, rn, rm, ra) -> [ rn; rm; ra ]
+  | Udiv (_, rn, rm) -> [ rn; rm ]
+  | Mem { ld; rt; rn; off; _ } ->
+    (rn :: of_off off) @ (if ld then [] else [ rt ])
+  | Ldm (rn, _, _) -> [ rn ]
+  | Stm (rn, _, regs) -> rn :: regs
+  | B _ | Bl _ -> []
+  | Bx r | Blx_r r -> [ r ]
+  | Clz (_, rm) | Sxt (_, _, rm) | Uxt (_, _, rm) | Rev (_, rm) -> [ rm ]
+  | Mrs _ -> []
+  | Msr r -> [ r ]
+  | Svc _ | Wfi | Cps _ | Irq_ret | Nop | Udf _ -> []
+  | Swp (_, rm, rn) -> [ rm; rn ]
+
+(** Registers written by an instruction. *)
+let regs_written { op; _ } =
+  match op with
+  | Dp ((CMP | CMN | TST | TEQ), _, _, _, _) -> []
+  | Dp (_, _, rd, _, _) -> [ rd ]
+  | Movw (rd, _) | Movt (rd, _) -> [ rd ]
+  | Mul (_, rd, _, _) | Mla (rd, _, _, _) | Udiv (rd, _, _) -> [ rd ]
+  | Mem { ld; rt; rn; idx; _ } ->
+    (if ld then [ rt ] else []) @ (if idx <> Offset then [ rn ] else [])
+  | Ldm (rn, wb, regs) -> regs @ (if wb then [ rn ] else [])
+  | Stm (rn, wb, _) -> if wb then [ rn ] else []
+  | B _ -> []
+  | Bl _ -> [ lr ]
+  | Bx _ -> []
+  | Blx_r _ -> [ lr ]
+  | Clz (rd, _) | Sxt (_, rd, _) | Uxt (_, rd, _) | Rev (rd, _) -> [ rd ]
+  | Mrs rd -> [ rd ]
+  | Msr _ -> []
+  | Svc _ | Wfi | Cps _ | Irq_ret | Nop | Udf _ -> []
+  | Swp (rd, _, _) -> [ rd ]

@@ -1,0 +1,247 @@
+(** The guest ISA ("V7A"), modelled on ARMv7-A A32.
+
+    Fixed 32-bit encodings. The CPU of the simulated SoC executes V7A; the
+    mini monolithic kernel is compiled to V7A by {!Tk_kcc}; the DBT engine
+    decodes V7A words out of kernel memory and re-encodes them as
+    {!V7m} words.
+
+    The encoding layout is our own (documented below), not the
+    architectural A32 layout, but it preserves the properties that matter
+    to the paper: an 8-bit-rotated immediate form, full shift modes on
+    operand2 and on load/store register offsets, pre/post-indexed
+    writeback addressing, and a handful of instructions (RSC, SWP, ...)
+    with no host counterpart.
+
+    Layout: [cond(4) @28 | class(3) @25 | payload(25)].
+    {ul
+    {- class 0: Dp imm — op(4)@21 s@20 rd@16 rn@12 rot(4)@8 imm8@0}
+    {- class 1: Dp reg — op(4)@21 s@20 rd@16 rn@12 rm@8 kind(2)@6 byreg@5 amt(5)@0}
+    {- class 2: Mem imm — ld@24 size(2)@22 rt@18 rn@14 idx(2)@12 sign@11 imm11@0}
+    {- class 3: Mem reg — ld@24 size(2)@22 rt@18 rn@14 idx(2)@12 rm@8 kind(2)@6 amt(5)@1}
+    {- class 4: Ldm/Stm — ld@24 wb@23 rn@19 reglist16@0}
+    {- class 5: branch — sub(2)@23; B/BL: word offset s23@0; BX/BLX: rm@0}
+    {- class 6: misc — sub(5)@20, see source}
+    {- class 7: Movw/Movt — which@20 rd@16 imm16@0}} *)
+
+open Types
+
+exception Decode_error of int
+
+(** [imm_ok v] — can [v] be encoded as an A32-style immediate, i.e. an
+    8-bit value rotated right by an even amount? *)
+let imm_ok v =
+  let v = Bits.mask32 v in
+  let rec go k = k < 16 && (Bits.rol32 v (2 * k) < 256 || go (k + 1)) in
+  go 0
+
+(** [encode_imm v] is [(rot, imm8)] such that [ror32 imm8 (2*rot) = v]. *)
+let encode_imm v =
+  let v = Bits.mask32 v in
+  let rec go k =
+    if k >= 16 then None
+    else
+      let r = Bits.rol32 v (2 * k) in
+      if r < 256 then Some (k, r) else go (k + 1)
+  in
+  go 0
+
+(** Maximum magnitude of a load/store immediate offset. *)
+let mem_imm_max = 2047
+
+let idx_to_int = function Offset -> 0 | Pre -> 1 | Post -> 2
+
+let idx_of_int = function
+  | 0 -> Offset | 1 -> Pre | 2 -> Post
+  | n -> invalid_arg (Printf.sprintf "idx_of_int %d" n)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(** [encode i] encodes [i] to a 32-bit word, or [Error reason] when the
+    shape is not expressible in V7A (e.g. out-of-range immediates). *)
+let encode { cond; op } : (int, string) result =
+  let open Bits in
+  let w klass payload = put (put payload 25 3 klass) 28 4 (int_of_cond cond) in
+  match op with
+  | Dp (o, s, rd, rn, Imm v) ->
+    (match encode_imm v with
+    | None -> err "v7a: immediate 0x%x not encodable" v
+    | Some (rot, imm8) ->
+      let p = put 0 21 4 (int_of_dp_op o) in
+      let p = put p 20 1 (Bool.to_int s) in
+      let p = put p 16 4 rd in
+      let p = put p 12 4 rn in
+      let p = put p 8 4 rot in
+      Ok (w 0 (put p 0 8 imm8)))
+  | Dp (o, s, rd, rn, (Reg _ | Sreg _ | Sregreg _ as op2)) ->
+    let rm, kind, byreg, amt =
+      match op2 with
+      | Reg rm -> rm, LSL, 0, 0
+      | Sreg (rm, k, a) -> rm, k, 0, a
+      | Sregreg (rm, k, rs) -> rm, k, 1, rs
+      | Imm _ -> assert false
+    in
+    if amt > 31 then err "v7a: shift amount %d > 31" amt
+    else
+      let p = put 0 21 4 (int_of_dp_op o) in
+      let p = put p 20 1 (Bool.to_int s) in
+      let p = put p 16 4 rd in
+      let p = put p 12 4 rn in
+      let p = put p 8 4 rm in
+      let p = put p 6 2 (int_of_shift_kind kind) in
+      let p = put p 5 1 byreg in
+      Ok (w 1 (put p 0 5 amt))
+  | Mem { ld; size; rt; rn; off = Oimm o; idx } ->
+    if abs o > mem_imm_max then err "v7a: mem offset %d out of range" o
+    else
+      let p = put 0 24 1 (Bool.to_int ld) in
+      let p = put p 22 2 (int_of_mem_size size) in
+      let p = put p 18 4 rt in
+      let p = put p 14 4 rn in
+      let p = put p 12 2 (idx_to_int idx) in
+      let p = put p 11 1 (if o < 0 then 1 else 0) in
+      Ok (w 2 (put p 0 11 (abs o)))
+  | Mem { ld; size; rt; rn; off = Oreg (rm, kind, amt); idx } ->
+    if amt > 31 then err "v7a: mem shift %d > 31" amt
+    else
+      let p = put 0 24 1 (Bool.to_int ld) in
+      let p = put p 22 2 (int_of_mem_size size) in
+      let p = put p 18 4 rt in
+      let p = put p 14 4 rn in
+      let p = put p 12 2 (idx_to_int idx) in
+      let p = put p 8 4 rm in
+      let p = put p 6 2 (int_of_shift_kind kind) in
+      Ok (w 3 (put p 1 5 amt))
+  | Ldm (rn, wb, regs) | Stm (rn, wb, regs) ->
+    let ld = match op with Ldm _ -> 1 | _ -> 0 in
+    let* list =
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          if r > 15 then err "v7a: bad reg %d" r else Ok (acc lor (1 lsl r)))
+        (Ok 0) regs
+    in
+    let p = put 0 24 1 ld in
+    let p = put p 23 1 (Bool.to_int wb) in
+    let p = put p 19 4 rn in
+    Ok (w 4 (put p 0 16 list))
+  | B off | Bl off ->
+    if off land 3 <> 0 then err "v7a: unaligned branch offset %d" off
+    else
+      let wo = off asr 2 in
+      if wo < -(1 lsl 22) || wo >= 1 lsl 22 then
+        err "v7a: branch offset %d out of range" off
+      else
+        let sub = match op with B _ -> 0 | _ -> 1 in
+        let p = put 0 23 2 sub in
+        Ok (w 5 (put p 0 23 (wo land 0x7FFFFF)))
+  | Bx r -> Ok (w 5 (put (put 0 23 2 2) 0 4 r))
+  | Blx_r r -> Ok (w 5 (put (put 0 23 2 3) 0 4 r))
+  | Mul (s, rd, rn, rm) ->
+    let p = put (put (put (put 0 16 1 (Bool.to_int s)) 12 4 rd) 8 4 rn) 4 4 rm in
+    Ok (w 6 (put p 20 5 0))
+  | Mla (rd, rn, rm, ra) ->
+    let p = put (put (put (put 0 16 4 rd) 12 4 rn) 8 4 rm) 4 4 ra in
+    Ok (w 6 (put p 20 5 1))
+  | Udiv (rd, rn, rm) ->
+    Ok (w 6 (put (put (put (put 0 20 5 2) 12 4 rd) 8 4 rn) 4 4 rm))
+  | Clz (rd, rm) -> Ok (w 6 (put (put (put 0 20 5 3) 4 4 rd) 0 4 rm))
+  | Sxt (sz, rd, rm) ->
+    Ok (w 6 (put (put (put (put 0 20 5 4) 8 2 (int_of_mem_size sz)) 4 4 rd) 0 4 rm))
+  | Uxt (sz, rd, rm) ->
+    Ok (w 6 (put (put (put (put 0 20 5 5) 8 2 (int_of_mem_size sz)) 4 4 rd) 0 4 rm))
+  | Rev (rd, rm) -> Ok (w 6 (put (put (put 0 20 5 6) 4 4 rd) 0 4 rm))
+  | Mrs rd -> Ok (w 6 (put (put 0 20 5 7) 0 4 rd))
+  | Msr rd -> Ok (w 6 (put (put 0 20 5 8) 0 4 rd))
+  | Svc n -> Ok (w 6 (put (put 0 20 5 9) 0 16 n))
+  | Wfi -> Ok (w 6 (put 0 20 5 10))
+  | Cps en -> Ok (w 6 (put (put 0 20 5 11) 0 1 (Bool.to_int en)))
+  | Irq_ret -> Ok (w 6 (put 0 20 5 12))
+  | Swp (rd, rm, rn) ->
+    Ok (w 6 (put (put (put (put 0 20 5 13) 8 4 rd) 4 4 rm) 0 4 rn))
+  | Nop -> Ok (w 6 (put 0 20 5 14))
+  | Udf n -> Ok (w 6 (put (put 0 20 5 15) 0 16 n))
+  | Movw (rd, i) ->
+    if i > 0xFFFF then err "v7a: movw imm 0x%x" i
+    else Ok (w 7 (put (put (put 0 20 1 0) 16 4 rd) 0 16 i))
+  | Movt (rd, i) ->
+    if i > 0xFFFF then err "v7a: movt imm 0x%x" i
+    else Ok (w 7 (put (put (put 0 20 1 1) 16 4 rd) 0 16 i))
+
+(** [encode_exn i] is [encode i], raising [Invalid_argument] on failure. *)
+let encode_exn i =
+  match encode i with Ok w -> w | Error e -> invalid_arg e
+
+(** [decode w] decodes a V7A word back to the AST.
+    @raise Decode_error on malformed words. *)
+let decode word : inst =
+  let open Bits in
+  let cond = cond_of_int (get word 28 4) in
+  let p = word land 0x1FFFFFF in
+  let op =
+    match get word 25 3 with
+    | 0 ->
+      let o = dp_op_of_int (get p 21 4) in
+      let s = get p 20 1 = 1 in
+      let v = Bits.ror32 (get p 0 8) (2 * get p 8 4) in
+      Dp (o, s, get p 16 4, get p 12 4, Imm v)
+    | 1 ->
+      let o = dp_op_of_int (get p 21 4) in
+      let s = get p 20 1 = 1 in
+      let rm = get p 8 4 in
+      let kind = shift_kind_of_int (get p 6 2) in
+      let amt = get p 0 5 in
+      let op2 =
+        if get p 5 1 = 1 then Sregreg (rm, kind, amt land 0xF)
+        else if kind = LSL && amt = 0 then Reg rm
+        else Sreg (rm, kind, amt)
+      in
+      Dp (o, s, get p 16 4, get p 12 4, op2)
+    | 2 ->
+      let o = get p 0 11 in
+      let o = if get p 11 1 = 1 then -o else o in
+      Mem { ld = get p 24 1 = 1; size = mem_size_of_int (get p 22 2);
+            rt = get p 18 4; rn = get p 14 4; idx = idx_of_int (get p 12 2);
+            off = Oimm o }
+    | 3 ->
+      Mem { ld = get p 24 1 = 1; size = mem_size_of_int (get p 22 2);
+            rt = get p 18 4; rn = get p 14 4; idx = idx_of_int (get p 12 2);
+            off = Oreg (get p 8 4, shift_kind_of_int (get p 6 2), get p 1 5) }
+    | 4 ->
+      let regs =
+        List.filter (fun r -> bit p r) (List.init 16 Fun.id)
+      in
+      let rn = get p 19 4 and wb = get p 23 1 = 1 in
+      if get p 24 1 = 1 then Ldm (rn, wb, regs) else Stm (rn, wb, regs)
+    | 5 ->
+      (match get p 23 2 with
+      | 0 -> B (Bits.sext (get p 0 23) 23 * 4)
+      | 1 -> Bl (Bits.sext (get p 0 23) 23 * 4)
+      | 2 -> Bx (get p 0 4)
+      | _ -> Blx_r (get p 0 4))
+    | 6 ->
+      (match get p 20 5 with
+      | 0 -> Mul (get p 16 1 = 1, get p 12 4, get p 8 4, get p 4 4)
+      | 1 -> Mla (get p 16 4, get p 12 4, get p 8 4, get p 4 4)
+      | 2 -> Udiv (get p 12 4, get p 8 4, get p 4 4)
+      | 3 -> Clz (get p 4 4, get p 0 4)
+      | 4 -> Sxt (mem_size_of_int (get p 8 2), get p 4 4, get p 0 4)
+      | 5 -> Uxt (mem_size_of_int (get p 8 2), get p 4 4, get p 0 4)
+      | 6 -> Rev (get p 4 4, get p 0 4)
+      | 7 -> Mrs (get p 0 4)
+      | 8 -> Msr (get p 0 4)
+      | 9 -> Svc (get p 0 16)
+      | 10 -> Wfi
+      | 11 -> Cps (get p 0 1 = 1)
+      | 12 -> Irq_ret
+      | 13 -> Swp (get p 8 4, get p 4 4, get p 0 4)
+      | 14 -> Nop
+      | 15 -> Udf (get p 0 16)
+      | _ -> raise (Decode_error word))
+    | 7 ->
+      if get p 20 1 = 0 then Movw (get p 16 4, get p 0 16)
+      else Movt (get p 16 4, get p 0 16)
+    | _ -> raise (Decode_error word)
+  in
+  { cond; op }

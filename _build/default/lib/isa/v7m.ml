@@ -1,0 +1,290 @@
+(** The host ISA ("V7M"), modelled on ARMv7-M Thumb-2.
+
+    This is what the peripheral core executes; the DBT engine emits V7M
+    words into the code cache. Same register file, same NZCV flags, same
+    PC/LR/SP conventions as {!V7a} — but with the ARMv7-M restrictions the
+    paper's translation rules (Table 3) revolve around:
+
+    {ul
+    {- {b Constant constraints}: data-processing immediates use the
+       Thumb-2 "modified immediate" scheme ({!imm_ok}) — a strictly
+       different set from V7A's rotated 8-bit immediates;}
+    {- {b No side effects}: no pre/post-indexed addressing with register
+       offsets; immediate writeback offsets limited to ±255;}
+    {- {b Restricted shift modes}: load/store register offsets shift only
+       by LSL #0..3; shift-by-register appears only as a bare move;}
+    {- {b Missing counterparts}: RSC, SWP and exception-return have no
+       V7M encoding.}}
+
+    Every instruction is conditional (standing in for Thumb-2 IT blocks),
+    which keeps identity translation of conditional guest code 1:1.
+
+    Layout: [cond(4) @28 | class(3) @25 | payload(25)] with class codes and
+    field positions deliberately different from V7A, so "identity"
+    translation is still a genuine re-encoding. *)
+
+open Types
+
+exception Decode_error of int
+
+(* ---------------- Thumb-2 style modified immediates ------------------ *)
+
+(** [encode_imm v] encodes [v] as a 12-bit modified-immediate code:
+    - [v < 256]: code = v;
+    - [0x00XY00XY]: selector 1; [0xXY00XY00]: selector 2;
+      [0xXYXYXYXY]: selector 3 (selector in bits 9:8);
+    - otherwise [v = ror32 (0x80 lor low7) rot] with [rot] in 8..31:
+      code = rot<<7 | low7. *)
+let encode_imm v =
+  let v = Bits.mask32 v in
+  if v < 256 then Some v
+  else
+    let b = v land 0xFF in
+    let b2 = (v lsr 8) land 0xFF in
+    if v = b lor (b lsl 16) && b <> 0 then Some (0x100 lor b)
+    else if v = (b2 lsl 8) lor (b2 lsl 24) && b2 <> 0 then Some (0x200 lor b2)
+    else if v = b lor (b lsl 8) lor (b lsl 16) lor (b lsl 24) && b <> 0 then
+      Some (0x300 lor b)
+    else
+        let rec go rot =
+          if rot > 31 then None
+          else
+            let b = Bits.rol32 v rot in
+            if b >= 0x80 && b < 0x100 then Some ((rot lsl 7) lor (b land 0x7F))
+            else go (rot + 1)
+        in
+        go 8
+
+(** [decode_imm code] inverts {!encode_imm}. *)
+let decode_imm code =
+  if code < 0x100 then code
+  else if code < 0x400 then
+    let b = code land 0xFF in
+    match (code lsr 8) land 3 with
+    | 1 -> b lor (b lsl 16)
+    | 2 -> (b lsl 8) lor (b lsl 24)
+    | 3 -> b lor (b lsl 8) lor (b lsl 16) lor (b lsl 24)
+    | _ -> assert false
+  else
+    let rot = (code lsr 7) land 0x1F in
+    let b = 0x80 lor (code land 0x7F) in
+    Bits.ror32 b rot
+
+(** [imm_ok v] — is [v] a valid V7M data-processing immediate? *)
+let imm_ok v = encode_imm v <> None
+
+(** Offset range limits (Thumb-2 LDR/STR immediate forms). *)
+let mem_offset_pos_max = 4095
+
+let mem_offset_neg_max = 255
+let mem_wb_max = 255
+
+(** [mem_imm_ok ~idx off] — is immediate offset [off] encodable under
+    addressing mode [idx]? *)
+let mem_imm_ok ~idx off =
+  match idx with
+  | Offset -> off >= -mem_offset_neg_max && off <= mem_offset_pos_max
+  | Pre | Post -> abs off <= mem_wb_max
+
+let idx_to_int = function Offset -> 0 | Pre -> 1 | Post -> 2
+
+let idx_of_int = function
+  | 0 -> Offset | 1 -> Pre | 2 -> Post
+  | n -> invalid_arg (Printf.sprintf "idx_of_int %d" n)
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+(** [encode i] encodes [i] as a V7M word, or [Error reason] if the shape
+    has no V7M counterpart — exactly the cases the DBT must legalize with
+    amendment instructions. *)
+let encode { cond; op } : (int, string) result =
+  let open Bits in
+  let w klass payload = put (put payload 25 3 klass) 28 4 (int_of_cond cond) in
+  match op with
+  | Dp (RSC, _, _, _, _) -> err "v7m: RSC has no counterpart"
+  | Dp (o, s, rd, rn, Imm v) ->
+    (match encode_imm v with
+    | None -> err "v7m: immediate 0x%x not a modified constant" v
+    | Some code ->
+      let p = put 0 21 4 (int_of_dp_op o) in
+      let p = put p 20 1 (Bool.to_int s) in
+      let p = put p 16 4 rn in
+      let p = put p 12 4 rd in
+      Ok (w 6 (put p 0 12 code)))
+  | Dp (o, s, rd, rn, (Reg _ | Sreg _ | Sregreg _ as op2)) ->
+    let* rm, kind, byreg, amt =
+      match op2 with
+      | Reg rm -> Ok (rm, LSL, 0, 0)
+      | Sreg (rm, k, a) ->
+        if a > 31 then err "v7m: shift %d > 31" a else Ok (rm, k, 0, a)
+      | Sregreg (rm, k, rs) ->
+        if o <> MOV then
+          err "v7m: register-shift only as a bare move (got %s)" (dp_name o)
+        else Ok (rm, k, 1, rs)
+      | Imm _ -> assert false
+    in
+    let p = put 0 20 5 amt in
+    let p = put p 16 4 (int_of_dp_op o) in
+    let p = put p 15 1 (Bool.to_int s) in
+    let p = put p 14 1 byreg in
+    let p = put p 12 2 (int_of_shift_kind kind) in
+    let p = put p 8 4 rn in
+    let p = put p 4 4 rd in
+    Ok (w 2 (put p 0 4 rm))
+  | Mem { ld; size; rt; rn; off = Oimm o; idx } ->
+    if not (mem_imm_ok ~idx o) then
+      err "v7m: mem offset %d out of range for this addressing mode" o
+    else
+      let p = put 0 24 1 (Bool.to_int ld) in
+      let p = put p 22 2 (int_of_mem_size size) in
+      let p = put p 18 4 rt in
+      let p = put p 14 4 rn in
+      let mode, rest =
+        match idx with
+        | Offset when o >= 0 -> 0, o
+        | Offset -> 1, -o
+        | Pre -> 2, (if o < 0 then 0x100 lor (-o) else o)
+        | Post -> 3, (if o < 0 then 0x100 lor (-o) else o)
+      in
+      Ok (w 0 (put (put p 12 2 mode) 0 12 rest))
+  | Mem { ld; size; rt; rn; off = Oreg (rm, kind, amt); idx } ->
+    if idx <> Offset then err "v7m: no writeback with register offsets"
+    else if kind <> LSL || amt > 3 then
+      err "v7m: register offset shift must be LSL #0..3"
+    else
+      let p = put 0 24 1 (Bool.to_int ld) in
+      let p = put p 22 2 (int_of_mem_size size) in
+      let p = put p 18 4 rt in
+      let p = put p 14 4 rn in
+      let p = put p 10 4 rm in
+      Ok (w 4 (put p 8 2 amt))
+  | Ldm (rn, wb, regs) | Stm (rn, wb, regs) ->
+    let ld = match op with Ldm _ -> 1 | _ -> 0 in
+    let list = List.fold_left (fun acc r -> acc lor (1 lsl r)) 0 regs in
+    let p = put 0 21 1 ld in
+    let p = put p 20 1 (Bool.to_int wb) in
+    let p = put p 16 4 rn in
+    Ok (w 1 (put p 0 16 list))
+  | B off | Bl off ->
+    if off land 3 <> 0 then err "v7m: unaligned branch offset %d" off
+    else
+      let wo = off asr 2 in
+      if wo < -(1 lsl 22) || wo >= 1 lsl 22 then
+        err "v7m: branch offset %d out of range" off
+      else
+        let sub = match op with B _ -> 0 | _ -> 1 in
+        Ok (w 7 (put (put 0 0 2 sub) 2 23 (wo land 0x7FFFFF)))
+  | Bx r -> Ok (w 7 (put (put 0 0 2 2) 2 4 r))
+  | Blx_r r -> Ok (w 7 (put (put 0 0 2 3) 2 4 r))
+  | Swp _ -> err "v7m: SWP has no counterpart"
+  | Irq_ret -> err "v7m: guest exception-return has no counterpart"
+  | Mul (s, rd, rn, rm) ->
+    let p = put (put (put (put 0 16 1 (Bool.to_int s)) 12 4 rd) 8 4 rn) 4 4 rm in
+    Ok (w 3 (put p 20 5 0))
+  | Mla (rd, rn, rm, ra) ->
+    let p = put (put (put (put 0 16 4 rd) 12 4 rn) 8 4 rm) 4 4 ra in
+    Ok (w 3 (put p 20 5 1))
+  | Udiv (rd, rn, rm) ->
+    Ok (w 3 (put (put (put (put 0 20 5 2) 12 4 rd) 8 4 rn) 4 4 rm))
+  | Clz (rd, rm) -> Ok (w 3 (put (put (put 0 20 5 3) 4 4 rd) 0 4 rm))
+  | Sxt (sz, rd, rm) ->
+    Ok (w 3 (put (put (put (put 0 20 5 4) 8 2 (int_of_mem_size sz)) 4 4 rd) 0 4 rm))
+  | Uxt (sz, rd, rm) ->
+    Ok (w 3 (put (put (put (put 0 20 5 5) 8 2 (int_of_mem_size sz)) 4 4 rd) 0 4 rm))
+  | Rev (rd, rm) -> Ok (w 3 (put (put (put 0 20 5 6) 4 4 rd) 0 4 rm))
+  | Mrs rd -> Ok (w 3 (put (put 0 20 5 7) 0 4 rd))
+  | Msr rd -> Ok (w 3 (put (put 0 20 5 8) 0 4 rd))
+  | Svc n -> Ok (w 3 (put (put 0 20 5 9) 0 16 n))
+  | Wfi -> Ok (w 3 (put 0 20 5 10))
+  | Cps en -> Ok (w 3 (put (put 0 20 5 11) 0 1 (Bool.to_int en)))
+  | Nop -> Ok (w 3 (put 0 20 5 14))
+  | Udf n -> Ok (w 3 (put (put 0 20 5 15) 0 16 n))
+  | Movw (rd, i) ->
+    if i > 0xFFFF then err "v7m: movw imm 0x%x" i
+    else Ok (w 5 (put (put (put 0 24 1 0) 20 4 rd) 0 16 i))
+  | Movt (rd, i) ->
+    if i > 0xFFFF then err "v7m: movt imm 0x%x" i
+    else Ok (w 5 (put (put (put 0 24 1 1) 20 4 rd) 0 16 i))
+
+(** [encode_exn i] is [encode i], raising [Invalid_argument] on failure. *)
+let encode_exn i =
+  match encode i with Ok w -> w | Error e -> invalid_arg e
+
+(** [encodable i] — does [i] encode as-is (the DBT identity-rule test)? *)
+let encodable i = Result.is_ok (encode i)
+
+(** [decode w] decodes a V7M word.
+    @raise Decode_error on malformed words. *)
+let decode word : inst =
+  let open Bits in
+  let cond = cond_of_int (get word 28 4) in
+  let p = word land 0x1FFFFFF in
+  let op =
+    match get word 25 3 with
+    | 6 ->
+      let o = dp_op_of_int (get p 21 4) in
+      let s = get p 20 1 = 1 in
+      Dp (o, s, get p 12 4, get p 16 4, Imm (decode_imm (get p 0 12)))
+    | 2 ->
+      let o = dp_op_of_int (get p 16 4) in
+      let s = get p 15 1 = 1 in
+      let kind = shift_kind_of_int (get p 12 2) in
+      let amt = get p 20 5 in
+      let rm = get p 0 4 in
+      let op2 =
+        if get p 14 1 = 1 then Sregreg (rm, kind, amt land 0xF)
+        else if kind = LSL && amt = 0 then Reg rm
+        else Sreg (rm, kind, amt)
+      in
+      Dp (o, s, get p 4 4, get p 8 4, op2)
+    | 0 ->
+      let mode = get p 12 2 in
+      let rest = get p 0 12 in
+      let idx, o =
+        match mode with
+        | 0 -> Offset, rest
+        | 1 -> Offset, -rest
+        | 2 -> Pre, (if rest land 0x100 <> 0 then -(rest land 0xFF) else rest land 0xFF)
+        | _ -> Post, (if rest land 0x100 <> 0 then -(rest land 0xFF) else rest land 0xFF)
+      in
+      Mem { ld = get p 24 1 = 1; size = mem_size_of_int (get p 22 2);
+            rt = get p 18 4; rn = get p 14 4; idx; off = Oimm o }
+    | 4 ->
+      Mem { ld = get p 24 1 = 1; size = mem_size_of_int (get p 22 2);
+            rt = get p 18 4; rn = get p 14 4; idx = Offset;
+            off = Oreg (get p 10 4, LSL, get p 8 2) }
+    | 1 ->
+      let regs = List.filter (fun r -> bit p r) (List.init 16 Fun.id) in
+      let rn = get p 16 4 and wb = get p 20 1 = 1 in
+      if get p 21 1 = 1 then Ldm (rn, wb, regs) else Stm (rn, wb, regs)
+    | 7 ->
+      (match get p 0 2 with
+      | 0 -> B (Bits.sext (get p 2 23) 23 * 4)
+      | 1 -> Bl (Bits.sext (get p 2 23) 23 * 4)
+      | 2 -> Bx (get p 2 4)
+      | _ -> Blx_r (get p 2 4))
+    | 3 ->
+      (match get p 20 5 with
+      | 0 -> Mul (get p 16 1 = 1, get p 12 4, get p 8 4, get p 4 4)
+      | 1 -> Mla (get p 16 4, get p 12 4, get p 8 4, get p 4 4)
+      | 2 -> Udiv (get p 12 4, get p 8 4, get p 4 4)
+      | 3 -> Clz (get p 4 4, get p 0 4)
+      | 4 -> Sxt (mem_size_of_int (get p 8 2), get p 4 4, get p 0 4)
+      | 5 -> Uxt (mem_size_of_int (get p 8 2), get p 4 4, get p 0 4)
+      | 6 -> Rev (get p 4 4, get p 0 4)
+      | 7 -> Mrs (get p 0 4)
+      | 8 -> Msr (get p 0 4)
+      | 9 -> Svc (get p 0 16)
+      | 10 -> Wfi
+      | 11 -> Cps (get p 0 1 = 1)
+      | 14 -> Nop
+      | 15 -> Udf (get p 0 16)
+      | _ -> raise (Decode_error word))
+    | 5 ->
+      if get p 24 1 = 0 then Movw (get p 20 4, get p 0 16)
+      else Movt (get p 20 4, get p 0 16)
+    | _ -> raise (Decode_error word)
+  in
+  { cond; op }

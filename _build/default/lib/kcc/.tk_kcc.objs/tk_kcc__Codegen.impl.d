@@ -1,0 +1,1 @@
+lib/kcc/codegen.ml: Asm Bits Ir List Option Printf String Tk_isa V7a

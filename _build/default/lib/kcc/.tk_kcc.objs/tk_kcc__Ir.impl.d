@@ -1,0 +1,1 @@
+lib/kcc/ir.ml: Tk_isa

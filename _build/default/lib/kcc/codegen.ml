@@ -1,0 +1,317 @@
+(** Code generation: IR -> V7A assembly fragments.
+
+    A deliberately simple compiler whose output resembles -O0/-O1 kernel
+    code: locals live in stack slots, expressions evaluate in the
+    callee-saved register stack r4..r9, calls follow AAPCS (r0-r3 args,
+    r0 result). Peepholes fold immediates into operands, use shifted
+    register offsets for array indexing and conditional branches for
+    comparisons — producing exactly the operand shapes (rotated
+    immediates, [ldr rT, [rn, rm, lsl #k]], dense conditional branches)
+    whose translation the paper's Table 3/4 is about.
+
+    r10 and r11 are never allocated: r10 is the guest register the DBT
+    designates as the host scratch (chosen as "the least used one in the
+    guest binary", §5.2) and r11 is the baseline engine's emulated-state
+    base. r12 is a call-clobbered scratch. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+exception Codegen_error of string
+
+let cg_err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* expression-stack registers *)
+let xreg depth =
+  if depth > 5 then cg_err "expression too deep (needs r%d)" (4 + depth)
+  else 4 + depth
+
+let saved_regs = [ 4; 5; 6; 7; 8; 9 ]
+
+let cond_of_cmp : Ir.binop -> cond option = function
+  | Eq -> Some EQ | Ne -> Some NE
+  | Ltu -> Some CC | Leu -> Some LS | Gtu -> Some HI | Geu -> Some CS
+  | Lts -> Some LT | Les -> Some LE | Gts -> Some GT | Ges -> Some GE
+  | _ -> None
+
+let mem_size_of : Ir.size -> mem_size = function
+  | Ir.W -> Word | Ir.B -> Byte | Ir.H -> Half
+
+type ctx = {
+  slots : (string * int) list;  (** variable -> stack slot index *)
+  frame_words : int;
+  mutable label_n : int;
+  fname : string;
+  mutable out : Asm.item list;  (** reversed *)
+  mutable loop_ends : string list;
+}
+
+let emit ctx it = ctx.out <- it :: ctx.out
+let ins ctx ?cond op = emit ctx (Asm.Ins (at ?cond op))
+
+let fresh_label ctx tag =
+  ctx.label_n <- ctx.label_n + 1;
+  Printf.sprintf ".L_%s_%s%d" ctx.fname tag ctx.label_n
+
+let slot ctx name =
+  match List.assoc_opt name ctx.slots with
+  | Some i -> 4 * i
+  | None -> cg_err "%s: unknown variable %s" ctx.fname name
+
+(** Materialize constant [n] into register [rd]. *)
+let load_const ctx rd n =
+  let n = Bits.mask32 n in
+  if V7a.imm_ok n then ins ctx (Dp (MOV, false, rd, 0, Imm n))
+  else if V7a.imm_ok (Bits.mask32 (lnot n)) then
+    ins ctx (Dp (MVN, false, rd, 0, Imm (Bits.mask32 (lnot n))))
+  else begin
+    ins ctx (Movw (rd, n land 0xFFFF));
+    if n lsr 16 <> 0 then ins ctx (Movt (rd, n lsr 16))
+  end
+
+(* Fold [e] into an operand2 if it is a small constant or fits a shifted
+   register; evaluates into the expression stack otherwise. *)
+let rec operand2 ctx depth (e : Ir.expr) : operand2 =
+  match e with
+  | Ir.Int n when V7a.imm_ok (Bits.mask32 n) -> Imm (Bits.mask32 n)
+  | Ir.Bin (Ir.Shl, a, Ir.Int k) when k >= 1 && k <= 31 ->
+    eval ctx depth a;
+    Sreg (xreg depth, LSL, k)
+  | Ir.Bin (Ir.Shr, a, Ir.Int k) when k >= 1 && k <= 31 ->
+    eval ctx depth a;
+    Sreg (xreg depth, LSR, k)
+  | Ir.Bin (Ir.Sar, a, Ir.Int k) when k >= 1 && k <= 31 ->
+    eval ctx depth a;
+    Sreg (xreg depth, ASR, k)
+  | e ->
+    eval ctx depth e;
+    Reg (xreg depth)
+
+(** Evaluate the address expression of a load/store into a (base, offset)
+    addressing mode at [depth]. *)
+and address ctx depth (e : Ir.expr) : reg * mem_off =
+  match e with
+  | Ir.Bin (Ir.Add, a, Ir.Int i) when abs i <= V7a.mem_imm_max ->
+    eval ctx depth a;
+    (xreg depth, Oimm i)
+  | Ir.Bin (Ir.Sub, a, Ir.Int i) when abs i <= V7a.mem_imm_max ->
+    eval ctx depth a;
+    (xreg depth, Oimm (-i))
+  | Ir.Bin (Ir.Add, a, Ir.Bin (Ir.Shl, b, Ir.Int k)) when k >= 0 && k <= 31 ->
+    eval ctx depth a;
+    eval ctx (depth + 1) b;
+    (xreg depth, Oreg (xreg (depth + 1), LSL, k))
+  | Ir.Bin (Ir.Add, a, b) ->
+    eval ctx depth a;
+    eval ctx (depth + 1) b;
+    (xreg depth, Oreg (xreg (depth + 1), LSL, 0))
+  | e ->
+    eval ctx depth e;
+    (xreg depth, Oimm 0)
+
+(** [eval ctx depth e] leaves the value of [e] in [xreg depth]. *)
+and eval ctx depth (e : Ir.expr) : unit =
+  let rt = xreg depth in
+  match e with
+  | Ir.Int n -> load_const ctx rt n
+  | Ir.Var name -> ins ctx (Mem { ld = true; size = Word; rt; rn = sp;
+                                  off = Oimm (slot ctx name); idx = Offset })
+  | Ir.Glob g -> emit ctx (Asm.Adr (rt, g))
+  | Ir.Not e ->
+    let op2 = operand2 ctx depth e in
+    ins ctx (Dp (MVN, false, rt, 0, op2))
+  | Ir.Neg e ->
+    eval ctx depth e;
+    ins ctx (Dp (RSB, false, rt, rt, Imm 0))
+  | Ir.Lnot e ->
+    eval ctx depth e;
+    ins ctx (Dp (CMP, false, 0, rt, Imm 0));
+    ins ctx (Dp (MOV, false, rt, 0, Imm 0));
+    ins ctx ~cond:EQ (Dp (MOV, false, rt, 0, Imm 1))
+  | Ir.Bin (op, a, b) ->
+    (match cond_of_cmp op with
+    | Some c ->
+      eval ctx depth a;
+      let op2 = operand2 ctx (depth + 1) b in
+      ins ctx (Dp (CMP, false, 0, rt, op2));
+      ins ctx (Dp (MOV, false, rt, 0, Imm 0));
+      ins ctx ~cond:c (Dp (MOV, false, rt, 0, Imm 1))
+    | None ->
+      (match op with
+      | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor ->
+        let dp = match op with
+          | Ir.Add -> ADD | Ir.Sub -> SUB | Ir.And -> AND
+          | Ir.Or -> ORR | Ir.Xor -> EOR | _ -> assert false
+        in
+        eval ctx depth a;
+        let op2 = operand2 ctx (depth + 1) b in
+        ins ctx (Dp (dp, false, rt, rt, op2))
+      | Ir.Mul ->
+        eval ctx depth a;
+        eval ctx (depth + 1) b;
+        ins ctx (Mul (false, rt, rt, xreg (depth + 1)))
+      | Ir.Div ->
+        eval ctx depth a;
+        eval ctx (depth + 1) b;
+        ins ctx (Udiv (rt, rt, xreg (depth + 1)))
+      | Ir.Shl | Ir.Shr | Ir.Sar ->
+        let k = match op with
+          | Ir.Shl -> LSL | Ir.Shr -> LSR | Ir.Sar -> ASR | _ -> assert false
+        in
+        (match b with
+        | Ir.Int n when n >= 0 && n <= 31 ->
+          eval ctx depth a;
+          if n = 0 then () else ins ctx (Dp (MOV, false, rt, 0, Sreg (rt, k, n)))
+        | _ ->
+          eval ctx depth a;
+          eval ctx (depth + 1) b;
+          ins ctx (Dp (MOV, false, rt, 0, Sregreg (rt, k, xreg (depth + 1)))))
+      | Ir.Eq | Ir.Ne | Ir.Ltu | Ir.Leu | Ir.Gtu | Ir.Geu
+      | Ir.Lts | Ir.Les | Ir.Gts | Ir.Ges -> assert false))
+  | Ir.Load (sz, ea) ->
+    let rn, off = address ctx depth ea in
+    ins ctx (Mem { ld = true; size = mem_size_of sz; rt; rn; off; idx = Offset })
+  | Ir.Call (f, args) ->
+    eval_call ctx depth (`Direct f) args
+  | Ir.Callptr (p, args) ->
+    eval ctx depth p;
+    eval_call ctx (depth + 1) (`Indirect rt) args
+
+and eval_call ctx depth target args =
+  if List.length args > 4 then cg_err "%s: more than 4 call arguments" ctx.fname;
+  List.iteri (fun i a -> eval ctx (depth + i) a) args;
+  List.iteri
+    (fun i _ -> ins ctx (Dp (MOV, false, i, 0, Reg (xreg (depth + i)))))
+    args;
+  (match target with
+  | `Direct f -> emit ctx (Asm.Call f)
+  | `Indirect r -> ins ctx (Blx_r r));
+  (* result lands where the caller expects: one slot below [depth] for
+     indirect calls (the pointer occupied a slot), at [depth] otherwise *)
+  let rres = match target with `Direct _ -> xreg depth | `Indirect r -> r in
+  ins ctx (Dp (MOV, false, rres, 0, Reg 0))
+
+(* ------------------------- statements -------------------------------- *)
+
+let rec branch_if_false ctx (e : Ir.expr) label =
+  (* conditional branch peephole: compare-and-branch without
+     materializing the 0/1 value *)
+  match e with
+  | Ir.Int 0 -> emit ctx (Asm.Jmp label)
+  | Ir.Int _ -> ()
+  | Ir.Bin (op, a, b) when cond_of_cmp op <> None ->
+    let c = Option.get (cond_of_cmp op) in
+    eval ctx 0 a;
+    let op2 = operand2 ctx 1 b in
+    ins ctx (Dp (CMP, false, 0, xreg 0, op2));
+    emit ctx (Asm.Bcc (negate_cond c, label))
+  | Ir.Lnot e ->
+    branch_if_true ctx e label
+  | e ->
+    eval ctx 0 e;
+    ins ctx (Dp (CMP, false, 0, xreg 0, Imm 0));
+    emit ctx (Asm.Bcc (EQ, label))
+
+and branch_if_true ctx (e : Ir.expr) label =
+  match e with
+  | Ir.Int 0 -> ()
+  | Ir.Int _ -> emit ctx (Asm.Jmp label)
+  | Ir.Bin (op, a, b) when cond_of_cmp op <> None ->
+    let c = Option.get (cond_of_cmp op) in
+    eval ctx 0 a;
+    let op2 = operand2 ctx 1 b in
+    ins ctx (Dp (CMP, false, 0, xreg 0, op2));
+    emit ctx (Asm.Bcc (c, label))
+  | Ir.Lnot e -> branch_if_false ctx e label
+  | e ->
+    eval ctx 0 e;
+    ins ctx (Dp (CMP, false, 0, xreg 0, Imm 0));
+    emit ctx (Asm.Bcc (NE, label))
+
+let rec stmt ctx (s : Ir.stmt) =
+  match s with
+  | Ir.Assign (name, e) ->
+    eval ctx 0 e;
+    ins ctx (Mem { ld = false; size = Word; rt = xreg 0; rn = sp;
+                   off = Oimm (slot ctx name); idx = Offset })
+  | Ir.Store (sz, ea, ev) ->
+    let rn, off = address ctx 0 ea in
+    ignore rn;
+    (* keep address operands live below the value *)
+    let vdepth = match off with Oreg _ -> 2 | Oimm _ -> 1 in
+    eval ctx vdepth ev;
+    ins ctx (Mem { ld = false; size = mem_size_of sz; rt = xreg vdepth;
+                   rn = xreg 0; off; idx = Offset })
+  | Ir.If (c, t, e) ->
+    let lelse = fresh_label ctx "else" in
+    let lend = fresh_label ctx "endif" in
+    branch_if_false ctx c lelse;
+    List.iter (stmt ctx) t;
+    if e <> [] then emit ctx (Asm.Jmp lend);
+    emit ctx (Asm.Label lelse);
+    List.iter (stmt ctx) e;
+    if e <> [] then emit ctx (Asm.Label lend)
+  | Ir.While (c, body) ->
+    let lloop = fresh_label ctx "loop" in
+    let lend = fresh_label ctx "endloop" in
+    emit ctx (Asm.Label lloop);
+    branch_if_false ctx c lend;
+    ctx.loop_ends <- lend :: ctx.loop_ends;
+    List.iter (stmt ctx) body;
+    (match ctx.loop_ends with
+    | _ :: rest -> ctx.loop_ends <- rest
+    | [] -> assert false);
+    emit ctx (Asm.Jmp lloop);
+    emit ctx (Asm.Label lend)
+  | Ir.Break ->
+    (match ctx.loop_ends with
+    | l :: _ -> emit ctx (Asm.Jmp l)
+    | [] -> cg_err "%s: break outside loop" ctx.fname)
+  | Ir.Ret e ->
+    (match e with
+    | Some e ->
+      eval ctx 0 e;
+      ins ctx (Dp (MOV, false, 0, 0, Reg (xreg 0)))
+    | None -> ());
+    epilogue ctx
+  | Ir.Expr e -> eval ctx 0 e
+  | Ir.Asm items -> List.iter (emit ctx) items
+
+and epilogue ctx =
+  if ctx.frame_words > 0 then
+    ins ctx (Dp (ADD, false, sp, sp, Imm (4 * ctx.frame_words)));
+  ins ctx (Ldm (sp, true, saved_regs @ [ pc ]))
+
+(** [compile f] compiles one IR function into an assembly fragment. *)
+let compile (f : Ir.func) : Asm.fragment =
+  let vars = f.params @ f.locals in
+  let dup =
+    List.find_opt
+      (fun v -> List.length (List.filter (String.equal v) vars) > 1)
+      vars
+  in
+  (match dup with
+  | Some v -> cg_err "%s: duplicate variable %s" f.fname v
+  | None -> ());
+  if List.length f.params > 4 then cg_err "%s: more than 4 parameters" f.fname;
+  let ctx =
+    { slots = List.mapi (fun i v -> (v, i)) vars;
+      frame_words = List.length vars; label_n = 0; fname = f.fname;
+      out = []; loop_ends = [] }
+  in
+  (* prologue *)
+  ins ctx (Stm (sp, true, saved_regs @ [ lr ]));
+  if ctx.frame_words > 0 then
+    ins ctx (Dp (SUB, false, sp, sp, Imm (4 * ctx.frame_words)));
+  List.iteri
+    (fun i p ->
+      ins ctx (Mem { ld = false; size = Word; rt = i; rn = sp;
+                     off = Oimm (slot ctx p); idx = Offset }))
+    f.params;
+  List.iter (stmt ctx) f.body;
+  (* implicit return for void fall-through *)
+  epilogue ctx;
+  { Asm.name = f.fname; items = List.rev ctx.out }
+
+(** [compile_all funcs] compiles a translation unit. *)
+let compile_all funcs = List.map compile funcs

@@ -1,0 +1,108 @@
+(** Intermediate representation for guest kernel code.
+
+    The mini monolithic kernel ("minikern") is authored in this small
+    C-like IR and compiled to real V7A machine code by {!Codegen} — the
+    stand-in for GCC compiling Linux. The DBT engine therefore operates
+    on genuine guest binaries, not on OCaml closures.
+
+    Semantics: all values are 32-bit words; comparisons yield 0/1;
+    function calls pass up to 4 arguments in r0-r3 and return in r0 (the
+    AAPCS subset the kernel uses). *)
+
+type size = W | B | H
+
+type binop =
+  | Add | Sub | Mul | Div
+  | And | Or | Xor
+  | Shl | Shr  (* logical *) | Sar  (* arithmetic *)
+  | Eq | Ne
+  | Ltu | Leu | Gtu | Geu  (* unsigned compares *)
+  | Lts | Les | Gts | Ges  (* signed compares *)
+
+type expr =
+  | Int of int
+  | Var of string  (** local variable or parameter *)
+  | Glob of string  (** address of a linker symbol *)
+  | Bin of binop * expr * expr
+  | Not of expr  (** bitwise complement *)
+  | Neg of expr
+  | Lnot of expr  (** logical not: e = 0 ? 1 : 0 *)
+  | Load of size * expr
+  | Call of string * expr list
+  | Callptr of expr * expr list  (** call through a function pointer *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of size * expr * expr  (** [Store (sz, addr, value)] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Break
+  | Ret of expr option
+  | Expr of expr  (** evaluate for side effects (usually a call) *)
+  | Asm of Tk_isa.Asm.item list  (** inline assembly escape *)
+
+type func = {
+  fname : string;
+  params : string list;
+  locals : string list;
+  body : stmt list;
+}
+
+(** [func name ~params ~locals body] declares a function. *)
+let func ?(params = []) ?(locals = []) fname body =
+  { fname; params; locals; body }
+
+(* ------------------------ authoring DSL ----------------------------- *)
+
+let int n = Int n
+let v name = Var name
+let glob name = Glob name
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( land ) a b = Bin (And, a, b)
+let ( lor ) a b = Bin (Or, a, b)
+let ( lxor ) a b = Bin (Xor, a, b)
+let ( lsl ) a b = Bin (Shl, a, b)
+let ( lsr ) a b = Bin (Shr, a, b)
+let ( asr ) a b = Bin (Sar, a, b)
+let ( == ) a b = Bin (Eq, a, b)
+let ( != ) a b = Bin (Ne, a, b)
+let ( < ) a b = Bin (Ltu, a, b)
+let ( <= ) a b = Bin (Leu, a, b)
+let ( > ) a b = Bin (Gtu, a, b)
+let ( >= ) a b = Bin (Geu, a, b)
+let slt a b = Bin (Lts, a, b)
+let sle a b = Bin (Les, a, b)
+let sgt a b = Bin (Gts, a, b)
+let sge a b = Bin (Ges, a, b)
+let lnot e = Lnot e
+
+(** [bnot e] — bitwise complement. *)
+let bnot e = Not e
+
+(** [ldw a] / [ldb a] / [ldh a] — memory loads. *)
+let ldw a = Load (W, a)
+
+let ldb a = Load (B, a)
+let ldh a = Load (H, a)
+
+let call f args = Call (f, args)
+let callptr p args = Callptr (p, args)
+let assign name e = Assign (name, e)
+
+(** [stw a v] / [stb a v] / [sth a v] — memory stores. *)
+let stw a value = Store (W, a, value)
+
+let stb a value = Store (B, a, value)
+let sth a value = Store (H, a, value)
+
+let if_ c t e = If (c, t, e)
+let while_ c b = While (c, b)
+let ret e = Ret (Some e)
+let ret0 = Ret None
+let expr e = Expr e
+
+(** [forever body] is an infinite loop (daemon main loops). *)
+let forever body = While (Int 1, body)

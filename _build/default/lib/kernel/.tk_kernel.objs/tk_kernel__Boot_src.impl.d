@@ -1,0 +1,1 @@
+lib/kernel/boot_src.ml: Asm Hyper Ir Ksrc_util Layout Time_src Tk_isa Tk_kcc Tk_machine

@@ -1,0 +1,1 @@
+lib/kernel/image.ml: Alloc_src Asm Boot_src Hashtbl Irq_src Kabi Klib_src Layout List Locks_src Option Pm_src Sched_src Time_src Tk_isa Tk_kcc Tk_machine Work_src

@@ -1,0 +1,1 @@
+lib/kernel/irq_src.ml: Asm Ir Layout Stdlib Tk_isa Tk_kcc Tk_machine

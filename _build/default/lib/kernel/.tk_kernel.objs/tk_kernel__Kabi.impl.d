@@ -1,0 +1,1 @@
+lib/kernel/kabi.ml: Hashtbl List Printf

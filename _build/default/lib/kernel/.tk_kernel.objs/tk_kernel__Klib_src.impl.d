@@ -1,0 +1,1 @@
+lib/kernel/klib_src.ml: Asm Hyper Ir Ksrc_util Layout Tk_isa Tk_kcc

@@ -1,0 +1,1 @@
+lib/kernel/ksrc_util.ml: Asm Hyper Layout Tk_isa Tk_kcc

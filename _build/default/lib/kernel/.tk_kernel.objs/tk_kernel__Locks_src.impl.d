@@ -1,0 +1,1 @@
+lib/kernel/locks_src.ml: Asm Ir Ksrc_util Layout Tk_isa Tk_kcc

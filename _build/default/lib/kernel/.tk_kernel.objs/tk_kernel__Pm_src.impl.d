@@ -1,0 +1,1 @@
+lib/kernel/pm_src.ml: Asm Hyper Ir Ksrc_util Layout Stdlib Tk_isa Tk_kcc

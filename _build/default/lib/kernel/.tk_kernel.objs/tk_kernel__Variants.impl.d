@@ -1,0 +1,1 @@
+lib/kernel/variants.ml: Layout

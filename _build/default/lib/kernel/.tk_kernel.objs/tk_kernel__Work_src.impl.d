@@ -1,0 +1,1 @@
+lib/kernel/work_src.ml: Asm Ir Ksrc_util Layout Stdlib Tk_isa Tk_kcc

@@ -1,0 +1,132 @@
+(** Dynamic memory: buddy page allocator + slab (kmalloc/kfree).
+
+    Translated under ARK as a stateful service (§4.5): the offloaded
+    execution frees memory allocated on the CPU and vice versa, against
+    the same free lists in shared DRAM. The slow path (out of pages)
+    calls [kernel_oom] — a cold symbol, so under ARK it aborts offloading
+    (fallback); natively it WARNs and returns NULL. *)
+
+open Tk_isa
+open Tk_kcc
+open Ir
+
+let page_size = 4096
+let max_order = 7  (* up to 512 KiB blocks *)
+let n_classes = 7  (* 32..2048 bytes *)
+let class_sizes = [ 32; 64; 128; 256; 512; 1024; 2048 ]
+let slab_magic = 0x51AB0000
+let max_block = Stdlib.( lsl ) page_size max_order
+let buddy_top_off = Stdlib.( * ) max_order 4
+
+let funcs (_lay : Layout.t) : Ir.func list =
+  [ (* free-list helpers: blocks/objects link through their first word *)
+    func "fl_push" ~params:[ "headp"; "blk" ]
+      [ stw (v "blk") (ldw (v "headp"));
+        stw (v "headp") (v "blk");
+        ret0 ];
+    func "fl_pop" ~params:[ "headp" ] ~locals:[ "blk" ]
+      [ assign "blk" (ldw (v "headp"));
+        if_ (v "blk" != int 0) [ stw (v "headp") (ldw (v "blk")) ] [];
+        ret (v "blk") ];
+    func "fl_unlink" ~params:[ "headp"; "blk" ] ~locals:[ "prev"; "cur" ]
+      [ assign "prev" (int 0);
+        assign "cur" (ldw (v "headp"));
+        while_ (v "cur" != int 0)
+          [ if_ (v "cur" == v "blk")
+              [ if_ (v "prev" == int 0)
+                  [ stw (v "headp") (ldw (v "cur")) ]
+                  [ stw (v "prev") (ldw (v "cur")) ];
+                ret (int 1) ]
+              [];
+            assign "prev" (v "cur");
+            assign "cur" (ldw (v "cur")) ];
+        ret (int 0) ];
+    func "buddy_init" ~locals:[ "blk"; "stop"; "step" ]
+      [ assign "step" (int max_block);
+        assign "blk" (int Tk_machine.Soc.page_pool_base);
+        assign "stop" (int Tk_machine.Soc.page_pool_base
+                      + int Tk_machine.Soc.page_pool_size);
+        while_ (v "blk" < v "stop")
+          [ expr (call "fl_push"
+                    [ glob "buddy_heads" + int buddy_top_off; v "blk" ]);
+            assign "blk" (v "blk" + v "step") ];
+        ret0 ];
+    func "alloc_pages" ~params:[ "order" ] ~locals:[ "o"; "blk"; "half" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        assign "o" (v "order");
+        while_ (v "o" <= int max_order)
+          [ if_ (ldw (glob "buddy_heads" + (v "o" lsl int 2)) != int 0)
+              [ Break ]
+              [];
+            assign "o" (v "o" + int 1) ];
+        if_ (v "o" > int max_order)
+          [ (* slow path: out of physical pages *)
+            stw (glob "oom_count") (ldw (glob "oom_count") + int 1);
+            expr (call "spin_unlock" [ int 0 ]);
+            expr (call "kernel_oom" [ v "order" ]);
+            ret (int 0) ]
+          [];
+        assign "blk" (call "fl_pop" [ glob "buddy_heads" + (v "o" lsl int 2) ]);
+        while_ (v "o" > v "order")
+          [ assign "o" (v "o" - int 1);
+            assign "half" (v "blk" + (int page_size lsl v "o"));
+            expr (call "fl_push"
+                    [ glob "buddy_heads" + (v "o" lsl int 2); v "half" ]) ];
+        expr (call "spin_unlock" [ int 0 ]);
+        ret (v "blk") ];
+    func "free_pages" ~params:[ "blk"; "order" ] ~locals:[ "o"; "bud"; "got" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        assign "o" (v "order");
+        while_ (v "o" < int max_order)
+          [ assign "bud" (v "blk" lxor (int page_size lsl v "o"));
+            assign "got"
+              (call "fl_unlink" [ glob "buddy_heads" + (v "o" lsl int 2); v "bud" ]);
+            if_ (v "got" == int 0) [ Break ] [];
+            assign "blk" (v "blk" land bnot (int page_size lsl v "o"));
+            assign "o" (v "o" + int 1) ];
+        expr (call "fl_push" [ glob "buddy_heads" + (v "o" lsl int 2); v "blk" ]);
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "kernel_oom" ~params:[ "order" ]
+      [ expr (call "warn" [ int 0xDEAD ]); ret0 ];
+    func "kmalloc" ~params:[ "size" ]
+      ~locals:[ "c"; "obj"; "page"; "i"; "csize" ]
+      [ assign "c" (int 0);
+        while_ (v "c" < int n_classes)
+          [ if_ (ldw (glob "slab_sizes" + (v "c" lsl int 2)) >= v "size" + int 4)
+              [ Break ] [];
+            assign "c" (v "c" + int 1) ];
+        if_ (v "c" >= int n_classes) [ ret (int 0) ] [];
+        expr (call "spin_lock" [ int 0 ]);
+        assign "obj" (call "fl_pop" [ glob "slab_heads" + (v "c" lsl int 2) ]);
+        if_ (v "obj" == int 0)
+          [ expr (call "spin_unlock" [ int 0 ]);
+            assign "page" (call "alloc_pages" [ int 0 ]);
+            if_ (v "page" == int 0) [ ret (int 0) ] [];
+            expr (call "spin_lock" [ int 0 ]);
+            assign "csize" (ldw (glob "slab_sizes" + (v "c" lsl int 2)));
+            assign "i" (int 0);
+            while_ (v "i" + v "csize" <= int page_size)
+              [ expr (call "fl_push"
+                        [ glob "slab_heads" + (v "c" lsl int 2);
+                          v "page" + v "i" ]);
+                assign "i" (v "i" + v "csize") ];
+            assign "obj" (call "fl_pop" [ glob "slab_heads" + (v "c" lsl int 2) ]) ]
+          [];
+        expr (call "spin_unlock" [ int 0 ]);
+        stw (v "obj") (int slab_magic lor v "c");
+        ret (v "obj" + int 4) ];
+    func "kfree" ~params:[ "p" ] ~locals:[ "obj"; "c" ]
+      [ if_ (v "p" == int 0) [ ret0 ] [];
+        assign "obj" (v "p" - int 4);
+        assign "c" (ldw (v "obj") land int 0xFF);
+        expr (call "spin_lock" [ int 0 ]);
+        expr (call "fl_push" [ glob "slab_heads" + (v "c" lsl int 2); v "obj" ]);
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ] ]
+
+let data (_lay : Layout.t) : Asm.datum list =
+  [ Asm.data "buddy_heads" (Stdlib.( * ) (Stdlib.( + ) max_order 1) 4);
+    Asm.data "slab_heads" (Stdlib.( * ) n_classes 4);
+    Asm.data ~words:class_sizes "slab_sizes" (Stdlib.( * ) n_classes 4);
+    Asm.data "oom_count" 4 ]

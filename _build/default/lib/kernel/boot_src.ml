@@ -1,0 +1,55 @@
+(** Kernel boot: set up threads, daemons, tick, allocator.
+
+    [kernel_main] runs once (natively, on the CPU) right after the
+    runner loads the image: it is the [start_kernel]+[rest_init] of
+    minikern. [call_exit_stub] is the return trampoline the OCaml runner
+    points LR at when invoking a guest function directly. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_kcc
+open Ir
+
+let call_exit_frag : Asm.fragment =
+  { Asm.name = "call_exit_stub";
+    items = [ Asm.Ins (at (Svc Hyper.exit_call)); Asm.Ins (at (Udf 0xE817)) ] }
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ func "kernel_main" ~locals:[ "t" ]
+      [ (* boot thread occupies TCB slot 0 *)
+        stw (glob "current") (glob "tcbs");
+        stw (glob "tcbs" + int lay.tcb_state) (int Layout.st_runnable);
+        stw (glob "tcbs" + int lay.tcb_wake_at) (int 0);
+        expr (call "buddy_init" []);
+        (* kernel daemons *)
+        assign "t"
+          (call "thread_create"
+             [ int Layout.thr_softirqd; glob "softirqd_main";
+               Ksrc_util.tcb_of_slot lay Layout.thr_softirqd ]);
+        assign "t"
+          (call "thread_create"
+             [ int Layout.thr_kworker_sys; glob "worker_thread";
+               glob "system_wq" ]);
+        stw (glob "system_wq" + int lay.wq_worker) (v "t");
+        assign "t"
+          (call "thread_create"
+             [ int Layout.thr_kworker_pm; glob "worker_thread"; glob "pm_wq" ]);
+        stw (glob "pm_wq" + int lay.wq_worker) (v "t");
+        assign "t"
+          (call "thread_create"
+             [ int Layout.thr_kworker_aux; glob "worker_thread";
+               glob "wifi_wq" ]);
+        stw (glob "wifi_wq" + int lay.wq_worker) (v "t");
+        stw (glob "next_irq_thread") (int Layout.thr_irq_first);
+        (* periodic tick *)
+        expr (call "request_irq"
+                [ int Tk_machine.Soc.irq_cpu_timer; glob "tick_handler";
+                  int 0; int 0 ]);
+        stw (int Time_src.tick_period_addr) (int Layout.jiffy_ns);
+        Ksrc_util.cpsie;
+        (* let the daemons run to their parking points *)
+        expr (call "schedule" []);
+        expr (call "schedule" []);
+        ret0 ] ]
+
+let frags (_lay : Layout.t) = [ call_exit_frag ]

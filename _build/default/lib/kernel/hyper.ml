@@ -1,0 +1,27 @@
+(** Guest hypercall numbers (V7A [SVC] immediates).
+
+    The simulation equivalent of "talking to the platform": ending a
+    shim call, powering the platform off, console output, phase markers
+    for the benchmarks. These are {e native-side} conveniences; none of
+    them exists on the ARK side (translated code never executes SVC —
+    the host SVCs in the code cache belong to the DBT engine). *)
+
+let exit_call = 0  (** return from an OCaml-initiated guest call *)
+
+let platform_off = 1  (** suspend complete: power everything down *)
+
+let console_putc = 2  (** r0 = character (guest printk backend) *)
+
+let phase_mark = 3  (** r0 = phase id: benchmark boundary *)
+
+let warn_hit = 4  (** r0 = code; kernel WARN() — cold path marker *)
+
+let panic = 5  (** unrecoverable guest error *)
+
+(** Phase ids for [phase_mark]. *)
+let ph_suspend_begin = 1
+
+let ph_suspend_end = 2
+let ph_resume_begin = 3
+let ph_resume_end = 4
+let ph_dev_mark = 100  (** + device index * 10 + (0 begin / 1 end) *)

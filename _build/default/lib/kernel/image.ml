@@ -1,0 +1,74 @@
+(** Kernel image assembly: compile and link minikern (+ drivers).
+
+    Produces the guest binary the CPU boots natively and the DBT engine
+    translates. Fragments carry a layer tag (Table 5 / Figure 3a
+    categories: kernel services, kernel libs, driver libs,
+    device-specific) so the benches can report per-layer inventories. *)
+
+open Tk_isa
+
+type layer = Kernel_service | Kernel_lib | Driver_lib | Device_specific
+
+let layer_name = function
+  | Kernel_service -> "kernel services"
+  | Kernel_lib -> "kernel libs"
+  | Driver_lib -> "driver libs"
+  | Device_specific -> "device-specific"
+
+type built = {
+  image : Asm.image;
+  layout : Layout.t;
+  abi : Kabi.resolved;
+  layers : (string * layer) list;  (** fragment name -> layer *)
+}
+
+(** [build ?layout ~extra ()] compiles the kernel with [layout] plus the
+    [extra] (driver) fragments/data and links the image at
+    {!Tk_machine.Soc.kernel_base}. [extra] is a list of
+    [(fragment, layer)] plus data. *)
+let build ?(layout = Layout.v4_4) ?(extra_frags = []) ?(extra_data = []) () =
+  let lay = layout in
+  let service_funcs =
+    Sched_src.funcs lay @ Time_src.funcs lay @ Locks_src.funcs lay
+    @ Work_src.funcs lay @ Irq_src.funcs lay @ Pm_src.funcs lay
+    @ Boot_src.funcs lay
+  in
+  let lib_funcs = Klib_src.funcs lay @ Alloc_src.funcs lay in
+  let service_frags =
+    Tk_kcc.Codegen.compile_all service_funcs
+    @ Sched_src.frags lay @ Irq_src.frags lay @ Pm_src.frags lay
+    @ Boot_src.frags lay
+  in
+  let lib_frags = Tk_kcc.Codegen.compile_all lib_funcs @ Klib_src.frags lay in
+  let layers =
+    List.map (fun (f : Asm.fragment) -> (f.name, Kernel_service)) service_frags
+    @ List.map (fun (f : Asm.fragment) -> (f.name, Kernel_lib)) lib_frags
+    @ List.map (fun ((f : Asm.fragment), l) -> (f.name, l)) extra_frags
+  in
+  let data =
+    Sched_src.data lay @ Time_src.data lay @ Locks_src.data lay
+    @ Work_src.data lay @ Irq_src.data lay @ Alloc_src.data lay
+    @ Pm_src.data lay @ Klib_src.data lay @ extra_data
+  in
+  let frags = service_frags @ lib_frags @ List.map fst extra_frags in
+  let image = Asm.link ~base:Tk_machine.Soc.kernel_base frags data in
+  let abi = Kabi.resolve (Asm.symbol_opt image) in
+  { image; layout = lay; abi; layers }
+
+(** [layer_sizes b] sums code bytes per layer (the Figure 3a / Table 5
+    style inventory). *)
+let layer_sizes b =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, size) ->
+      match List.assoc_opt name b.layers with
+      | Some layer ->
+        let cur = Option.value ~default:0 (Hashtbl.find_opt tbl layer) in
+        Hashtbl.replace tbl layer (cur + size)
+      | None -> ())
+    b.image.frag_sizes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(** [instructions b] — total encoded instructions in the image's code
+    section. *)
+let instructions b = b.image.code_size / 4

@@ -1,0 +1,96 @@
+(** Interrupt handling: descriptors, registration, dispatch, threaded IRQ.
+
+    [irq_entry] (assembly) is the ISA-specific early stage: it saves the
+    caller-saved state, acknowledges the GIC and calls the ISA-neutral
+    [generic_handle_irq] — exactly the boundary the paper draws: under
+    ARK the early stage is {e emulated} (it is v7m-specific there) and
+    translation starts at [generic_handle_irq] (§4.2). Hard handlers may
+    return IRQ_WAKE_THREAD to kick their threaded handler, which runs in
+    a kernel daemon ([irq_thread]) — per-IRQ DBT contexts under ARK. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_kcc
+open Ir
+
+let gic = Tk_machine.Soc.gic_base
+let gic_enable_set = Stdlib.( + ) gic Tk_machine.Intc.enable_set_off
+let gic_iar = Stdlib.( + ) gic Tk_machine.Intc.iar_off
+let gic_eoi = Stdlib.( + ) gic Tk_machine.Intc.eoi_off
+let lo16 x = Stdlib.( land ) x 0xFFFF
+let hi16 x = Stdlib.( land ) (Stdlib.( lsr ) x 16) 0xFFFF
+
+(* The hardware IRQ entry stub the native interpreter vectors to. *)
+let irq_entry_frag : Asm.fragment =
+  let i op = Asm.Ins (at op) in
+  { Asm.name = "irq_entry";
+    items =
+      [ i (Stm (sp, true, [ 0; 1; 2; 3; 4; 5; 12; lr ]));
+        i (Movw (4, lo16 gic_iar));
+        i (Movt (4, hi16 gic_iar));
+        i (Mem { ld = true; size = Word; rt = 0; rn = 4; off = Oimm 0;
+                 idx = Offset });
+        (* spurious? (1023) *)
+        i (Movw (5, 1023));
+        i (Dp (CMP, false, 0, 0, Reg 5));
+        Asm.Bcc (EQ, ".Lirq_out");
+        i (Dp (MOV, false, 5, 0, Reg 0));
+        Asm.Call "generic_handle_irq";
+        (* EOI *)
+        i (Movw (4, lo16 gic_eoi));
+        i (Movt (4, hi16 gic_eoi));
+        i (Mem { ld = false; size = Word; rt = 5; rn = 4; off = Oimm 0;
+                 idx = Offset });
+        Asm.Label ".Lirq_out";
+        i (Ldm (sp, true, [ 0; 1; 2; 3; 4; 5; 12; lr ]));
+        i Irq_ret ] }
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let dsz = lay.irqd_size in
+  [ func "request_irq" ~params:[ "line"; "handler"; "thread_fn"; "arg" ]
+      ~locals:[ "d"; "slot"; "tcb" ]
+      [ assign "d" (glob "irq_desc" + (v "line" * int dsz));
+        stw (v "d" + int lay.irqd_handler) (v "handler");
+        stw (v "d" + int lay.irqd_thread_fn) (v "thread_fn");
+        stw (v "d" + int lay.irqd_arg) (v "arg");
+        stw (v "d" + int lay.irqd_thread_flag) (int 0);
+        if_ (v "thread_fn" != int 0)
+          [ assign "slot" (ldw (glob "next_irq_thread"));
+            stw (glob "next_irq_thread") (v "slot" + int 1);
+            assign "tcb"
+              (call "thread_create" [ v "slot"; glob "irq_thread"; v "d" ]);
+            stw (v "d" + int lay.irqd_thread_tcb) (v "tcb") ]
+          [ stw (v "d" + int lay.irqd_thread_tcb) (int 0) ];
+        (* unmask at the interrupt controller *)
+        stw (int gic_enable_set) (v "line");
+        ret (int 0) ];
+    func "generic_handle_irq" ~params:[ "line" ] ~locals:[ "d"; "h"; "r" ]
+      [ assign "d" (glob "irq_desc" + (v "line" * int dsz));
+        assign "h" (ldw (v "d" + int lay.irqd_handler));
+        if_ (v "h" == int 0) [ ret0 ] [];
+        assign "r" (callptr (v "h") [ v "line"; ldw (v "d" + int lay.irqd_arg) ]);
+        if_ (v "r" == int Layout.irq_wake_thread)
+          [ stw (v "d" + int lay.irqd_thread_flag) (int 1);
+            expr (call "try_wake" [ ldw (v "d" + int lay.irqd_thread_tcb) ]) ]
+          [];
+        ret0 ];
+    (* threaded-IRQ daemon main *)
+    func "irq_thread" ~params:[ "d" ] ~locals:[ "line" ]
+      [ forever
+          [ if_ (ldw (v "d" + int lay.irqd_thread_flag) != int 0)
+              [ stw (v "d" + int lay.irqd_thread_flag) (int 0);
+                assign "line" ((v "d" - glob "irq_desc") / int dsz);
+                expr
+                  (callptr
+                     (ldw (v "d" + int lay.irqd_thread_fn))
+                     [ v "line"; ldw (v "d" + int lay.irqd_arg) ]) ]
+              [ stw
+                  (ldw (v "d" + int lay.irqd_thread_tcb) + int lay.tcb_state)
+                  (int Layout.st_blocked);
+                expr (call "schedule" []) ] ] ] ]
+
+let frags (_lay : Layout.t) = [ irq_entry_frag ]
+
+let data (lay : Layout.t) : Asm.datum list =
+  [ Asm.data "irq_desc" (Stdlib.( * ) Tk_machine.Soc.nlines lay.irqd_size);
+    Asm.data "next_irq_thread" 4 ]

@@ -1,0 +1,103 @@
+(** The narrow, stable kernel ABI (paper Table 2).
+
+    Exactly 12 functions + 1 variable. This is everything ARK is allowed
+    to know about the guest kernel by name; it obtains their addresses
+    from the kernel's symbol table at handoff. Note what is {e absent}:
+    no struct layouts, no field offsets, no internal function names —
+    those belong to {!Layout} and change across kernel variants, while
+    this list must not (the build-once-run-many property, tested in
+    [test_abi.ml]).
+
+    Beyond the 13 names, ARK also intercepts the two spin-lock entry
+    points, which the paper treats as an emulated core-specific service
+    (Table 2 top); they are equally invariant across variants. *)
+
+(** Upcall entry points: ARK starts translated execution here. *)
+let worker_thread = "worker_thread"
+
+let irq_thread = "irq_thread"
+let do_softirq = "do_softirq"
+let run_local_timers = "run_local_timers"
+let generic_handle_irq = "generic_handle_irq"
+
+(** Downcalls ARK emulates (stateless services). *)
+let schedule = "schedule"
+
+let msleep = "msleep"
+let udelay = "udelay"
+let ktime_get = "ktime_get"
+
+(** Hooked-and-translated: ARK observes the call (to wake the right DBT
+    context) and then lets the translated body run — deferred work is
+    stateful (§4.3). *)
+let queue_work_on = "queue_work_on"
+
+let tasklet_schedule = "tasklet_schedule"
+let async_schedule = "async_schedule"
+
+(** The single variable: ARK updates it from the peripheral core's
+    hardware timer (§4.6). *)
+let jiffies = "jiffies"
+
+(** Core-specific emulated service (spinlocks, §4.4). *)
+let spin_lock = "spin_lock"
+
+let spin_unlock = "spin_unlock"
+
+(** The 12 functions + 1 variable of Table 2, in the paper's order. *)
+let table2 =
+  [ jiffies; udelay; msleep; tasklet_schedule; irq_thread; ktime_get;
+    queue_work_on; worker_thread; run_local_timers; generic_handle_irq;
+    schedule; async_schedule; do_softirq ]
+
+(** Symbols whose call sites divert to ARK's emulation (never
+    translated). *)
+let emulated = [ schedule; msleep; udelay; ktime_get; spin_lock; spin_unlock ]
+
+(** Symbols ARK hooks before translating through. *)
+let hooked = [ queue_work_on; tasklet_schedule; async_schedule ]
+
+(** Cold-path symbols: calling one triggers translated->native fallback
+    (§3 principle 3, §6). These are recognized by name at translation
+    time, like the paper's "cold branches pre-defined by us, e.g. kernel
+    WARN()". *)
+let cold = [ "warn"; "panic_stop"; "kernel_oom"; "syslog" ]
+
+(** The resolved ABI: what the CPU-side kernel module hands to ARK. *)
+type resolved = {
+  addr_of : string -> int;  (** address of an ABI symbol *)
+  name_of_addr : int -> string option;  (** reverse, over the ABI set *)
+  jiffies_addr : int;
+}
+
+(** [resolve lookup] builds the resolved ABI from a symbol-table lookup.
+    Raises [Failure] if any of the Table 2 names is missing — an ABI
+    break, exactly what Figure 3 is about. *)
+let resolve lookup =
+  let tbl = Hashtbl.create 32 in
+  let rev = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      match lookup name with
+      | Some addr ->
+        Hashtbl.replace tbl name addr;
+        Hashtbl.replace rev addr name
+      | None -> failwith (Printf.sprintf "kernel ABI break: no symbol %s" name))
+    (table2 @ [ spin_lock; spin_unlock ]);
+  (* cold symbols are best-effort: a kernel without syslog simply has
+     fewer recognizable cold entries *)
+  List.iter
+    (fun name ->
+      match lookup name with
+      | Some addr ->
+        Hashtbl.replace tbl name addr;
+        Hashtbl.replace rev addr name
+      | None -> ())
+    cold;
+  { addr_of =
+      (fun n ->
+        match Hashtbl.find_opt tbl n with
+        | Some a -> a
+        | None -> failwith ("not an ABI symbol: " ^ n));
+    name_of_addr = (fun a -> Hashtbl.find_opt rev a);
+    jiffies_addr = (match lookup jiffies with Some a -> a | None -> 0) }

@@ -1,0 +1,97 @@
+(** Kernel library routines (the paper's "kernel libs" layer).
+
+    [memcpy]/[memset] are hand-written assembly using post-indexed
+    addressing — the hot "side effect" translation category (Table 4 G1).
+    [warn]/[panic_stop] are the cold-path markers whose call sites divert
+    ARK to fallback. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_kcc
+open Ir
+
+(* memcpy(dst, src, n): word loop with post-indexed load/store, byte tail *)
+let memcpy_frag : Asm.fragment =
+  let i op = Asm.Ins (at op) in
+  let ic c op = Asm.Ins (at ~cond:c op) in
+  { Asm.name = "memcpy";
+    items =
+      [ i (Stm (sp, true, [ 4; lr ]));
+        Asm.Label ".Lmemcpy_words";
+        i (Dp (CMP, false, 0, 2, Imm 4));
+        Asm.Bcc (CC, ".Lmemcpy_bytes");
+        i (Mem { ld = true; size = Word; rt = 3; rn = 1; off = Oimm 4;
+                 idx = Post });
+        i (Mem { ld = false; size = Word; rt = 3; rn = 0; off = Oimm 4;
+                 idx = Post });
+        i (Dp (SUB, false, 2, 2, Imm 4));
+        Asm.Jmp ".Lmemcpy_words";
+        Asm.Label ".Lmemcpy_bytes";
+        i (Dp (CMP, false, 0, 2, Imm 0));
+        Asm.Bcc (EQ, ".Lmemcpy_done");
+        i (Mem { ld = true; size = Byte; rt = 3; rn = 1; off = Oimm 1;
+                 idx = Post });
+        i (Mem { ld = false; size = Byte; rt = 3; rn = 0; off = Oimm 1;
+                 idx = Post });
+        i (Dp (SUB, false, 2, 2, Imm 1));
+        Asm.Jmp ".Lmemcpy_bytes";
+        Asm.Label ".Lmemcpy_done";
+        ic AL (Ldm (sp, true, [ 4; pc ])) ] }
+
+(* memset(dst, byte, n) *)
+let memset_frag : Asm.fragment =
+  let i op = Asm.Ins (at op) in
+  { Asm.name = "memset";
+    items =
+      [ i (Stm (sp, true, [ 4; lr ]));
+        i (Dp (AND, false, 1, 1, Imm 0xFF));
+        i (Dp (ORR, false, 1, 1, Sreg (1, LSL, 8)));
+        i (Dp (ORR, false, 1, 1, Sreg (1, LSL, 16)));
+        Asm.Label ".Lmemset_words";
+        i (Dp (CMP, false, 0, 2, Imm 4));
+        Asm.Bcc (CC, ".Lmemset_bytes");
+        i (Mem { ld = false; size = Word; rt = 1; rn = 0; off = Oimm 4;
+                 idx = Post });
+        i (Dp (SUB, false, 2, 2, Imm 4));
+        Asm.Jmp ".Lmemset_words";
+        Asm.Label ".Lmemset_bytes";
+        i (Dp (CMP, false, 0, 2, Imm 0));
+        Asm.Bcc (EQ, ".Lmemset_done");
+        i (Mem { ld = false; size = Byte; rt = 1; rn = 0; off = Oimm 1;
+                 idx = Post });
+        i (Dp (SUB, false, 2, 2, Imm 1));
+        Asm.Jmp ".Lmemset_bytes";
+        Asm.Label ".Lmemset_done";
+        i (Ldm (sp, true, [ 4; pc ])) ] }
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ (* kernel WARN(): count it, tell the harness, keep going (native
+       semantics); under ARK the call site itself triggers fallback *)
+    func "warn" ~params:[ "code" ]
+      [ stw (glob "warn_count") (ldw (glob "warn_count") + int 1);
+        Ksrc_util.svc Hyper.warn_hit;
+        ret0 ];
+    func "panic_stop" ~params:[ "code" ]
+      [ Ksrc_util.svc Hyper.panic; ret0 ];
+    func "syslog" ~params:[ "msg" ]
+      [ (* rate-limited printk stand-in: just count *)
+        stw (glob "syslog_count") (ldw (glob "syslog_count") + int 1);
+        ret0 ];
+    (* try_wake(tcb): wake a kthread blocked without a sleep deadline;
+       the minikern wake_up_process *)
+    func "try_wake" ~params:[ "t" ]
+      [ if_ (v "t" == int 0) [ ret (int 0) ] [];
+        if_
+          (ldw (v "t" + int lay.tcb_state) == int Layout.st_blocked)
+          [ if_
+              (ldw (v "t" + int lay.tcb_wake_at) == int 0)
+              [ stw (v "t" + int lay.tcb_state) (int Layout.st_runnable);
+                ret (int 1) ]
+              [] ]
+          [];
+        ret (int 0) ] ]
+
+let frags (_lay : Layout.t) = [ memcpy_frag; memset_frag ]
+
+let data (_lay : Layout.t) : Asm.datum list =
+  [ Asm.data "warn_count" 4; Asm.data "syslog_count" 4 ]

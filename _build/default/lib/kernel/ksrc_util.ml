@@ -1,0 +1,30 @@
+(** Helpers shared by the minikern IR sources. *)
+
+open Tk_isa
+module Ir = Tk_kcc.Ir
+open Tk_isa.Types
+
+(** [svc_code code n] — inline asm: [mov r0, #code; svc #n]. Clobbers r0,
+    so only use as a statement (never mid-expression). *)
+let svc_code code n =
+  Ir.Asm [ Asm.Ins (at (Dp (MOV, false, 0, 0, Imm code))); Asm.Ins (at (Svc n)) ]
+
+(** [svc n] — inline asm: [svc #n]. *)
+let svc n = Ir.Asm [ Asm.Ins (at (Svc n)) ]
+
+(** [phase_mark id] — benchmark phase-boundary hypercall. *)
+let phase_mark id = svc_code id Hyper.phase_mark
+
+let cpsid = Ir.Asm [ Asm.Ins (at (Cps false)) ]
+let cpsie = Ir.Asm [ Asm.Ins (at (Cps true)) ]
+let wfi = Ir.Asm [ Asm.Ins (at Wfi) ]
+
+(** TCB address of kthread slot [i] (guest expression). *)
+let tcb_of_slot (lay : Layout.t) i =
+  let off = i * lay.tcb_size in
+  Ir.(glob "tcbs" + int off)
+
+(** Field access shorthands. *)
+let fld base off = Ir.(ldw (base + int off))
+
+let set_fld base off value = Ir.(stw (base + int off) value)

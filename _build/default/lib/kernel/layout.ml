@@ -1,0 +1,130 @@
+(** Guest kernel data-structure layout.
+
+    Field offsets of minikern's structures. These constants are the
+    kernel's {e internal} ABI — the wide, brittle interface the paper
+    argues one must NOT build an offload on (§2.3, Figure 3). They are
+    shared between the IR sources (this library) and the OCaml-side tests
+    that peek at guest memory; ARK ({!Transkernel}) must never import
+    them. Kernel "version variants" ({!Variants}) shuffle them to prove
+    the point. *)
+
+(* Scale-down: the guest "millisecond" is 100us of simulated time and a
+   jiffy is 50us — every sleep, timeout and device latency shrinks by
+   the same factor, so busy/idle proportions (what the paper's figures
+   are made of) are preserved while a full 9-device suspend/resume stays
+   around 2M simulated instructions (DESIGN.md §4.3). *)
+let jiffy_ns = 50_000
+let ms_ns = 100_000  (* one scaled guest millisecond *)
+let jiffies_per_ms = ms_ns / jiffy_ns
+let ms_to_jiffies ms = ms * jiffies_per_ms
+
+(** A layout instance — the default matches "v4.4"; variants permute
+    fields and sizes the way kernel releases do. *)
+type t = {
+  version : string;
+  (* thread control block *)
+  tcb_size : int;
+  tcb_state : int;
+  tcb_sp : int;
+  tcb_wake_at : int;
+  tcb_entry : int;
+  tcb_arg : int;
+  (* work_struct *)
+  work_size : int;
+  work_next : int;
+  work_fn : int;
+  work_arg : int;
+  work_pending : int;
+  (* workqueue_struct *)
+  wq_size : int;
+  wq_head : int;
+  wq_tail : int;
+  wq_worker : int;  (** tcb pointer of the kworker daemon *)
+  (* tasklet_struct *)
+  tl_size : int;
+  tl_next : int;
+  tl_fn : int;
+  tl_arg : int;
+  tl_state : int;
+  (* timer_list *)
+  tm_size : int;
+  tm_next : int;
+  tm_expires : int;
+  tm_fn : int;
+  tm_arg : int;
+  (* irq_desc *)
+  irqd_size : int;
+  irqd_handler : int;
+  irqd_thread_fn : int;
+  irqd_arg : int;
+  irqd_thread_tcb : int;
+  irqd_thread_flag : int;  (** set when the threaded handler must run *)
+  (* mutex *)
+  mtx_size : int;
+  mtx_count : int;
+  mtx_owner : int;
+  (* semaphore *)
+  sem_size : int;
+  sem_count : int;
+  (* completion *)
+  cmp_size : int;
+  cmp_done : int;
+  (* device (PM core) *)
+  dev_size : int;
+  dev_mmio : int;  (** MMIO base of the device *)
+  dev_irq : int;  (** platform IRQ line *)
+  dev_suspend : int;  (** fn ptr *)
+  dev_resume : int;  (** fn ptr *)
+  dev_flags : int;  (** bit0 = async suspend *)
+  dev_state : int;  (** 1 = on, 0 = suspended (kernel's view) *)
+  dev_priv : int;  (** driver-private word *)
+}
+
+let v4_4 =
+  { version = "v4.4";
+    tcb_size = 32; tcb_state = 0; tcb_sp = 4; tcb_wake_at = 8; tcb_entry = 12;
+    tcb_arg = 16;
+    work_size = 16; work_next = 0; work_fn = 4; work_arg = 8; work_pending = 12;
+    wq_size = 16; wq_head = 0; wq_tail = 4; wq_worker = 8;
+    tl_size = 16; tl_next = 0; tl_fn = 4; tl_arg = 8; tl_state = 12;
+    tm_size = 16; tm_next = 0; tm_expires = 4; tm_fn = 8; tm_arg = 12;
+    irqd_size = 20; irqd_handler = 0; irqd_thread_fn = 4; irqd_arg = 8;
+    irqd_thread_tcb = 12; irqd_thread_flag = 16;
+    mtx_size = 8; mtx_count = 0; mtx_owner = 4;
+    sem_size = 4; sem_count = 0;
+    cmp_size = 4; cmp_done = 0;
+    dev_size = 32; dev_mmio = 0; dev_irq = 4; dev_suspend = 8; dev_resume = 12;
+    dev_flags = 16; dev_state = 20; dev_priv = 24 }
+
+(** Thread states. *)
+let st_free = 0
+
+let st_runnable = 1
+(* IRQ handler return values (Linux irqreturn_t). *)
+let st_blocked = 2
+let irq_none = 0
+
+let irq_handled = 1
+let irq_wake_thread = 2
+
+(** Kthread slots (index into the TCB array and the stack region).
+    Slots 8..15 are reserved for ARK DBT contexts. *)
+let nthreads = 8
+
+(* boot / syscall thread *)
+let thr_main = 0
+
+let thr_softirqd = 1
+(* system_wq worker *)
+let thr_kworker_sys = 2
+(* pm_wq worker *)
+let thr_kworker_pm = 3
+(* per-driver wq worker (wifi) *)
+let thr_kworker_aux = 4
+(* threaded-IRQ daemons: 5..7 *)
+let thr_irq_first = 5
+(* Maximum devices in the PM core's array. *)
+let n_irq_threads = 3
+(* Static pools. *)
+let max_devices = 12
+let n_async_work = 8

@@ -1,0 +1,83 @@
+(** Locking primitives.
+
+    Spinlocks disable interrupts (UP kernel) with a nesting depth —
+    core-specific, so ARK {e emulates} them by pausing interrupt dispatch
+    (§4.4). Sleepable locks (mutex, semaphore) and completions are
+    {e stateful}: the clock framework may hold a mutex across the
+    offload, so their operations are translated; their slow paths sleep
+    via [msleep]-polling, which reaches ARK's emulated sleep. *)
+
+open Tk_isa
+open Tk_kcc
+open Ir
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ func "spin_lock" ~params:[ "lock" ]
+      [ Ksrc_util.cpsid;
+        stw (glob "spin_depth") (ldw (glob "spin_depth") + int 1);
+        ret0 ];
+    func "spin_unlock" ~params:[ "lock" ]
+      [ stw (glob "spin_depth") (ldw (glob "spin_depth") - int 1);
+        if_ (ldw (glob "spin_depth") == int 0) [ Ksrc_util.cpsie ] [];
+        ret0 ];
+    (* mutex: fast path takes it under the spinlock; contention sleeps
+       and retries (wait_event-style) *)
+    func "mutex_lock" ~params:[ "m" ] ~locals:[ "got" ]
+      [ assign "got" (int 0);
+        while_ (v "got" == int 0)
+          [ expr (call "spin_lock" [ int 0 ]);
+            if_ (ldw (v "m" + int lay.mtx_count) == int 0)
+              [ stw (v "m" + int lay.mtx_count) (int 1);
+                stw (v "m" + int lay.mtx_owner) (ldw (glob "current"));
+                assign "got" (int 1);
+                expr (call "spin_unlock" [ int 0 ]) ]
+              [ expr (call "spin_unlock" [ int 0 ]);
+                expr (call "msleep" [ int 1 ]) ] ];
+        ret0 ];
+    func "mutex_unlock" ~params:[ "m" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        stw (v "m" + int lay.mtx_count) (int 0);
+        stw (v "m" + int lay.mtx_owner) (int 0);
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "down" ~params:[ "sem" ] ~locals:[ "got" ]
+      [ assign "got" (int 0);
+        while_ (v "got" == int 0)
+          [ expr (call "spin_lock" [ int 0 ]);
+            if_ (ldw (v "sem" + int lay.sem_count) > int 0)
+              [ stw (v "sem" + int lay.sem_count)
+                  (ldw (v "sem" + int lay.sem_count) - int 1);
+                assign "got" (int 1);
+                expr (call "spin_unlock" [ int 0 ]) ]
+              [ expr (call "spin_unlock" [ int 0 ]);
+                expr (call "msleep" [ int 1 ]) ] ];
+        ret0 ];
+    func "up" ~params:[ "sem" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        stw (v "sem" + int lay.sem_count)
+          (ldw (v "sem" + int lay.sem_count) + int 1);
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "init_completion" ~params:[ "c" ]
+      [ stw (v "c" + int lay.cmp_done) (int 0); ret0 ];
+    func "complete" ~params:[ "c" ]
+      [ stw (v "c" + int lay.cmp_done) (int 1); ret0 ];
+    (* sleep-poll wait: the IRQ side calls [complete]; we re-check per
+       jiffy — under ARK this is an emulated sleep between checks *)
+    func "wait_for_completion" ~params:[ "c" ]
+      [ while_ (ldw (v "c" + int lay.cmp_done) == int 0)
+          [ expr (call "msleep" [ int 1 ]) ];
+        stw (v "c" + int lay.cmp_done) (int 0);
+        ret0 ];
+    (* bounded variant: returns 1 on completion, 0 on timeout *)
+    func "wait_for_completion_timeout" ~params:[ "c"; "ms" ]
+      ~locals:[ "left" ]
+      [ assign "left" (v "ms");
+        while_ (ldw (v "c" + int lay.cmp_done) == int 0)
+          [ if_ (v "left" == int 0) [ ret (int 0) ] [];
+            expr (call "msleep" [ int 1 ]);
+            assign "left" (v "left" - int 1) ];
+        stw (v "c" + int lay.cmp_done) (int 0);
+        ret (int 1) ] ]
+
+let data (_lay : Layout.t) : Asm.datum list = [ Asm.data "spin_depth" 4 ]

@@ -1,0 +1,123 @@
+(** The device power-management core (Linux dpm).
+
+    [dpm_suspend] walks registered devices in reverse registration order
+    invoking their suspend callbacks (optionally via [async_schedule] for
+    async-capable devices, as Linux parallelizes power transitions [50]);
+    [dpm_resume] mirrors it. This is the phase ARK offloads: under
+    offload the CPU stops right before [dpm_suspend] and the peripheral
+    core executes it (and later [dpm_resume]) through DBT. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_kcc
+open Ir
+
+(* dev_mark(code): phase-marker hypercall with r0 = code (r0 already
+   holds the first argument on entry) *)
+let dev_mark_frag : Asm.fragment =
+  { Asm.name = "dev_mark";
+    items = [ Asm.Ins (at (Svc Hyper.phase_mark)); Asm.Ins (at (Bx lr)) ] }
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ func "device_register" ~params:[ "dev" ] ~locals:[ "n" ]
+      [ assign "n" (ldw (glob "dpm_count"));
+        stw (glob "dpm_devices" + (v "n" lsl int 2)) (v "dev");
+        stw (glob "dpm_count") (v "n" + int 1);
+        ret0 ];
+    func "dpm_suspend" ~locals:[ "i"; "d"; "fn" ]
+      [ assign "i" (ldw (glob "dpm_count") - int 1);
+        while_ (sge (v "i") (int 0))
+          [ assign "d" (ldw (glob "dpm_devices" + (v "i" lsl int 2)));
+            (* runtime-suspended devices are already down (see
+               pm_runtime_suspend); skip their callbacks *)
+            if_ (ldw (v "d" + int lay.dev_state) != int 0)
+              [ assign "fn" (ldw (v "d" + int lay.dev_suspend));
+                if_ ((ldw (v "d" + int lay.dev_flags) land int 1) != int 0)
+                  [ expr (call "async_schedule" [ v "fn"; v "d" ]) ]
+                  [ expr (call "dev_mark"
+                            [ int Hyper.ph_dev_mark + (v "i" * int 10) ]);
+                    expr (callptr (v "fn") [ v "d" ]);
+                    expr (call "dev_mark"
+                            [ int Hyper.ph_dev_mark + (v "i" * int 10) + int 1 ]) ] ]
+              [];
+            assign "i" (v "i" - int 1) ];
+        expr (call "async_synchronize" []);
+        ret0 ];
+    func "dpm_resume" ~locals:[ "i"; "n"; "d"; "fn" ]
+      [ assign "i" (int 0);
+        assign "n" (ldw (glob "dpm_count"));
+        while_ (v "i" < v "n")
+          [ assign "d" (ldw (glob "dpm_devices" + (v "i" lsl int 2)));
+            assign "fn" (ldw (v "d" + int lay.dev_resume));
+            (* skip devices that are already powered (resumed early) *)
+            if_ (ldw (v "d" + int lay.dev_state) == int 0)
+              [ if_ ((ldw (v "d" + int lay.dev_flags) land int 1) != int 0)
+                  [ expr (call "async_schedule" [ v "fn"; v "d" ]) ]
+                  [ expr (call "dev_mark"
+                            [ int Hyper.ph_dev_mark + (v "i" * int 10) + int 2 ]);
+                    expr (callptr (v "fn") [ v "d" ]);
+                    expr (call "dev_mark"
+                            [ int Hyper.ph_dev_mark + (v "i" * int 10) + int 3 ]) ] ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        expr (call "async_synchronize" []);
+        ret0 ];
+    (* runtime PM (Linux pm_runtime functions): put an idle device to sleep while
+       the system stays up — the complementary mechanism of [90] the
+       paper says ARK co-exists with (§8) *)
+    func "pm_runtime_suspend" ~params:[ "d" ]
+      [ if_ (ldw (v "d" + int lay.dev_state) != int 0)
+          [ expr (callptr (ldw (v "d" + int lay.dev_suspend)) [ v "d" ]) ]
+          [];
+        ret0 ];
+    func "pm_runtime_resume" ~params:[ "d" ]
+      [ if_ (ldw (v "d" + int lay.dev_state) == int 0)
+          [ expr (callptr (ldw (v "d" + int lay.dev_resume)) [ v "d" ]) ]
+          [];
+        ret0 ];
+    (* async-capable marking (Linux: device_enable_async_suspend) *)
+    func "dpm_set_async" ~params:[ "d"; "on" ]
+      [ if_ (v "on" != int 0)
+          [ stw (v "d" + int lay.dev_flags)
+              (ldw (v "d" + int lay.dev_flags) lor int 1) ]
+          [ stw (v "d" + int lay.dev_flags)
+              (ldw (v "d" + int lay.dev_flags) land bnot (int 1)) ];
+        ret0 ];
+    (* freezing user tasks: bounded busywork over the thread table, the
+       cheap prefix/suffix of the suspend path that stays on the CPU *)
+    func "freeze_processes" ~locals:[ "i"; "n"; "t" ]
+      [ assign "n" (int 0);
+        assign "i" (int 0);
+        while_ (v "i" < int 400)
+          [ assign "t"
+              (glob "tcbs"
+              + ((v "i" - (v "i" / int Layout.nthreads * int Layout.nthreads))
+                * int lay.tcb_size));
+            assign "n" (v "n" + ldw (v "t" + int lay.tcb_state));
+            assign "i" (v "i" + int 1) ];
+        ret (v "n") ];
+    func "thaw_processes" ~locals:[ "i"; "n" ]
+      [ assign "n" (int 0);
+        assign "i" (int 0);
+        while_ (v "i" < int 300)
+          [ assign "n" ((v "n" + v "i") lxor (v "n" lsr int 3));
+            assign "i" (v "i" + int 1) ];
+        ret (v "n") ];
+    (* the whole native suspend/resume syscall path *)
+    func "pm_suspend"
+      [ expr (call "freeze_processes" []);
+        Ksrc_util.phase_mark Hyper.ph_suspend_begin;
+        expr (call "dpm_suspend" []);
+        Ksrc_util.phase_mark Hyper.ph_suspend_end;
+        Ksrc_util.svc Hyper.platform_off;
+        Ksrc_util.phase_mark Hyper.ph_resume_begin;
+        expr (call "dpm_resume" []);
+        Ksrc_util.phase_mark Hyper.ph_resume_end;
+        expr (call "thaw_processes" []);
+        ret0 ] ]
+
+let frags (_lay : Layout.t) = [ dev_mark_frag ]
+
+let data (_lay : Layout.t) : Asm.datum list =
+  [ Asm.data "dpm_devices" (Stdlib.( * ) Layout.max_devices 4);
+    Asm.data "dpm_count" 4 ]

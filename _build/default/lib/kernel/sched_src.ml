@@ -1,0 +1,101 @@
+(** The minikern scheduler — cooperative kthreads on one CPU.
+
+    Mirrors the concurrency structure device suspend/resume actually has
+    (§2.1: "simple concurrency ... for hardware asynchrony and kernel
+    modularity, not multicore parallelism"): a syscall thread, kernel
+    daemons (softirqd, kworkers, threaded-IRQ threads) and hardware IRQs.
+    [schedule]/[__switch_to] run only natively; ARK emulates them with
+    its own context scheduler sharing {e no} state with these TCBs. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_kcc
+open Ir
+
+let switch_frag (lay : Layout.t) : Asm.fragment =
+  let i op = Asm.Ins (at op) in
+  { Asm.name = "__switch_to";
+    items =
+      [ i (Stm (sp, true, [ 4; 5; 6; 7; 8; 9; lr ]));
+        i (Mem { ld = false; size = Word; rt = sp; rn = 0;
+                 off = Oimm lay.tcb_sp; idx = Offset });
+        i (Mem { ld = true; size = Word; rt = sp; rn = 1;
+                 off = Oimm lay.tcb_sp; idx = Offset });
+        i (Ldm (sp, true, [ 4; 5; 6; 7; 8; 9; pc ])) ] }
+
+let trampoline_frag (lay : Layout.t) : Asm.fragment =
+  let i op = Asm.Ins (at op) in
+  { Asm.name = "thread_trampoline";
+    items =
+      [ Asm.Adr (2, "current");
+        i (Mem { ld = true; size = Word; rt = 2; rn = 2; off = Oimm 0;
+                 idx = Offset });
+        i (Mem { ld = true; size = Word; rt = 1; rn = 2;
+                 off = Oimm lay.tcb_entry; idx = Offset });
+        i (Mem { ld = true; size = Word; rt = 0; rn = 2;
+                 off = Oimm lay.tcb_arg; idx = Offset });
+        i (Blx_r 1);
+        Asm.Call "thread_exit";
+        (* unreachable *)
+        i (Udf 0xDEAD) ] }
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let nthreads = Layout.nthreads in
+  let st = lay.tcb_state and sz = lay.tcb_size in
+  [ func "schedule" ~locals:[ "prev"; "idx"; "nxt"; "i"; "cand"; "tmp" ]
+      [ assign "prev" (ldw (glob "current"));
+        assign "idx" ((v "prev" - glob "tcbs") / int sz);
+        assign "nxt" (int 0);
+        assign "i" (int 1);
+        while_ (v "i" <= int nthreads)
+          [ assign "tmp" (v "idx" + v "i");
+            assign "tmp" (v "tmp" - (v "tmp" / int nthreads * int nthreads));
+            assign "cand" (glob "tcbs" + (v "tmp" * int sz));
+            if_
+              (ldw (v "cand" + int st) == int Layout.st_runnable)
+              [ assign "nxt" (v "cand"); Break ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        (* nothing runnable: idle until an interrupt makes one runnable *)
+        while_ (v "nxt" == int 0)
+          [ Ksrc_util.wfi;
+            assign "i" (int 0);
+            while_ (v "i" < int nthreads)
+              [ assign "cand" (glob "tcbs" + (v "i" * int sz));
+                if_
+                  (ldw (v "cand" + int st) == int Layout.st_runnable)
+                  [ assign "nxt" (v "cand"); Break ]
+                  [];
+                assign "i" (v "i" + int 1) ] ];
+        if_ (v "nxt" != v "prev")
+          [ stw (glob "current") (v "nxt");
+            expr (call "__switch_to" [ v "prev"; v "nxt" ]) ]
+          [];
+        ret0 ];
+    func "thread_create" ~params:[ "idx"; "entry"; "arg" ]
+      ~locals:[ "tcb"; "sp0" ]
+      [ assign "tcb" (glob "tcbs" + (v "idx" * int sz));
+        stw (v "tcb" + int lay.tcb_entry) (v "entry");
+        stw (v "tcb" + int lay.tcb_arg) (v "arg");
+        stw (v "tcb" + int lay.tcb_wake_at) (int 0);
+        (* craft an initial stack frame __switch_to can pop: r4..r9 + pc *)
+        assign "sp0"
+          (int Tk_machine.Soc.stacks_base
+          + ((v "idx" + int 1) * int Tk_machine.Soc.stack_size)
+          - int 16);
+        assign "sp0" (v "sp0" - int 28);
+        stw (v "sp0" + int 24) (glob "thread_trampoline");
+        stw (v "tcb" + int lay.tcb_sp) (v "sp0");
+        stw (v "tcb" + int st) (int Layout.st_runnable);
+        ret (v "tcb") ];
+    func "thread_exit" ~locals:[ "cur" ]
+      [ assign "cur" (ldw (glob "current"));
+        stw (v "cur" + int st) (int Layout.st_free);
+        expr (call "schedule" []);
+        forever [ Ksrc_util.wfi ] ] ]
+
+let frags lay = [ switch_frag lay; trampoline_frag lay ]
+
+let data (lay : Layout.t) : Asm.datum list =
+  let tcbs_bytes = Stdlib.( * ) Layout.nthreads lay.tcb_size in
+  [ Asm.data "tcbs" tcbs_bytes; Asm.data "current" 4 ]

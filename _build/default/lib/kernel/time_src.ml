@@ -1,0 +1,108 @@
+(** Timekeeping: jiffies, delays, sleeps, kernel timers.
+
+    Natively, [udelay]/[ktime_get] busy-read the CPU hardware timer, the
+    periodic tick IRQ advances [jiffies] and [run_local_timers] expires
+    timers and wakes sleepers — all executed by the A9. Under ARK,
+    [udelay]/[msleep]/[ktime_get]/[jiffies] are {e emulated} against the
+    peripheral core's private timer (§4.6); only [run_local_timers] (an
+    upcall) and [add_timer]/[del_timer] (stateful list surgery) are
+    translated. *)
+
+open Tk_isa
+open Tk_kcc
+open Ir
+
+let count_addr = Tk_machine.Soc.cpu_timer_base  (* COUNT_LO register *)
+let tick_period_addr = Stdlib.( + ) Tk_machine.Soc.cpu_timer_base 0x08
+
+(* jiffies advanced per tick; sim jiffy is Layout.jiffy_ns *)
+let jiffies_per_ms = Layout.jiffies_per_ms
+
+let funcs (lay : Layout.t) : Ir.func list =
+  [ (* busy-wait: poll the free-running ns counter *)
+    func "udelay" ~params:[ "us" ] ~locals:[ "target" ]
+      [ assign "target" (ldw (int count_addr) + (v "us" * int 1000));
+        while_ (((ldw (int count_addr) - v "target") land int 0x80000000)
+               != int 0)
+          [];
+        ret0 ];
+    func "ktime_get" [ ret (ldw (int count_addr)) ];
+    func "msleep" ~params:[ "ms" ] ~locals:[ "cur" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        assign "cur" (ldw (glob "current"));
+        stw
+          (v "cur" + int lay.tcb_wake_at)
+          (ldw (glob "jiffies") + (v "ms" * int jiffies_per_ms) + int 1);
+        stw (v "cur" + int lay.tcb_state) (int Layout.st_blocked);
+        expr (call "spin_unlock" [ int 0 ]);
+        expr (call "schedule" []);
+        ret0 ];
+    (* wake expired sleepers, run expired timer callbacks *)
+    func "run_local_timers"
+      ~locals:[ "j"; "i"; "t"; "w"; "prev"; "tm"; "nxt" ]
+      [ assign "j" (ldw (glob "jiffies"));
+        assign "i" (int 0);
+        while_ (v "i" < int Layout.nthreads)
+          [ assign "t" (glob "tcbs" + (v "i" * int lay.tcb_size));
+            if_
+              (ldw (v "t" + int lay.tcb_state) == int Layout.st_blocked)
+              [ assign "w" (ldw (v "t" + int lay.tcb_wake_at));
+                if_ (v "w" != int 0)
+                  [ if_
+                      (((v "j" - v "w") land int 0x80000000) == int 0)
+                      [ stw (v "t" + int lay.tcb_state)
+                          (int Layout.st_runnable);
+                        stw (v "t" + int lay.tcb_wake_at) (int 0) ]
+                      [] ]
+                  [] ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        (* kernel timers *)
+        assign "prev" (int 0);
+        assign "tm" (ldw (glob "timer_head"));
+        while_ (v "tm" != int 0)
+          [ assign "nxt" (ldw (v "tm" + int lay.tm_next));
+            if_
+              (((v "j" - ldw (v "tm" + int lay.tm_expires))
+               land int 0x80000000)
+              == int 0)
+              [ if_ (v "prev" == int 0)
+                  [ stw (glob "timer_head") (v "nxt") ]
+                  [ stw (v "prev" + int lay.tm_next) (v "nxt") ];
+                expr
+                  (callptr
+                     (ldw (v "tm" + int lay.tm_fn))
+                     [ ldw (v "tm" + int lay.tm_arg) ]) ]
+              [ assign "prev" (v "tm") ];
+            assign "tm" (v "nxt") ];
+        ret0 ];
+    func "add_timer" ~params:[ "tm" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        stw (v "tm" + int lay.tm_next) (ldw (glob "timer_head"));
+        stw (glob "timer_head") (v "tm");
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "del_timer" ~params:[ "tm" ] ~locals:[ "prev"; "cur" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        assign "prev" (int 0);
+        assign "cur" (ldw (glob "timer_head"));
+        while_ (v "cur" != int 0)
+          [ if_ (v "cur" == v "tm")
+              [ if_ (v "prev" == int 0)
+                  [ stw (glob "timer_head") (ldw (v "cur" + int lay.tm_next)) ]
+                  [ stw (v "prev" + int lay.tm_next)
+                      (ldw (v "cur" + int lay.tm_next)) ];
+                Break ]
+              [];
+            assign "prev" (v "cur");
+            assign "cur" (ldw (v "cur" + int lay.tm_next)) ];
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    (* hard IRQ handler of the CPU tick timer *)
+    func "tick_handler" ~params:[ "line"; "arg" ]
+      [ stw (glob "jiffies") (ldw (glob "jiffies") + int 1);
+        expr (call "run_local_timers" []);
+        ret (int Layout.irq_handled) ] ]
+
+let data (_lay : Layout.t) : Asm.datum list =
+  [ Asm.data "jiffies" 4; Asm.data "timer_head" 4 ]

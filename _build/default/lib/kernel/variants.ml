@@ -1,0 +1,71 @@
+(** Kernel "version" variants.
+
+    Linux's internal structures change constantly (Figure 3: hundreds of
+    functions/types referenced by device suspend/resume change ABI
+    between releases — e.g. the mutex reference count going int->long in
+    v4.10 broke mutex's binary interface, §4.4). We model that by
+    building minikern with permuted field offsets and struct sizes per
+    "release". A wide-interface offload (struct sharing across ISAs)
+    breaks on every one of these; ARK, depending only on {!Kabi}, runs
+    them all unmodified — the build-once-run-many experiment (§7.2). *)
+
+let v3_16 : Layout.t =
+  { Layout.v4_4 with
+    version = "v3.16";
+    (* TCB fields in a different order *)
+    tcb_size = 32; tcb_sp = 0; tcb_state = 4; tcb_entry = 8; tcb_arg = 12;
+    tcb_wake_at = 16;
+    (* work_struct led with the callback, as older kernels did *)
+    work_size = 16; work_fn = 0; work_arg = 4; work_next = 8;
+    work_pending = 12;
+    wq_size = 16; wq_worker = 0; wq_head = 4; wq_tail = 8;
+    irqd_size = 24; irqd_arg = 0; irqd_handler = 4; irqd_thread_fn = 8;
+    irqd_thread_flag = 12; irqd_thread_tcb = 16;
+    dev_size = 36; dev_suspend = 0; dev_resume = 4; dev_mmio = 8;
+    dev_irq = 12; dev_flags = 16; dev_state = 20; dev_priv = 24 }
+
+let v4_9 : Layout.t =
+  { Layout.v4_4 with
+    version = "v4.9";
+    tm_size = 20; tm_expires = 0; tm_next = 4; tm_fn = 8; tm_arg = 12;
+    tl_size = 20; tl_fn = 0; tl_next = 4; tl_arg = 8; tl_state = 12;
+    dev_size = 40; dev_priv = 32 }
+
+let v4_20 : Layout.t =
+  { Layout.v4_4 with
+    version = "v4.20";
+    (* the v4.10 mutex ABI break: count grows and moves *)
+    mtx_size = 12; mtx_owner = 0; mtx_count = 4;
+    sem_size = 8; sem_count = 4;
+    cmp_size = 8; cmp_done = 4;
+    tcb_size = 40; tcb_state = 0; tcb_sp = 8; tcb_wake_at = 16;
+    tcb_entry = 24; tcb_arg = 32;
+    work_size = 20; work_next = 0; work_fn = 8; work_arg = 12;
+    work_pending = 16;
+    irqd_size = 28; irqd_handler = 4; irqd_thread_fn = 12; irqd_arg = 16;
+    irqd_thread_tcb = 20; irqd_thread_flag = 24 }
+
+(** All modelled releases, oldest first. *)
+let all = [ v3_16; Layout.v4_4; v4_9; v4_20 ]
+
+(** [struct_fields lay] — the "types" view used by the Figure 3 bench:
+    name -> representative field offsets. *)
+let struct_fields (lay : Layout.t) =
+  [ ("task_struct", [ lay.tcb_size; lay.tcb_state; lay.tcb_sp;
+                      lay.tcb_wake_at; lay.tcb_entry; lay.tcb_arg ]);
+    ("work_struct", [ lay.work_size; lay.work_next; lay.work_fn;
+                      lay.work_arg; lay.work_pending ]);
+    ("workqueue_struct", [ lay.wq_size; lay.wq_head; lay.wq_tail;
+                           lay.wq_worker ]);
+    ("tasklet_struct", [ lay.tl_size; lay.tl_next; lay.tl_fn; lay.tl_arg;
+                         lay.tl_state ]);
+    ("timer_list", [ lay.tm_size; lay.tm_next; lay.tm_expires; lay.tm_fn;
+                     lay.tm_arg ]);
+    ("irq_desc", [ lay.irqd_size; lay.irqd_handler; lay.irqd_thread_fn;
+                   lay.irqd_arg; lay.irqd_thread_tcb; lay.irqd_thread_flag ]);
+    ("mutex", [ lay.mtx_size; lay.mtx_count; lay.mtx_owner ]);
+    ("semaphore", [ lay.sem_size; lay.sem_count ]);
+    ("completion", [ lay.cmp_size; lay.cmp_done ]);
+    ("device", [ lay.dev_size; lay.dev_mmio; lay.dev_irq; lay.dev_suspend;
+                 lay.dev_resume; lay.dev_flags; lay.dev_state; lay.dev_priv ])
+  ]

@@ -1,0 +1,162 @@
+(** Deferred work: workqueues, tasklets/softirq, async PM helpers.
+
+    All of this is {e translated} under ARK — deferred work is stateful
+    (work queued on the CPU before handoff must run on the peripheral
+    core, §4.3). ARK's involvement is limited to (a) upcalling the daemon
+    main functions ([worker_thread], [do_softirq]) from dedicated DBT
+    contexts and (b) hooking [queue_work_on]/[tasklet_schedule]/
+    [async_schedule] to mark the right context runnable. *)
+
+open Tk_isa
+open Tk_kcc
+open Ir
+
+let funcs (lay : Layout.t) : Ir.func list =
+  let ws = lay.work_size in
+  let af_fn = ws and af_arg = Stdlib.( + ) ws 4
+  and af_use = Stdlib.( + ) ws 8 in
+  let aentry_size = Stdlib.( + ) ws 12 in
+  [ func "queue_work_on" ~params:[ "cpu"; "wq"; "work" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        if_ (ldw (v "work" + int lay.work_pending) == int 0)
+          [ stw (v "work" + int lay.work_pending) (int 1);
+            stw (v "work" + int lay.work_next) (int 0);
+            if_ (ldw (v "wq" + int lay.wq_head) == int 0)
+              [ stw (v "wq" + int lay.wq_head) (v "work") ]
+              [ stw (ldw (v "wq" + int lay.wq_tail) + int lay.work_next)
+                  (v "work") ];
+            stw (v "wq" + int lay.wq_tail) (v "work");
+            expr (call "try_wake" [ ldw (v "wq" + int lay.wq_worker) ]) ]
+          [];
+        expr (call "spin_unlock" [ int 0 ]);
+        ret (int 1) ];
+    (* kworker daemon main: drain, then block until new work *)
+    func "worker_thread" ~params:[ "wq" ] ~locals:[ "work"; "fn" ]
+      [ forever
+          [ expr (call "spin_lock" [ int 0 ]);
+            assign "work" (ldw (v "wq" + int lay.wq_head));
+            if_ (v "work" != int 0)
+              [ stw (v "wq" + int lay.wq_head)
+                  (ldw (v "work" + int lay.work_next));
+                if_ (ldw (v "wq" + int lay.wq_head) == int 0)
+                  [ stw (v "wq" + int lay.wq_tail) (int 0) ]
+                  [];
+                stw (v "work" + int lay.work_pending) (int 0);
+                expr (call "spin_unlock" [ int 0 ]);
+                assign "fn" (ldw (v "work" + int lay.work_fn));
+                expr (callptr (v "fn") [ v "work" ]) ]
+              [ expr (call "spin_unlock" [ int 0 ]);
+                stw
+                  (ldw (v "wq" + int lay.wq_worker) + int lay.tcb_state)
+                  (int Layout.st_blocked);
+                expr (call "schedule" []) ] ] ];
+    func "cancel_work" ~params:[ "wq"; "work" ] ~locals:[ "prev"; "cur" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        if_ (ldw (v "work" + int lay.work_pending) != int 0)
+          [ assign "prev" (int 0);
+            assign "cur" (ldw (v "wq" + int lay.wq_head));
+            while_ (v "cur" != int 0)
+              [ if_ (v "cur" == v "work")
+                  [ if_ (v "prev" == int 0)
+                      [ stw (v "wq" + int lay.wq_head)
+                          (ldw (v "cur" + int lay.work_next)) ]
+                      [ stw (v "prev" + int lay.work_next)
+                          (ldw (v "cur" + int lay.work_next)) ];
+                    if_ (ldw (v "wq" + int lay.wq_tail) == v "cur")
+                      [ stw (v "wq" + int lay.wq_tail) (v "prev") ]
+                      [];
+                    Break ]
+                  [];
+                assign "prev" (v "cur");
+                assign "cur" (ldw (v "cur" + int lay.work_next)) ];
+            stw (v "work" + int lay.work_pending) (int 0) ]
+          [];
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "flush_workqueue" ~params:[ "wq" ]
+      [ while_ (ldw (v "wq" + int lay.wq_head) != int 0)
+          [ expr (call "schedule" []) ];
+        ret0 ];
+    (* ---- tasklets / softirq ---- *)
+    func "tasklet_schedule" ~params:[ "t" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        if_ (ldw (v "t" + int lay.tl_state) == int 0)
+          [ stw (v "t" + int lay.tl_state) (int 1);
+            stw (v "t" + int lay.tl_next) (ldw (glob "tasklet_head"));
+            stw (glob "tasklet_head") (v "t");
+            stw (glob "softirq_pending") (int 1);
+            expr (call "try_wake" [ Ksrc_util.tcb_of_slot lay Layout.thr_softirqd ]) ]
+          [];
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "do_softirq" ~locals:[ "t" ]
+      [ while_ (int 1)
+          [ expr (call "spin_lock" [ int 0 ]);
+            assign "t" (ldw (glob "tasklet_head"));
+            if_ (v "t" == int 0)
+              [ stw (glob "softirq_pending") (int 0);
+                expr (call "spin_unlock" [ int 0 ]);
+                Break ]
+              [];
+            stw (glob "tasklet_head") (ldw (v "t" + int lay.tl_next));
+            stw (v "t" + int lay.tl_state) (int 0);
+            expr (call "spin_unlock" [ int 0 ]);
+            expr (callptr (ldw (v "t" + int lay.tl_fn))
+                    [ ldw (v "t" + int lay.tl_arg) ]) ];
+        ret0 ];
+    func "softirqd_main" ~params:[ "me" ]
+      [ forever
+          [ if_ (ldw (glob "softirq_pending") != int 0)
+              [ expr (call "do_softirq" []) ]
+              [ stw (v "me" + int lay.tcb_state) (int Layout.st_blocked);
+                expr (call "schedule" []) ] ] ];
+    (* ---- async (PM core's async_schedule) ---- *)
+    func "async_schedule" ~params:[ "fn"; "arg" ] ~locals:[ "i"; "e" ]
+      [ expr (call "spin_lock" [ int 0 ]);
+        assign "e" (int 0);
+        assign "i" (int 0);
+        while_ (v "i" < int Layout.n_async_work)
+          [ if_ (ldw (glob "async_pool" + (v "i" * int aentry_size)
+                      + int af_use)
+                == int 0)
+              [ assign "e" (glob "async_pool" + (v "i" * int aentry_size));
+                Break ]
+              [];
+            assign "i" (v "i" + int 1) ];
+        if_ (v "e" == int 0)
+          [ (* pool exhausted: run synchronously *)
+            expr (call "spin_unlock" [ int 0 ]);
+            expr (callptr (v "fn") [ v "arg" ]);
+            ret (int 0) ]
+          [];
+        stw (v "e" + int af_use) (int 1);
+        stw (v "e" + int af_fn) (v "fn");
+        stw (v "e" + int af_arg) (v "arg");
+        stw (v "e" + int lay.work_fn) (glob "async_run");
+        stw (v "e" + int lay.work_arg) (v "e");
+        stw (glob "async_pending") (ldw (glob "async_pending") + int 1);
+        expr (call "spin_unlock" [ int 0 ]);
+        expr (call "queue_work_on" [ int 0; glob "pm_wq"; v "e" ]);
+        ret (int 1) ];
+    func "async_run" ~params:[ "work" ]
+      [ expr (callptr (ldw (v "work" + int af_fn))
+                [ ldw (v "work" + int af_arg) ]);
+        expr (call "spin_lock" [ int 0 ]);
+        stw (glob "async_pending") (ldw (glob "async_pending") - int 1);
+        stw (v "work" + int af_use) (int 0);
+        expr (call "spin_unlock" [ int 0 ]);
+        ret0 ];
+    func "async_synchronize"
+      [ while_ (ldw (glob "async_pending") != int 0)
+          [ expr (call "schedule" []) ];
+        ret0 ] ]
+
+let data (lay : Layout.t) : Asm.datum list =
+  let aentry_size = Stdlib.( + ) lay.work_size 12 in
+  [ Asm.data "system_wq" lay.wq_size;
+    Asm.data "pm_wq" lay.wq_size;
+    Asm.data "wifi_wq" lay.wq_size;
+    Asm.data "tasklet_head" 4;
+    Asm.data "softirq_pending" 4;
+    Asm.data "async_pool" (Stdlib.( * ) Layout.n_async_work aentry_size);
+    Asm.data "async_pending" 4 ]

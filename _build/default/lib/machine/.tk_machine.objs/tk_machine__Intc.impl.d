@@ -1,0 +1,1 @@
+lib/machine/intc.ml: Array Hashtbl List Mem

@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Cache Core Exec Hashtbl Intc Mem Printf Soc Tk_isa Types V7a

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Array Bytes Char Int32 List Printf Tk_isa

@@ -1,0 +1,1 @@
+lib/machine/soc.ml: Cache Clock Core Intc List Mem Timer

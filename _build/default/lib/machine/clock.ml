@@ -1,0 +1,77 @@
+(** Simulated platform time and event queue.
+
+    One global nanosecond clock per simulated platform. The currently
+    executing core advances it as it retires instructions; device-side
+    activity (power-state transitions completing, DMA finishing, timer
+    expiry) is scheduled as absolute-time events. When the core idles
+    (WFI), time fast-forwards to the next event — that is exactly how the
+    busy/idle split of Figure 5a arises. *)
+
+type event = { at : int; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable now : int;  (** ns since simulation start *)
+  mutable events : event list;  (** sorted by (at, seq) *)
+  mutable seq : int;
+}
+
+let create () = { now = 0; events = []; seq = 0 }
+
+(** [at t ns fn] schedules [fn] to run at absolute time [ns] (clamped to
+    now). Returns a cancel function. *)
+let at t ns fn =
+  let ev = { at = max ns t.now; seq = t.seq; fn } in
+  t.seq <- t.seq + 1;
+  let rec insert = function
+    | [] -> [ ev ]
+    | e :: rest when (e.at, e.seq) <= (ev.at, ev.seq) -> e :: insert rest
+    | rest -> ev :: rest
+  in
+  t.events <- insert t.events;
+  let cancelled = ref false in
+  fun () ->
+    if not !cancelled then begin
+      cancelled := true;
+      t.events <- List.filter (fun (e : event) -> e.seq <> ev.seq) t.events
+    end
+
+(** [after t dns fn] schedules [fn] in [dns] ns from now. *)
+let after t dns fn = at t (t.now + dns) fn
+
+(** [after_ t dns fn] — like {!after}, discarding the cancel handle. *)
+let after_ t dns fn =
+  let _cancel : unit -> unit = after t dns fn in
+  ()
+
+(** [run_due t] fires every event with [at <= now], in order. *)
+let run_due t =
+  let rec go () =
+    match t.events with
+    | e :: rest when e.at <= t.now ->
+      t.events <- rest;
+      e.fn ();
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(** [advance t dns] moves time forward by [dns] ns and fires due events. *)
+let advance t dns =
+  t.now <- t.now + dns;
+  run_due t
+
+(** [next_event_time t] is the time of the earliest pending event. *)
+let next_event_time t =
+  match t.events with [] -> None | e :: _ -> Some e.at
+
+(** [skip_to_next_event t] fast-forwards to the next event and fires it;
+    returns the ns skipped. Returns [None] when no event is pending —
+    a deadlocked WFI, which callers treat as a simulation bug. *)
+let skip_to_next_event t =
+  match next_event_time t with
+  | None -> None
+  | Some at ->
+    let skipped = max 0 (at - t.now) in
+    t.now <- max t.now at;
+    run_due t;
+    Some skipped

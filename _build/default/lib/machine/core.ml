@@ -1,0 +1,112 @@
+(** Per-core timing and activity accounting.
+
+    A core charges cycles for every retired instruction (plus cache-miss
+    stalls and uncached-IO penalties) and the platform clock advances
+    accordingly — only one core runs at a time, matching the paper's
+    execution model (all other CPU cores are shut down around the
+    offloaded phase). WFI fast-forwards to the next platform event and
+    books the gap as idle.
+
+    Busy/idle picosecond totals per core are what Figure 5a plots and the
+    energy model integrates. *)
+
+type params = {
+  cname : string;
+  freq_mhz : int;
+  busy_mw : float;  (** typical busy power (Table 6) *)
+  idle_mw : float;  (** idle power with the core clock-gated (Table 6) *)
+  mmio_penalty : int;  (** extra cycles for an uncached device access *)
+  cpi_num : int;
+  cpi_den : int;
+      (** average CPI = 1 + cpi_num/cpi_den: pipeline bubbles on the
+          3-stage, prediction-less M3 vs the out-of-order A9 *)
+}
+
+type t = {
+  p : params;
+  clock : Clock.t;
+  cache : Cache.t;
+  ps_per_cycle : int;
+  mutable cpi_acc : int;  (** accumulator for the fractional CPI *)
+  mutable frac_ps : int;  (** sub-ns remainder not yet pushed to the clock *)
+  mutable busy_cycles : int;
+  mutable busy_ps : int;
+  mutable idle_ps : int;
+  mutable instructions : int;
+}
+
+let create ~clock ~cache p =
+  { p; clock; cache; ps_per_cycle = 1_000_000 / p.freq_mhz; cpi_acc = 0;
+    frac_ps = 0;
+    busy_cycles = 0; busy_ps = 0; idle_ps = 0; instructions = 0 }
+
+(** [charge t cycles] books [cycles] of busy execution and advances the
+    platform clock (firing any due events). *)
+let charge t cycles =
+  t.busy_cycles <- t.busy_cycles + cycles;
+  let ps = (cycles * t.ps_per_cycle) + t.frac_ps in
+  t.busy_ps <- t.busy_ps + (cycles * t.ps_per_cycle);
+  t.frac_ps <- ps mod 1000;
+  Clock.advance t.clock (ps / 1000)
+
+(** [fetch_cost t addr] is the stall cost of fetching from [addr] through
+    this core's cache. *)
+let fetch_cost t addr = Cache.access t.cache ~write:false addr
+
+(** [idle_until_event t] models WFI: sleep to the next platform event.
+    Returns [false] when no event is pending (deadlock — callers raise). *)
+let idle_until_event t =
+  match Clock.skip_to_next_event t.clock with
+  | None -> false
+  | Some skipped_ns ->
+    t.idle_ps <- t.idle_ps + (skipped_ns * 1000);
+    true
+
+(** [count_instruction t] bumps the retired-instruction counter. *)
+let count_instruction t = t.instructions <- t.instructions + 1
+
+(** [instr_cycles t] — base cycles for one instruction under the core's
+    fractional CPI model (1 + cpi_num/cpi_den on average). *)
+let instr_cycles t =
+  if t.p.cpi_num = 0 then 1
+  else begin
+    t.cpi_acc <- t.cpi_acc + t.p.cpi_num;
+    let extra = t.cpi_acc / t.p.cpi_den in
+    t.cpi_acc <- t.cpi_acc mod t.p.cpi_den;
+    1 + extra
+  end
+
+let busy_ns t = t.busy_ps / 1000
+let idle_ns t = t.idle_ps / 1000
+
+(** [reset_activity t] zeroes busy/idle/instruction counters (used at
+    phase boundaries so each measured phase starts clean). *)
+let reset_activity t =
+  t.busy_cycles <- 0; t.busy_ps <- 0; t.idle_ps <- 0; t.instructions <- 0;
+  Cache.reset_counters t.cache
+
+(** Snapshot of a core's activity, used for per-phase deltas. *)
+type activity = {
+  a_busy_cycles : int;
+  a_busy_ps : int;
+  a_idle_ps : int;
+  a_instructions : int;
+  a_cache_misses : int;
+  a_rd_bytes : int;
+  a_wr_bytes : int;
+}
+
+let activity t =
+  { a_busy_cycles = t.busy_cycles; a_busy_ps = t.busy_ps;
+    a_idle_ps = t.idle_ps; a_instructions = t.instructions;
+    a_cache_misses = t.cache.Cache.misses;
+    a_rd_bytes = t.cache.Cache.rd_bytes; a_wr_bytes = t.cache.Cache.wr_bytes }
+
+let activity_delta a b =
+  { a_busy_cycles = b.a_busy_cycles - a.a_busy_cycles;
+    a_busy_ps = b.a_busy_ps - a.a_busy_ps;
+    a_idle_ps = b.a_idle_ps - a.a_idle_ps;
+    a_instructions = b.a_instructions - a.a_instructions;
+    a_cache_misses = b.a_cache_misses - a.a_cache_misses;
+    a_rd_bytes = b.a_rd_bytes - a.a_rd_bytes;
+    a_wr_bytes = b.a_wr_bytes - a.a_wr_bytes }

@@ -1,0 +1,134 @@
+(** Guest-native interpreter: the CPU executing V7A kernel code directly.
+
+    This is the paper's "native execution" arm: the monolithic kernel
+    running device suspend/resume on the Cortex-A9. The loop fetches
+    encoded words from DRAM (through the A9's cache model), decodes them
+    (memoized), executes via {!Tk_isa.Exec} and charges cycles; pending
+    GIC interrupts vector to the kernel's IRQ entry stub between
+    instructions.
+
+    Guest [SVC] is used as a simulation hypercall (halt / platform-off /
+    console), dispatched to the embedding runner through [on_svc]. *)
+
+open Tk_isa
+
+exception Halt of string  (** raised by hypercalls to end a run *)
+
+exception Fault of string  (** simulation bug: deadlock, bad fetch, ... *)
+
+type t = {
+  soc : Soc.t;
+  core : Core.t;
+  cpu : Exec.cpu;
+  decode_cache : (int, Types.inst) Hashtbl.t;
+  mutable env : Exec.env;
+  mutable irq_vector : int;  (** guest address of the IRQ entry stub *)
+  mutable irq_saved : (int * int) list;  (** (return pc, flags) *)
+  mutable on_svc : t -> Exec.cpu -> int -> unit;
+  mutable trace : (int -> Types.inst -> unit) option;
+}
+
+let dummy_env : Exec.env =
+  { load = (fun _ _ -> 0); store = (fun _ _ _ -> ());
+    svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
+    undef = (fun _ _ -> ()) }
+
+let create ~(soc : Soc.t) () =
+  let core = soc.cpu in
+  let t =
+    { soc; core; cpu = Exec.make_cpu (); decode_cache = Hashtbl.create 4096;
+      env = dummy_env; irq_vector = 0; irq_saved = [];
+      on_svc = (fun _ _ _ -> ()); trace = None }
+  in
+  let mem = soc.mem in
+  let load addr nbytes =
+    if Mem.in_ram mem addr then begin
+      Core.charge core (Cache.access core.cache ~write:false addr);
+      Mem.ram_read mem addr nbytes
+    end
+    else begin
+      Core.charge core core.p.mmio_penalty;
+      Mem.read mem addr nbytes
+    end
+  in
+  let store addr nbytes v =
+    if Mem.in_ram mem addr then begin
+      Core.charge core (Cache.access core.cache ~write:true addr);
+      (* self-modifying code safety: drop any stale decode *)
+      if Hashtbl.mem t.decode_cache (addr land lnot 3) then
+        Hashtbl.remove t.decode_cache (addr land lnot 3);
+      Mem.ram_write mem addr nbytes v
+    end
+    else begin
+      Core.charge core core.p.mmio_penalty;
+      Mem.write mem addr nbytes v
+    end
+  in
+  let wfi _cpu =
+    if not (Core.idle_until_event core) then
+      raise (Fault "WFI with no pending event: platform deadlock")
+  in
+  let irq_ret cpu =
+    match t.irq_saved with
+    | [] -> raise (Fault "IRQ return with empty saved-context stack")
+    | (ret_pc, flags) :: rest ->
+      t.irq_saved <- rest;
+      cpu.Exec.r.(Types.pc) <- ret_pc;
+      Exec.set_flags_word cpu flags;
+      cpu.Exec.irq_on <- true
+  in
+  let undef _cpu inst =
+    raise (Fault (Printf.sprintf "undefined instruction: %s" (Types.to_string inst)))
+  in
+  t.env <-
+    { load; store; svc = (fun cpu n -> t.on_svc t cpu n); wfi; irq_ret; undef };
+  t
+
+(** [set_pc t addr] positions the next fetch. *)
+let set_pc t addr = t.cpu.Exec.r.(Types.pc) <- addr
+
+let fetch_decode t addr =
+  match Hashtbl.find_opt t.decode_cache addr with
+  | Some i -> i
+  | None ->
+    let w = Mem.ram_read t.soc.mem addr 4 in
+    let i =
+      try V7a.decode w
+      with V7a.Decode_error _ | Invalid_argument _ ->
+        raise (Fault (Printf.sprintf "bad fetch at 0x%x (word 0x%x)" addr w))
+    in
+    Hashtbl.add t.decode_cache addr i;
+    i
+
+let deliver_irq t =
+  let cpu = t.cpu in
+  t.irq_saved <- (cpu.Exec.r.(Types.pc), Exec.flags_word cpu) :: t.irq_saved;
+  cpu.Exec.irq_on <- false;
+  cpu.Exec.r.(Types.pc) <- t.irq_vector
+
+(** [step t] executes one instruction (delivering a pending enabled IRQ
+    first). *)
+let step t =
+  let cpu = t.cpu in
+  if cpu.Exec.irq_on && Intc.highest t.soc.fabric.gic <> None then
+    deliver_irq t;
+  let addr = cpu.Exec.r.(Types.pc) in
+  if not (Mem.in_ram t.soc.mem addr) then
+    raise (Fault (Printf.sprintf "PC outside RAM: 0x%x" addr));
+  let i = fetch_decode t addr in
+  (match t.trace with Some f -> f addr i | None -> ());
+  Core.count_instruction t.core;
+  Core.charge t.core (Core.instr_cycles t.core + Core.fetch_cost t.core addr);
+  match Exec.step cpu t.env ~addr i with
+  | Exec.Next -> cpu.Exec.r.(Types.pc) <- addr + 4
+  | Exec.Branched -> ()
+
+(** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
+    instructions elapse, which raises {!Fault} — a runaway guest). *)
+let run t ~fuel =
+  let n = ref 0 in
+  while !n < fuel do
+    incr n;
+    step t
+  done;
+  raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel))

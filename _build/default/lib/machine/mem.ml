@@ -1,0 +1,102 @@
+(** Shared physical memory and the MMIO bus.
+
+    Both cores address the same DRAM at the same addresses — the "shared
+    platform resources" half of the paper's hardware model (§2.2): the
+    peripheral core maps all kernel code/data at identical addresses as
+    the CPU. Accesses outside DRAM are routed to registered MMIO regions
+    (devices, interrupt controllers, timers); an unclaimed access raises
+    {!Bus_fault}, which is how the M3's MPU fault on the CPU's interrupt
+    controller registers is modelled. *)
+
+exception Bus_fault of { addr : int; write : bool }
+
+type region = {
+  rbase : int;
+  rsize : int;
+  rname : string;
+  rread : int -> int -> int;  (** [rread offset nbytes] *)
+  rwrite : int -> int -> int -> unit;  (** [rwrite offset nbytes value] *)
+}
+
+type t = {
+  ram_base : int;
+  ram : Bytes.t;
+  mutable regions : region list;
+  mutable dma_read_bytes : int;  (** device-initiated DRAM traffic *)
+  mutable dma_write_bytes : int;
+}
+
+(** [create ~ram_base ~ram_size] makes a platform memory with zeroed
+    DRAM. *)
+let create ~ram_base ~ram_size =
+  { ram_base; ram = Bytes.make ram_size '\000'; regions = [];
+    dma_read_bytes = 0; dma_write_bytes = 0 }
+
+(** [add_region t r] registers an MMIO region (latest wins on overlap). *)
+let add_region t r = t.regions <- r :: t.regions
+
+let in_ram t addr = addr >= t.ram_base && addr < t.ram_base + Bytes.length t.ram
+
+let find_region t addr =
+  List.find_opt (fun r -> addr >= r.rbase && addr < r.rbase + r.rsize) t.regions
+
+(* Raw RAM accessors, little-endian. *)
+let ram_read t addr nbytes =
+  let off = addr - t.ram_base in
+  match nbytes with
+  | 1 -> Char.code (Bytes.get t.ram off)
+  | 2 -> Bytes.get_uint16_le t.ram off
+  | 4 -> Int32.to_int (Bytes.get_int32_le t.ram off) land 0xFFFFFFFF
+  | n -> invalid_arg (Printf.sprintf "ram_read size %d" n)
+
+let ram_write t addr nbytes v =
+  let off = addr - t.ram_base in
+  match nbytes with
+  | 1 -> Bytes.set t.ram off (Char.chr (v land 0xFF))
+  | 2 -> Bytes.set_uint16_le t.ram off (v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t.ram off (Int32.of_int (Tk_isa.Bits.s32 v))
+  | n -> invalid_arg (Printf.sprintf "ram_write size %d" n)
+
+(** [read t addr nbytes] — core- or DBT-initiated read; RAM or MMIO.
+    @raise Bus_fault on unclaimed addresses. *)
+let read t addr nbytes =
+  if in_ram t addr then ram_read t addr nbytes
+  else
+    match find_region t addr with
+    | Some r -> r.rread (addr - r.rbase) nbytes land 0xFFFFFFFF
+    | None -> raise (Bus_fault { addr; write = false })
+
+(** [write t addr nbytes v] — core- or DBT-initiated write. *)
+let write t addr nbytes v =
+  if in_ram t addr then ram_write t addr nbytes v
+  else
+    match find_region t addr with
+    | Some r -> r.rwrite (addr - r.rbase) nbytes v
+    | None -> raise (Bus_fault { addr; write = true })
+
+(** [dma_read t addr n] models a device reading [n] bytes from DRAM
+    (counted as DRAM traffic, bypassing core caches). Returns the bytes
+    as ints. *)
+let dma_read t addr n =
+  t.dma_read_bytes <- t.dma_read_bytes + n;
+  List.init n (fun i -> ram_read t (addr + i) 1)
+
+(** [dma_write t addr bytes] models a device writing to DRAM. *)
+let dma_write t addr bytes =
+  t.dma_write_bytes <- t.dma_write_bytes + List.length bytes;
+  List.iteri (fun i b -> ram_write t (addr + i) 1 b) bytes
+
+(** [load_image t (img : Tk_isa.Asm.image)] copies a linked guest image
+    into DRAM at its base address. *)
+let load_image t (img : Tk_isa.Asm.image) =
+  Array.iteri (fun i w -> ram_write t (img.base + (4 * i)) 4 w) img.words
+
+(** [digest t ~lo ~hi] is a cheap checksum of a DRAM range, used by the
+    differential tests to compare end states of native vs translated
+    execution. *)
+let digest t ~lo ~hi =
+  let h = ref 5381 in
+  for a = lo to hi - 1 do
+    if in_ram t a then h := ((!h lsl 5) + !h + ram_read t a 1) land 0x3FFFFFFFFFFF
+  done;
+  !h

@@ -1,0 +1,69 @@
+(** Hardware timers.
+
+    Each side of the SoC has one: the CPU timer drives the native kernel's
+    periodic tick (jiffies) and exposes a free-running counter the guest
+    reads for [udelay]/[ktime_get]; the peripheral core's private timer
+    gives ARK its time base (§4.6: "ARK converts the expected wait time to
+    the hardware timer cycles on the peripheral core").
+
+    MMIO register file:
+    - 0x00 R: COUNT_LO — free-running ns counter, low 32 bits
+    - 0x04 R: COUNT_HI
+    - 0x08 W: TICK_PERIOD_NS — start periodic IRQs (0 stops)
+    - 0x0C W: ONESHOT_NS — raise one IRQ after this delay *)
+
+type t = {
+  clock : Clock.t;
+  fabric : Intc.fabric;
+  irq_line : int;
+  mutable period : int;
+  mutable cancel_tick : (unit -> unit) option;
+}
+
+let create ~clock ~fabric ~irq_line =
+  { clock; fabric; irq_line; period = 0; cancel_tick = None }
+
+(** [now_ns t] is the free-running counter value. *)
+let now_ns t = t.clock.Clock.now
+
+let stop_tick t =
+  (match t.cancel_tick with Some c -> c () | None -> ());
+  t.cancel_tick <- None;
+  t.period <- 0
+
+(** [start_tick t ns] raises the timer IRQ every [ns] nanoseconds. *)
+let start_tick t ns =
+  stop_tick t;
+  if ns > 0 then begin
+    t.period <- ns;
+    let rec arm () =
+      t.cancel_tick <-
+        Some
+          (Clock.after t.clock t.period (fun () ->
+               Intc.raise_line t.fabric t.irq_line;
+               if t.period > 0 then arm ()))
+    in
+    arm ()
+  end
+
+(** [oneshot t ns] raises the timer IRQ once, [ns] from now. Returns a
+    cancel function. *)
+let oneshot t ns =
+  Clock.after t.clock ns (fun () -> Intc.raise_line t.fabric t.irq_line)
+
+let mmio_region t ~base : Mem.region =
+  { rbase = base; rsize = 0x100; rname = "timer";
+    rread =
+      (fun off _ ->
+        match off with
+        | 0x00 -> now_ns t land 0xFFFFFFFF
+        | 0x04 -> (now_ns t lsr 32) land 0xFFFFFFFF
+        | _ -> 0);
+    rwrite =
+      (fun off _ v ->
+        match off with
+        | 0x08 -> if v = 0 then stop_tick t else start_tick t v
+        | 0x0C ->
+          let _cancel : unit -> unit = oneshot t v in
+          ()
+        | _ -> ()) }

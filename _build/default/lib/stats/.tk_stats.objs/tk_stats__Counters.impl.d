@@ -1,0 +1,1 @@
+lib/stats/counters.ml: Fmt Hashtbl List

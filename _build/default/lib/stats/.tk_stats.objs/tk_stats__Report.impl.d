@@ -1,0 +1,1 @@
+lib/stats/report.ml: List Printf String

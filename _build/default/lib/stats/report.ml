@@ -1,0 +1,55 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The benches print the same rows/series the paper reports; this module
+    keeps the formatting in one place so every table looks alike. *)
+
+type align = L | R
+
+(** [table ~title ~header rows] prints an aligned ASCII table. The first
+    column is left-aligned, the rest right-aligned unless [aligns] says
+    otherwise. *)
+let table ?(aligns = []) ~title ~header rows =
+  let ncol = List.length header in
+  let align i =
+    match List.nth_opt aligns i with
+    | Some a -> a
+    | None -> if i = 0 then L else R
+  in
+  let all = header :: rows in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncol width in
+  let render row =
+    List.mapi
+      (fun i w ->
+        let cell = match List.nth_opt row i with Some c -> c | None -> "" in
+        match align i with
+        | L -> Printf.sprintf "%-*s" w cell
+        | R -> Printf.sprintf "%*s" w cell)
+      widths
+    |> String.concat "  "
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (String.make (String.length (render header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows
+
+(** [kv title pairs] prints a key/value block. *)
+let kv title pairs =
+  Printf.printf "\n== %s ==\n" title;
+  let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" w k v) pairs
+
+(** Format helpers used throughout the bench output. *)
+let fx f = Printf.sprintf "%.1fx" f
+
+let pct f = Printf.sprintf "%.0f%%" (f *. 100.)
+let ms ns = Printf.sprintf "%.2f ms" (float_of_int ns /. 1e6)
+let mj uj = Printf.sprintf "%.1f mJ" (uj /. 1000.)
+let f2 f = Printf.sprintf "%.2f" f

@@ -1,0 +1,1 @@
+test/test_abi.ml: Alcotest Ark_run List Native_run Printf Tk_drivers Tk_harness Tk_isa Tk_kernel Tk_machine

@@ -1,0 +1,1 @@
+test/test_ark.ml: Alcotest Ark_run Experiments List Native_run Tk_dbt Tk_drivers Tk_harness Tk_isa Tk_kernel Tk_machine Tk_stats Transkernel

@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest Array Asm Bits Engine Exec Interp Layout List Mem Printexc Printf QCheck QCheck_alcotest Soc String Tk_dbt Tk_isa Tk_machine Translator Types V7a

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Battery Core Experiments List Power_model Soc Tk_dbt Tk_energy Tk_harness Tk_machine Whatif

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Bits Exec List QCheck QCheck_alcotest Spec Tk_isa V7a V7m

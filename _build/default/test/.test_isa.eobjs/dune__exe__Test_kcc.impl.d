@@ -1,0 +1,1 @@
+test/test_kcc.ml: Alcotest Array Asm Bits Codegen Exec Interp Ir List Mem QCheck QCheck_alcotest Soc Stdlib Tk_isa Tk_kcc Tk_kernel Tk_machine Types V7a

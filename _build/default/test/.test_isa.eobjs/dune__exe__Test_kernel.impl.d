@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest List Native_run Random Tk_drivers Tk_harness Tk_isa Tk_kernel Tk_machine

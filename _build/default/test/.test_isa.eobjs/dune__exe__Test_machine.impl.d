@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cache Clock Core Gen Intc List Mem QCheck QCheck_alcotest Soc Timer Tk_drivers Tk_machine

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Bits Exec List Printf Rules Spec Tk_dbt Tk_isa Types

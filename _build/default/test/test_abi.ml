@@ -1,0 +1,125 @@
+(* Build once, work with many (§7.2 / Figure 3): the same ARK (OCaml
+   code, compiled once) must run kernels built with every layout variant,
+   while a wide-interface offload (struct sharing) visibly breaks. *)
+
+open Tk_harness
+module Layout = Tk_kernel.Layout
+module Variants = Tk_kernel.Variants
+module Kabi = Tk_kernel.Kabi
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_ark_runs_all_variants () =
+  List.iter
+    (fun (lay : Layout.t) ->
+      let ark = Ark_run.create ~layout:lay () in
+      (match Ark_run.suspend_resume_cycle ark with
+      | `Ok -> ()
+      | `Fell_back r ->
+        Alcotest.failf "ARK fell back on kernel %s: %s" lay.Layout.version r);
+      List.iter
+        (fun (n, s) ->
+          checki (Printf.sprintf "%s/%s on" lay.Layout.version n) 1 s)
+        (Native_run.device_states ark.Ark_run.nat);
+      checki
+        (Printf.sprintf "%s warns" lay.Layout.version)
+        0
+        (List.length ark.Ark_run.nat.Native_run.warns))
+    Variants.all
+
+let test_native_runs_all_variants () =
+  List.iter
+    (fun (lay : Layout.t) ->
+      let nat = Native_run.create ~layout:lay () in
+      ignore (Native_run.suspend_resume_cycle nat);
+      List.iter
+        (fun (n, s) ->
+          checki (Printf.sprintf "%s/%s" lay.Layout.version n) 1 s)
+        (Native_run.device_states nat))
+    Variants.all
+
+let test_abi_resolves_everywhere () =
+  (* the 12+1 narrow ABI resolves identically by *name* in every build *)
+  List.iter
+    (fun lay ->
+      let b = Tk_drivers.Platform.build_image ~layout:lay () in
+      List.iter
+        (fun sym -> ignore (b.Tk_kernel.Image.abi.Kabi.addr_of sym))
+        (List.filter (fun s -> s <> Kabi.jiffies) Kabi.table2);
+      checkb "jiffies var present" true
+        (b.Tk_kernel.Image.abi.Kabi.jiffies_addr <> 0))
+    Variants.all
+
+let test_wide_interface_breaks () =
+  (* the §2.3 strawman: an offload that shares struct layouts compiled
+     against v4.4 misreads a v3.16 kernel *)
+  let old = Variants.v3_16 in
+  let nat = Native_run.create ~layout:old () in
+  let image = nat.Native_run.plat.Tk_drivers.Platform.built.Tk_kernel.Image.image in
+  let mem = nat.Native_run.plat.Tk_drivers.Platform.soc.Tk_machine.Soc.mem in
+  let work = Tk_isa.Asm.symbol image "flash_work" in
+  (* the v3.16 kernel filled work_fn at its own offset *)
+  let fn_correct =
+    Tk_machine.Mem.ram_read mem (work + old.Layout.work_fn) 4
+  in
+  let fn_wide =
+    Tk_machine.Mem.ram_read mem (work + Layout.v4_4.Layout.work_fn) 4
+  in
+  checkb "correct offset reads the callback" true
+    (fn_correct = Tk_isa.Asm.symbol image "flash_flush_work");
+  checkb "v4.4-compiled offset reads garbage" true (fn_correct <> fn_wide)
+
+let test_abi_churn_counts () =
+  (* Figure 3b flavour: struct layouts change heavily between releases,
+     while the Table 2 ABI stays fixed *)
+  let pairs = [ (Variants.v3_16, Layout.v4_4); (Layout.v4_4, Variants.v4_9);
+                (Variants.v4_9, Variants.v4_20) ] in
+  List.iter
+    (fun (a, b) ->
+      let fa = Variants.struct_fields a and fb = Variants.struct_fields b in
+      let changed =
+        List.length
+          (List.filter
+             (fun (name, fields) -> List.assoc name fb <> fields)
+             fa)
+      in
+      checkb
+        (Printf.sprintf "%s->%s changes types" a.Layout.version
+           b.Layout.version)
+        true (changed > 0))
+    pairs;
+  (* the narrow ABI's name set is identical everywhere by construction *)
+  checki "table2 size" 13 (List.length Kabi.table2)
+
+let test_function_symbols_move () =
+  (* addresses move between builds — the reason binary patching of
+     addresses isn't the issue, interfaces are *)
+  let b1 = Tk_drivers.Platform.build_image ~layout:Layout.v4_4 () in
+  let b2 = Tk_drivers.Platform.build_image ~layout:Variants.v4_20 () in
+  let moved =
+    List.filter
+      (fun s ->
+        Tk_isa.Asm.symbol b1.Tk_kernel.Image.image s
+        <> Tk_isa.Asm.symbol b2.Tk_kernel.Image.image s)
+      (* data objects move with struct sizes; code may move with them *)
+      [ "current"; "irq_desc"; "dpm_devices"; "async_pool"; "jiffies" ]
+  in
+  checkb "symbols relocate across builds" true (List.length moved > 0)
+
+let () =
+  Alcotest.run "abi"
+    [ ( "build once, work with many",
+        [ Alcotest.test_case "ARK x all kernel variants" `Slow
+            test_ark_runs_all_variants;
+          Alcotest.test_case "native sanity on variants" `Slow
+            test_native_runs_all_variants;
+          Alcotest.test_case "narrow ABI resolves everywhere" `Quick
+            test_abi_resolves_everywhere ] );
+      ( "wide interfaces are brittle",
+        [ Alcotest.test_case "struct sharing breaks (Fig 2a)" `Quick
+            test_wide_interface_breaks;
+          Alcotest.test_case "type churn across releases (Fig 3b)" `Quick
+            test_abi_churn_counts;
+          Alcotest.test_case "symbols move across builds" `Quick
+            test_function_symbols_move ] ) ]

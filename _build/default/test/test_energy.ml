@@ -1,0 +1,126 @@
+(* The §7.4 energy model: invariants, Figure 7 break-evens, energy
+   bands, battery projection, big.LITTLE comparison. *)
+
+open Tk_energy
+open Tk_machine
+module Translator = Tk_dbt.Translator
+open Tk_harness
+
+let checkb = Alcotest.(check bool)
+
+let act ~busy_ms ~idle_ms ~rd ~wr =
+  { Core.a_busy_cycles = 0; a_busy_ps = int_of_float (busy_ms *. 1e9);
+    a_idle_ps = int_of_float (idle_ms *. 1e9); a_instructions = 0;
+    a_cache_misses = 0; a_rd_bytes = rd; a_wr_bytes = wr }
+
+let test_model_monotonic () =
+  let e busy =
+    Power_model.total
+      (Power_model.of_activity ~params:Soc.a9_params
+         ~act:(act ~busy_ms:busy ~idle_ms:2.0 ~rd:0 ~wr:0) ())
+  in
+  checkb "more busy = more energy" true (e 2.0 > e 1.0);
+  let e_traffic rd =
+    Power_model.total
+      (Power_model.of_activity ~params:Soc.m3_params
+         ~act:(act ~busy_ms:1.0 ~idle_ms:1.0 ~rd ~wr:0) ())
+  in
+  checkb "more DRAM traffic = more energy" true
+    (e_traffic 1_000_000 > e_traffic 0)
+
+let test_idle_power_gap () =
+  (* the M3's idle power is 1.25% of the A9's (§7.4) *)
+  let frac = Soc.m3_params.Core.idle_mw /. Soc.a9_params.Core.idle_mw in
+  checkb "idle power ratio 1/80" true (frac > 0.01 && frac < 0.015)
+
+let test_breakeven_shape () =
+  (* Figure 7: a break-even overhead exists at 100% busy; it grows as
+     the workload idles more *)
+  let be100 = Whatif.break_even ~busy_frac:1.0 () in
+  let be41 = Whatif.break_even ~busy_frac:0.41 () in
+  let be20 = Whatif.break_even ~busy_frac:0.20 () in
+  checkb "break-even at 100% busy in [2,6]" true (be100 > 2.0 && be100 < 6.0);
+  checkb "monotone in idleness" true (be100 < be41 && be41 < be20);
+  (* the paper's headline: at its measured overhead ARK saves energy at
+     every realistic busy fraction *)
+  let rel =
+    Whatif.relative_energy ~a9:Soc.a9_params ~m3:Soc.m3_params ~overhead:2.2
+      ~busy_frac:0.41 ()
+  in
+  checkb "ARK-like point saves energy" true (rel < 1.0)
+
+let test_whatif_grid () =
+  let g =
+    Whatif.grid ~overheads:[ 1.0; 5.0; 15.0 ] ~busy_fracs:[ 0.2; 0.8 ] ()
+  in
+  List.iter
+    (fun (_, series) ->
+      let values = List.map snd series in
+      checkb "relative energy grows with overhead" true
+        (values = List.sort compare values))
+    g
+
+let test_battery () =
+  (* the paper's two operating points (§7.4) with its measured 66% *)
+  let e1 = Battery.extension ~susp_frac:0.9 ~ark_rel:0.66 () in
+  let e2 = Battery.extension ~susp_frac:0.5 ~ark_rel:0.66 () in
+  (* paper: 18% and 7% *)
+  checkb "5s-interval point ~18%" true (e1 > 0.12 && e1 < 0.28);
+  checkb "30s-interval point smaller" true (e2 > 0.05 && e2 < e1);
+  checkb "hours/day positive" true (Battery.hours_per_day e1 > 1.0)
+
+let test_measured_energy_band () =
+  (* the headline claim: ARK consumes 55-80% of native system energy
+     for device suspend/resume (paper: 66%) *)
+  let nat = Experiments.measure_native () in
+  let ark = Experiments.measure_mode Translator.Ark in
+  let rel =
+    Power_model.total ark.Experiments.r_energy
+    /. Power_model.total nat.Experiments.r_energy
+  in
+  if rel < 0.3 || rel > 0.85 then
+    Alcotest.failf "ARK relative energy %.2f outside [0.3, 0.85]" rel;
+  (* and the baseline wastes energy *)
+  let base = Experiments.measure_mode Translator.Baseline in
+  let rel_b =
+    Power_model.total base.Experiments.r_energy
+    /. Power_model.total nat.Experiments.r_energy
+  in
+  checkb "baseline loses to native" true (rel_b > 1.5)
+
+let test_dram_rates () =
+  (* §7.3: ARK's DRAM read rate well above native's (32 vs 8 MB/s) *)
+  let nat = Experiments.measure_native () in
+  let ark = Experiments.measure_mode Translator.Ark in
+  checkb "ARK reads DRAM harder than native" true
+    (ark.Experiments.r_rd_bytes > 2 * nat.Experiments.r_rd_bytes)
+
+let test_biglittle () =
+  (* §7.4: LITTLE saves vs native but loses to ARK (77% vs 51-66%) *)
+  let nat = Experiments.measure_native () in
+  let ark = Experiments.measure_mode Translator.Ark in
+  let e_native = Power_model.total nat.Experiments.r_energy in
+  let little =
+    Battery.little_relative ~a9:Soc.a9_params
+      ~busy_ms:nat.Experiments.r_whole.Experiments.p_busy_ms
+      ~idle_ms:nat.Experiments.r_whole.Experiments.p_idle_ms
+      ~e_native_uj:e_native ()
+  in
+  let ark_rel = Power_model.total ark.Experiments.r_energy /. e_native in
+  checkb "LITTLE saves something" true (little < 1.0);
+  checkb "ARK beats LITTLE" true (ark_rel < little)
+
+let () =
+  Alcotest.run "energy"
+    [ ( "model",
+        [ Alcotest.test_case "monotonicity" `Quick test_model_monotonic;
+          Alcotest.test_case "idle power gap" `Quick test_idle_power_gap ] );
+      ( "what-if (Fig 7)",
+        [ Alcotest.test_case "break-even shape" `Quick test_breakeven_shape;
+          Alcotest.test_case "grid monotone" `Quick test_whatif_grid ] );
+      ( "projections",
+        [ Alcotest.test_case "battery extension" `Quick test_battery;
+          Alcotest.test_case "big.LITTLE comparison" `Slow test_biglittle ] );
+      ( "measured",
+        [ Alcotest.test_case "energy band" `Slow test_measured_energy_band;
+          Alcotest.test_case "DRAM rates" `Slow test_dram_rates ] ) ]

@@ -1,0 +1,249 @@
+(* ISA layer: encodings, immediates, semantics. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------- generators ------------------------------- *)
+
+let gen_reg = QCheck.Gen.int_range 0 12
+let gen_cond = QCheck.Gen.map cond_of_int (QCheck.Gen.int_range 0 14)
+
+let gen_shift_kind =
+  QCheck.Gen.map shift_kind_of_int (QCheck.Gen.int_range 0 3)
+
+let gen_dp_op = QCheck.Gen.map dp_op_of_int (QCheck.Gen.int_range 0 15)
+
+let gen_a_imm =
+  (* arbitrary v7a-encodable immediate: 8-bit value rotated evenly *)
+  QCheck.Gen.map2
+    (fun b r -> Bits.ror32 b (2 * r))
+    (QCheck.Gen.int_range 0 255) (QCheck.Gen.int_range 0 15)
+
+let gen_operand2 =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.map (fun v -> Imm v) gen_a_imm;
+      QCheck.Gen.map (fun r -> Reg r) gen_reg;
+      QCheck.Gen.map3 (fun r k a -> Sreg (r, k, a)) gen_reg gen_shift_kind
+        (QCheck.Gen.int_range 1 31);
+      QCheck.Gen.map3 (fun r k rs -> Sregreg (r, k, rs)) gen_reg gen_shift_kind
+        gen_reg ]
+
+let gen_mem =
+  let open QCheck.Gen in
+  let* ld = bool in
+  let* size = map mem_size_of_int (int_range 0 2) in
+  let* rt = gen_reg in
+  let* rn = gen_reg in
+  let* idx = map (function 0 -> Offset | 1 -> Pre | _ -> Post) (int_range 0 2) in
+  let* off =
+    oneof
+      [ map (fun o -> Oimm o) (int_range (-2047) 2047);
+        map3 (fun r k a -> Oreg (r, k, a)) gen_reg gen_shift_kind
+          (int_range 0 31) ]
+  in
+  return (Mem { ld; size; rt; rn; off; idx })
+
+let gen_op =
+  let open QCheck.Gen in
+  frequency
+    [ (6, map2 (fun (o, s) (rd, rn, op2) -> Dp (o, s, rd, rn, op2))
+         (pair gen_dp_op bool)
+         (triple gen_reg gen_reg gen_operand2));
+      (4, gen_mem);
+      (1, map2 (fun rd i -> Movw (rd, i)) gen_reg (int_range 0 0xFFFF));
+      (1, map2 (fun rd i -> Movt (rd, i)) gen_reg (int_range 0 0xFFFF));
+      (1, map3 (fun s rd (rn, rm) -> Mul (s, rd, rn, rm)) bool gen_reg
+         (pair gen_reg gen_reg));
+      (1, map3 (fun rd rn rm -> Udiv (rd, rn, rm)) gen_reg gen_reg gen_reg);
+      (1, map2 (fun rd rm -> Clz (rd, rm)) gen_reg gen_reg);
+      (1, map2 (fun rd rm -> Rev (rd, rm)) gen_reg gen_reg);
+      (1, map3 (fun rd rm rn -> Swp (rd, rm, rn)) gen_reg gen_reg gen_reg);
+      (1, map (fun off -> B (off * 4)) (int_range (-1000) 1000));
+      (1, map (fun off -> Bl (off * 4)) (int_range (-1000) 1000));
+      (1, map (fun r -> Bx r) gen_reg);
+      (1, return Nop) ]
+
+let gen_inst = QCheck.Gen.map2 (fun cond op -> { cond; op }) gen_cond gen_op
+
+let arb_inst =
+  QCheck.make ~print:(fun i -> to_string i) gen_inst
+
+(* ------------------------- unit tests ------------------------------- *)
+
+let test_a_imm () =
+  check "0x80000001 is a v7a imm" true (V7a.imm_ok 0x80000001);
+  check "0xFF is a v7a imm" true (V7a.imm_ok 0xFF);
+  check "0x101 not a v7a imm" false (V7a.imm_ok 0x101);
+  check "0xFF000000 is a v7a imm" true (V7a.imm_ok 0xFF000000)
+
+let test_m_imm () =
+  (* the paper's Table 4 G2 example *)
+  check "0x80000001 not a v7m imm" false (V7m.imm_ok 0x80000001);
+  check "0xAB is" true (V7m.imm_ok 0xAB);
+  check "0x00AB00AB splat" true (V7m.imm_ok 0x00AB00AB);
+  check "0xAB00AB00 splat" true (V7m.imm_ok 0xAB00AB00);
+  check "0xABABABAB splat" true (V7m.imm_ok 0xABABABAB);
+  check "0xFF0 shifted byte" true (V7m.imm_ok 0xFF0);
+  check "0x1010 not" false (V7m.imm_ok 0x1010)
+
+let test_m_restrictions () =
+  (* writeback with register offsets has no v7m encoding *)
+  let i =
+    at (Mem { ld = true; size = Word; rt = 0; rn = 1;
+              off = Oreg (2, LSR, 4); idx = Post })
+  in
+  check "post-indexed reg-shift unencodable" false (V7m.encodable i);
+  (* register-shifted operand2 only as a bare move *)
+  check "add reg-shift-reg unencodable" false
+    (V7m.encodable (at (Dp (ADD, false, 0, 1, Sregreg (2, LSL, 3)))));
+  check "mov reg-shift-reg ok" true
+    (V7m.encodable (at (Dp (MOV, false, 0, 0, Sregreg (2, LSL, 3)))));
+  check "rsc unencodable" false
+    (V7m.encodable (at (Dp (RSC, false, 0, 1, Reg 2))));
+  check "swp unencodable" false (V7m.encodable (at (Swp (0, 1, 2))));
+  (* offset ranges *)
+  check "ldr [rn,#-1024] unencodable" false
+    (V7m.encodable
+       (at (Mem { ld = true; size = Word; rt = 0; rn = 1; off = Oimm (-1024);
+                  idx = Offset })));
+  check "ldr [rn,#4095] ok" true
+    (V7m.encodable
+       (at (Mem { ld = true; size = Word; rt = 0; rn = 1; off = Oimm 4095;
+                  idx = Offset })))
+
+let test_spec_counts () =
+  List.iter
+    (fun (cat, expected) ->
+      checki (Spec.category_name cat) expected (Spec.count cat))
+    Spec.paper_counts;
+  checki "total forms" 558 Spec.total
+
+(* roundtrip properties *)
+let prop_v7a_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"v7a encode/decode roundtrip" arb_inst
+    (fun i ->
+      match V7a.encode i with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok w -> V7a.decode w = i)
+
+let prop_v7m_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"v7m encode/decode roundtrip" arb_inst
+    (fun i ->
+      match V7m.encode i with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok w -> V7m.decode w = i)
+
+let prop_m_imm_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"v7m modified-imm roundtrip"
+    (QCheck.make (QCheck.Gen.int_range 0 0xFFFFFF))
+    (fun seed ->
+      (* derive a valid imm from the seed *)
+      let rot = 8 + ((seed lsr 7) mod 24) in
+      let v = Bits.ror32 (0x80 lor (seed land 0x7F)) rot in
+      match V7m.encode_imm v with
+      | None -> true (* some rotations collapse to simpler forms *)
+      | Some code -> V7m.decode_imm code = v)
+
+(* flags semantics spot checks *)
+let exec_one ?(cpu = Exec.make_cpu ()) i =
+  let env =
+    { Exec.load = (fun _ _ -> 0); store = (fun _ _ _ -> ());
+      svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
+      undef = (fun _ _ -> ()) }
+  in
+  ignore (Exec.step cpu env ~addr:0x1000 i);
+  cpu
+
+let test_flags () =
+  let cpu = Exec.make_cpu () in
+  cpu.Exec.r.(1) <- 5;
+  let cpu = exec_one ~cpu (at (Dp (CMP, false, 0, 1, Imm 5))) in
+  check "cmp equal sets Z" true cpu.Exec.z;
+  check "cmp equal sets C" true cpu.Exec.c;
+  let cpu2 = Exec.make_cpu () in
+  cpu2.Exec.r.(1) <- 3;
+  let cpu2 = exec_one ~cpu:cpu2 (at (Dp (CMP, false, 0, 1, Imm 5))) in
+  check "3 < 5 clears C" false cpu2.Exec.c;
+  check "3 < 5 sets N" true cpu2.Exec.n;
+  (* signed overflow *)
+  let cpu3 = Exec.make_cpu () in
+  cpu3.Exec.r.(1) <- 0x7FFFFFFF;
+  let cpu3 = exec_one ~cpu:cpu3 (at (Dp (ADD, true, 0, 1, Imm 1))) in
+  check "0x7fffffff+1 overflows" true cpu3.Exec.v;
+  check "result negative" true cpu3.Exec.n
+
+let test_exec_basics () =
+  let cpu = Exec.make_cpu () in
+  cpu.Exec.r.(1) <- 0xF0;
+  ignore (exec_one ~cpu (at (Dp (MOV, false, 0, 0, Sreg (1, LSR, 4)))));
+  checki "lsr" 0xF cpu.Exec.r.(0);
+  ignore (exec_one ~cpu (at (Clz (2, 1))));
+  checki "clz 0xf0" 24 cpu.Exec.r.(2);
+  ignore (exec_one ~cpu (at (Rev (3, 1))));
+  checki "rev" 0xF0000000 cpu.Exec.r.(3);
+  cpu.Exec.r.(4) <- 100;
+  cpu.Exec.r.(5) <- 7;
+  ignore (exec_one ~cpu (at (Udiv (6, 4, 5))));
+  checki "udiv" 14 cpu.Exec.r.(6)
+
+let test_conditional () =
+  let cpu = Exec.make_cpu () in
+  cpu.Exec.z <- false;
+  cpu.Exec.r.(0) <- 42;
+  ignore (exec_one ~cpu (at ~cond:EQ (Dp (MOV, false, 0, 0, Imm 1))));
+  checki "EQ skipped when Z clear" 42 cpu.Exec.r.(0);
+  cpu.Exec.z <- true;
+  ignore (exec_one ~cpu (at ~cond:EQ (Dp (MOV, false, 0, 0, Imm 1))));
+  checki "EQ taken when Z set" 1 cpu.Exec.r.(0)
+
+let test_asm_link () =
+  let frag =
+    { Asm.name = "f";
+      items =
+        [ Asm.Ins (at (Movw (0, 7)));
+          Asm.Label ".l";
+          Asm.Ins (at (Dp (ADD, false, 0, 0, Imm 1)));
+          Asm.Bcc (NE, ".l");
+          Asm.Adr (1, "data0");
+          Asm.Ins (at (Bx lr)) ] }
+  in
+  let img = Asm.link ~base:0x10000 [ frag ] [ Asm.data "data0" 8 ] in
+  checki "symbol f" 0x10000 (Asm.symbol img "f");
+  checki "label .l" 0x10004 (Asm.symbol img ".l");
+  check "data after code" true (Asm.symbol img "data0" > Asm.symbol img "f");
+  (* the Bcc encodes a backwards branch *)
+  let w = img.Asm.words.(2) in
+  (match (V7a.decode w).op with
+  | B off -> checki "branch offset" (-4) off
+  | _ -> Alcotest.fail "expected branch");
+  checki "fragment size" 24 (Asm.fragment_size frag)
+
+let test_nearest_symbol () =
+  let frag = { Asm.name = "fn"; items = [ Asm.Ins (at Nop); Asm.Ins (at Nop) ] } in
+  let img = Asm.link ~base:0x10000 [ frag ] [] in
+  Alcotest.(check string) "exact" "fn" (Asm.nearest_symbol img 0x10000);
+  Alcotest.(check string) "offset" "fn+0x4" (Asm.nearest_symbol img 0x10004)
+
+let () =
+  Alcotest.run "isa"
+    [ ( "immediates",
+        [ Alcotest.test_case "v7a rotated immediates" `Quick test_a_imm;
+          Alcotest.test_case "v7m modified immediates" `Quick test_m_imm;
+          Alcotest.test_case "v7m encoding restrictions" `Quick
+            test_m_restrictions ] );
+      ( "spec",
+        [ Alcotest.test_case "Table 3 category counts" `Quick test_spec_counts ] );
+      ( "roundtrip",
+        [ QCheck_alcotest.to_alcotest prop_v7a_roundtrip;
+          QCheck_alcotest.to_alcotest prop_v7m_roundtrip;
+          QCheck_alcotest.to_alcotest prop_m_imm_roundtrip ] );
+      ( "semantics",
+        [ Alcotest.test_case "flag setting" `Quick test_flags;
+          Alcotest.test_case "basic ops" `Quick test_exec_basics;
+          Alcotest.test_case "conditional execution" `Quick test_conditional ] );
+      ( "assembler",
+        [ Alcotest.test_case "link and resolve" `Quick test_asm_link;
+          Alcotest.test_case "nearest symbol" `Quick test_nearest_symbol ] ) ]

@@ -1,0 +1,291 @@
+(* The mini compiler: compile IR programs and execute them natively on a
+   bare platform. *)
+
+open Tk_isa
+open Tk_machine
+open Tk_kcc
+open Ir
+
+let checki = Alcotest.(check int)
+
+(* run [main()] (no args) from a compiled set of functions *)
+let run_funcs ?(globals = []) funcs main args =
+  let frags = Codegen.compile_all funcs in
+  let image = Asm.link ~base:Soc.kernel_base frags globals in
+  let soc = Soc.create () in
+  Mem.load_image soc.Soc.mem image;
+  let interp = Interp.create ~soc () in
+  let stop = ref false in
+  interp.Interp.on_svc <- (fun _ _ _ -> stop := true);
+  let cpu = interp.Interp.cpu in
+  let stub =
+    Stdlib.( + ) Soc.kernel_base
+      (Stdlib.( + ) (Stdlib.( * ) 4 (Array.length image.Asm.words)) 64)
+  in
+  Mem.ram_write soc.Soc.mem stub 4 (V7a.encode_exn (Types.at (Types.Svc 0)));
+  List.iteri (fun i a -> cpu.Exec.r.(i) <- Bits.mask32 a) args;
+  cpu.Exec.r.(Types.sp) <- Soc.stack_top 0;
+  cpu.Exec.r.(Types.lr) <- stub;
+  Interp.set_pc interp (Asm.symbol image main);
+  let fuel = ref 10_000_000 in
+  while (not !stop) && Stdlib.( > ) !fuel 0 do
+    decr fuel;
+    Interp.step interp
+  done;
+  if !fuel = 0 then Alcotest.fail "kcc program did not terminate";
+  (cpu.Exec.r.(0), soc, image)
+
+let r1 ?globals funcs main args =
+  let r, _, _ = run_funcs ?globals funcs main args in
+  r
+
+let test_arith () =
+  let f =
+    func "main" ~params:[ "a"; "b" ]
+      [ ret (((v "a" + v "b") * int 3) - (v "a" / int 2)) ]
+  in
+  checki "(7+5)*3-3" 33 (r1 [ f ] "main" [ 7; 5 ])
+
+let test_factorial () =
+  let f =
+    func "fact" ~params:[ "n" ]
+      [ if_ (v "n" <= int 1) [ ret (int 1) ] [];
+        ret (v "n" * call "fact" [ v "n" - int 1 ]) ]
+  in
+  checki "6!" 720 (r1 [ f ] "fact" [ 6 ])
+
+let test_loops_break () =
+  let f =
+    func "main" ~locals:[ "i"; "acc" ]
+      [ assign "acc" (int 0);
+        assign "i" (int 0);
+        while_ (int 1)
+          [ if_ (v "i" == int 10) [ Break ] [];
+            assign "acc" (v "acc" + v "i");
+            assign "i" (v "i" + int 1) ];
+        ret (v "acc") ]
+  in
+  checki "sum 0..9" 45 (r1 [ f ] "main" [])
+
+let test_memory_ops () =
+  let f =
+    func "main" ~locals:[ "p"; "i" ]
+      [ assign "p" (glob "arr");
+        assign "i" (int 0);
+        while_ (v "i" < int 10)
+          [ stw (v "p" + (v "i" lsl int 2)) (v "i" * v "i");
+            assign "i" (v "i" + int 1) ];
+        (* arr[7] + arr[3] *)
+        ret (ldw (v "p" + int 28) + ldw (v "p" + int 12)) ]
+  in
+  checki "49+9" 58 (r1 ~globals:[ Asm.data "arr" 64 ] [ f ] "main" [])
+
+let test_byte_half () =
+  let f =
+    func "main"
+      [ stb (glob "buf") (int 0x1FF);
+        sth (glob "buf" + int 2) (int 0x12345);
+        ret (ldb (glob "buf") + ldh (glob "buf" + int 2)) ]
+  in
+  checki "0xFF + 0x2345" 0x2444
+    (r1 ~globals:[ Asm.data "buf" 8 ] [ f ] "main" [])
+
+let test_signed_compare () =
+  let f =
+    func "main" ~params:[ "a"; "b" ]
+      [ if_ (slt (v "a") (v "b")) [ ret (int 1) ] [ ret (int 0) ] ]
+  in
+  checki "-1 < 1 signed" 1 (r1 [ f ] "main" [ -1; 1 ]);
+  checki "1 < -1 signed false" 0 (r1 [ f ] "main" [ 1; -1 ])
+
+let test_unsigned_compare () =
+  let f =
+    func "main" ~params:[ "a"; "b" ]
+      [ if_ (v "a" < v "b") [ ret (int 1) ] [ ret (int 0) ] ]
+  in
+  checki "0xffffffff < 1 unsigned false" 0 (r1 [ f ] "main" [ -1; 1 ])
+
+let test_function_pointers () =
+  let add3 = func "add3" ~params:[ "x" ] [ ret (v "x" + int 3) ] in
+  let f =
+    func "main" ~locals:[ "fp" ]
+      [ assign "fp" (glob "add3"); ret (callptr (v "fp") [ int 39 ]) ]
+  in
+  checki "indirect call" 42 (r1 [ f; add3 ] "main" [])
+
+let test_logical_ops () =
+  let f =
+    func "main" ~params:[ "x" ]
+      [ ret ((v "x" lor int 0xF0) land bnot (int 0x0F) lxor int 0x100) ]
+  in
+  checki "bit ops" 0x1F0 (r1 [ f ] "main" [ 0x5 ])
+
+let test_lnot_neg () =
+  let f =
+    func "main" ~params:[ "x" ]
+      [ if_ (lnot (v "x")) [ ret (Neg (int 7)) ] [ ret (int 1) ] ]
+  in
+  checki "lnot 0 -> -7" (Bits.mask32 (-7)) (r1 [ f ] "main" [ 0 ]);
+  checki "lnot 5 -> 1" 1 (r1 [ f ] "main" [ 5 ])
+
+let test_shifts_by_reg () =
+  let f =
+    func "main" ~params:[ "x"; "n" ]
+      [ ret ((v "x" lsl v "n") lor (v "x" lsr v "n")) ]
+  in
+  checki "dyn shifts" 0xF0F (r1 [ f ] "main" [ 0xF0; 4 ])
+
+let test_memcpy_memset () =
+  let funcs = Tk_kernel.Klib_src.funcs Tk_kernel.Layout.v4_4 in
+  let frags =
+    Codegen.compile_all funcs @ Tk_kernel.Klib_src.frags Tk_kernel.Layout.v4_4
+  in
+  let main =
+    func "main"
+      [ expr (call "memset" [ glob "a"; int 0xAB; int 64 ]);
+        expr (call "memcpy" [ glob "b"; glob "a"; int 33 ]);
+        ret (ldb (glob "b" + int 32) + ldb (glob "b" + int 33)) ]
+  in
+  let image =
+    Asm.link ~base:Soc.kernel_base
+      (Codegen.compile main :: frags)
+      (Asm.data "a" 64 :: Asm.data "b" 64
+      :: Tk_kernel.Klib_src.data Tk_kernel.Layout.v4_4)
+  in
+  let soc = Soc.create () in
+  Mem.load_image soc.Soc.mem image;
+  let interp = Interp.create ~soc () in
+  let stop = ref false in
+  interp.Interp.on_svc <- (fun _ _ _ -> stop := true);
+  let cpu = interp.Interp.cpu in
+  let stub =
+    Stdlib.( + ) Soc.kernel_base
+      (Stdlib.( + ) (Stdlib.( * ) 4 (Array.length image.Asm.words)) 64)
+  in
+  Mem.ram_write soc.Soc.mem stub 4 (V7a.encode_exn (Types.at (Types.Svc 0)));
+  cpu.Exec.r.(Types.sp) <- Soc.stack_top 0;
+  cpu.Exec.r.(Types.lr) <- stub;
+  Interp.set_pc interp (Asm.symbol image "main");
+  while not !stop do
+    Interp.step interp
+  done;
+  (* byte 32 copied (0xAB), byte 33 untouched (0) *)
+  checki "memcpy boundary" 0xAB cpu.Exec.r.(0)
+
+let test_deep_expression_rejected () =
+  (* build a pathologically right-deep expression programmatically *)
+  let rec deep n =
+    if n = 0 then v "a"
+    else Bin (Add, v "a", Bin (Mul, v "a", deep (Stdlib.( - ) n 1)))
+  in
+  let f = func "main" ~params:[ "a" ] [ ret (deep 10) ] in
+  match Codegen.compile f with
+  | _ -> Alcotest.fail "expected Codegen_error for deep expression"
+  | exception Codegen.Codegen_error _ -> ()
+
+let test_too_many_params () =
+  let f = func "main" ~params:[ "a"; "b"; "c"; "d"; "e" ] [ ret0 ] in
+  (match Codegen.compile f with
+  | _ -> Alcotest.fail "expected Codegen_error"
+  | exception Codegen.Codegen_error _ -> ())
+
+let test_duplicate_var () =
+  let f = func "main" ~params:[ "a" ] ~locals:[ "a" ] [ ret0 ] in
+  (match Codegen.compile f with
+  | _ -> Alcotest.fail "expected Codegen_error"
+  | exception Codegen.Codegen_error _ -> ())
+
+(* qcheck: arithmetic expressions evaluate like OCaml *)
+let rec eval_ref env (e : Ir.expr) =
+  let m = Bits.mask32 in
+  match e with
+  | Int n -> m n
+  | Var x -> m (List.assoc x env)
+  | Bin (op, a, b) ->
+    let a = eval_ref env a and b = eval_ref env b in
+    m
+      Stdlib.(
+        match op with
+      | Add -> a + b
+      | Sub -> a - b
+      | Mul -> a * b
+      | Div -> if b = 0 then 0 else a / b
+      | And -> a land b
+      | Or -> a lor b
+      | Xor -> a lxor b
+      | Shl -> if b land 255 >= 32 then 0 else a lsl (b land 255)
+      | Shr -> if b land 255 >= 32 then 0 else a lsr (b land 255)
+      | Sar ->
+        if b land 255 >= 32 then if Bits.bit a 31 then 0xFFFFFFFF else 0
+        else m (Bits.s32 a asr (b land 255))
+      | Eq -> if a = b then 1 else 0
+      | Ne -> if a <> b then 1 else 0
+      | Ltu -> if a < b then 1 else 0
+      | Leu -> if a <= b then 1 else 0
+      | Gtu -> if a > b then 1 else 0
+      | Geu -> if a >= b then 1 else 0
+      | Lts -> if Bits.s32 a < Bits.s32 b then 1 else 0
+      | Les -> if Bits.s32 a <= Bits.s32 b then 1 else 0
+        | Gts -> if Bits.s32 a > Bits.s32 b then 1 else 0
+        | Ges -> if Bits.s32 a >= Bits.s32 b then 1 else 0)
+  | Not e -> m (Stdlib.lnot (eval_ref env e))
+  | Neg e -> m (Stdlib.( ~- ) (eval_ref env e))
+  | Lnot e -> if eval_ref env e = 0 then 1 else 0
+  | Load _ | Glob _ | Call _ | Callptr _ -> assert false
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> Int n) (int_range (-1000) 1000);
+        oneofl [ Var "a"; Var "b" ] ]
+  in
+  let binop =
+    oneofl
+      [ Add; Sub; Mul; Div; And; Or; Xor; Shl; Shr; Sar; Eq; Ne; Ltu; Leu;
+        Gtu; Geu; Lts; Les; Gts; Ges ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            (4, map3 (fun op a b -> Bin (op, a, b)) binop
+                 (self (Stdlib.( - ) depth 1))
+                 (self (Stdlib.( - ) depth 1)));
+            (1, map (fun e -> Not e) (self (Stdlib.( - ) depth 1)));
+            (1, map (fun e -> Lnot e) (self (Stdlib.( - ) depth 1))) ])
+    2
+
+let prop_expr_eval =
+  QCheck.Test.make ~count:200 ~name:"compiled expressions match reference"
+    (QCheck.make gen_expr) (fun e ->
+      let expected = eval_ref [ ("a", 123456); ("b", -7) ] e in
+      let f = func "main" ~params:[ "a"; "b" ] [ ret e ] in
+      match r1 [ f ] "main" [ 123456; -7 ] with
+      | got -> got = expected
+      | exception Codegen.Codegen_error _ -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "kcc"
+    [ ( "programs",
+        [ Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "recursion (factorial)" `Quick test_factorial;
+          Alcotest.test_case "loops and break" `Quick test_loops_break;
+          Alcotest.test_case "array stores/loads" `Quick test_memory_ops;
+          Alcotest.test_case "byte/halfword accesses" `Quick test_byte_half;
+          Alcotest.test_case "signed compares" `Quick test_signed_compare;
+          Alcotest.test_case "unsigned compares" `Quick test_unsigned_compare;
+          Alcotest.test_case "function pointers" `Quick test_function_pointers;
+          Alcotest.test_case "logical ops" `Quick test_logical_ops;
+          Alcotest.test_case "lnot and neg" `Quick test_lnot_neg;
+          Alcotest.test_case "dynamic shifts" `Quick test_shifts_by_reg;
+          Alcotest.test_case "memcpy/memset" `Quick test_memcpy_memset ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "deep expressions" `Quick
+            test_deep_expression_rejected;
+          Alcotest.test_case ">4 params rejected" `Quick test_too_many_params;
+          Alcotest.test_case "duplicate vars rejected" `Quick
+            test_duplicate_var ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_expr_eval ]) ]

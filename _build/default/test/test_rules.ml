@@ -1,0 +1,167 @@
+(* Translation rules: agreement with the ISA spec (Table 3), host
+   encodability of every amendment sequence, host-count ranges. *)
+
+open Tk_isa
+open Tk_dbt
+
+let checki = Alcotest.(check int)
+
+(* every implemented spec form must classify into its declared category *)
+let test_classify_agrees_with_spec () =
+  List.iter
+    (fun (f : Spec.form) ->
+      match f.repr with
+      | None -> ()
+      | Some i -> (
+        match Rules.classify i with
+        | cat, _ ->
+          Alcotest.(check string)
+            (Printf.sprintf "category of %s" f.fname)
+            (Spec.category_name f.category) (Spec.category_name cat)
+        | exception Rules.Untranslatable _ ->
+          (* the spec's no-counterpart bucket includes instructions ARK
+             sends to fallback *)
+          Alcotest.(check string)
+            (Printf.sprintf "%s falls back" f.fname)
+            (Spec.category_name Spec.No_counterpart)
+            (Spec.category_name f.category)))
+    Spec.implemented_forms
+
+(* every emitted amendment sequence must encode in V7M *)
+let test_amendments_encode () =
+  List.iter
+    (fun (f : Spec.form) ->
+      match f.repr with
+      | None -> ()
+      | Some i -> (
+        match Rules.legalize ~gpc:0x10010000 i with
+        | _, hosts -> Rules.check_encodable hosts
+        | exception Rules.Untranslatable _ -> ()))
+    Spec.implemented_forms
+
+(* host counts stay within the Table 3 column-3 ranges *)
+let test_host_count_ranges () =
+  List.iter
+    (fun (f : Spec.form) ->
+      match f.repr with
+      | None -> ()
+      | Some i -> (
+        match Rules.classify i with
+        | cat, n ->
+          let lo, hi = Spec.host_range cat in
+          if n < lo || n > hi then
+            Alcotest.failf "%s: %d hosts outside %d..%d (%s)" f.fname n lo hi
+              (Spec.category_name cat)
+        | exception Rules.Untranslatable _ -> ()))
+    Spec.implemented_forms
+
+(* the paper's Table 4 examples *)
+let test_table4_g1 () =
+  (* ldr r0, [r1], r2, lsr #4  ->  ldr + lsr + add (3 hosts) *)
+  let g1 =
+    Types.at
+      (Types.Mem
+         { ld = true; size = Types.Word; rt = 0; rn = 1;
+           off = Types.Oreg (2, Types.LSR, 4); idx = Types.Post })
+  in
+  let cat, hosts = Rules.legalize ~gpc:0x10010000 g1 in
+  Alcotest.(check string)
+    "category" "Side effect" (Spec.category_name cat);
+  checki "3 hosts" 3 (List.length hosts)
+
+let test_table4_g2 () =
+  (* adds r0, r1, #0x80000001 -> mov + ror + adds (3 hosts; the paper's
+     pair-of-amendments case) *)
+  let g2 =
+    Types.at (Types.Dp (Types.ADD, true, 0, 1, Types.Imm 0x80000001))
+  in
+  let cat, hosts = Rules.legalize ~gpc:0x10010000 g2 in
+  Alcotest.(check string)
+    "category" "Const constraints" (Spec.category_name cat);
+  checki "3 hosts" 3 (List.length hosts);
+  (* and the amendments must not set flags *)
+  List.iteri
+    (fun n h ->
+      match h.Types.op with
+      | Types.Dp (_, s, _, _, _) when n < 2 ->
+        Alcotest.(check bool) "amendment sets no flags" false s
+      | _ -> ())
+    hosts
+
+let test_table4_g3 () =
+  (* sub r0, r1, r2 -> identity *)
+  let g3 = Types.at (Types.Dp (Types.SUB, false, 0, 1, Types.Reg 2)) in
+  let cat, hosts = Rules.legalize ~gpc:0x10010000 g3 in
+  Alcotest.(check string) "identity" "Identity" (Spec.category_name cat);
+  checki "1 host" 1 (List.length hosts)
+
+(* identity fraction over the implemented spec must be ~80% of the FULL
+   558-form spec when spec-only multiplicities are included *)
+let test_identity_fraction () =
+  let identity = Spec.count Spec.Identity in
+  let frac = float_of_int identity /. float_of_int Spec.total in
+  if frac < 0.78 || frac > 0.82 then
+    Alcotest.failf "identity fraction %.3f outside [0.78, 0.82]" frac
+
+(* guest r10 emulation wrap *)
+let test_r10_wrap () =
+  let i = Types.at (Types.Dp (Types.ADD, false, 10, 10, Types.Imm 1)) in
+  let _, hosts = Rules.legalize ~gpc:0x10010000 i in
+  (* load r10 from env (3) + add (1) + store back (3) *)
+  checki "r10 wrap length" 7 (List.length hosts);
+  Rules.check_encodable hosts
+
+(* pc-relative reads become materialized constants *)
+let test_pc_read () =
+  let i = Types.at (Types.Dp (Types.ADD, false, 0, Types.pc, Types.Imm 16)) in
+  let cat, hosts = Rules.legalize ~gpc:0x10010000 i in
+  Alcotest.(check string)
+    "const category" "Const constraints" (Spec.category_name cat);
+  Rules.check_encodable hosts;
+  (* executing the hosts must yield pc+8+16 *)
+  let cpu = Exec.make_cpu () in
+  let env =
+    { Exec.load = (fun _ _ -> 0); store = (fun _ _ _ -> ());
+      svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
+      undef = (fun _ _ -> ()) }
+  in
+  List.iter (fun h -> ignore (Exec.step cpu env ~addr:0 h)) hosts;
+  checki "pc-relative value" (0x10010000 + 8 + 16) cpu.Exec.r.(0)
+
+let test_materialize () =
+  List.iter
+    (fun v ->
+      let hosts = Rules.materialize ~cond:Types.AL 3 v in
+      Rules.check_encodable hosts;
+      let cpu = Exec.make_cpu () in
+      let env =
+        { Exec.load = (fun _ _ -> 0); store = (fun _ _ _ -> ());
+          svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
+          undef = (fun _ _ -> ()) }
+      in
+      List.iter (fun h -> ignore (Exec.step cpu env ~addr:0 h)) hosts;
+      checki (Printf.sprintf "materialize 0x%x" v) (Bits.mask32 v)
+        cpu.Exec.r.(3))
+    [ 0; 1; 0xFF; 0x80000001; 0xDEADBEEF; 0xFFFF; 0x10000; -1; 0x3FC00;
+      0xC0000000; 0x00FF00FF ]
+
+let () =
+  Alcotest.run "rules"
+    [ ( "table3",
+        [ Alcotest.test_case "classifier agrees with spec" `Quick
+            test_classify_agrees_with_spec;
+          Alcotest.test_case "amendments encode in v7m" `Quick
+            test_amendments_encode;
+          Alcotest.test_case "host counts in range" `Quick
+            test_host_count_ranges;
+          Alcotest.test_case "identity fraction ~80%" `Quick
+            test_identity_fraction ] );
+      ( "table4",
+        [ Alcotest.test_case "G1 post-indexed shift" `Quick test_table4_g1;
+          Alcotest.test_case "G2 constant constraint" `Quick test_table4_g2;
+          Alcotest.test_case "G3 identity" `Quick test_table4_g3 ] );
+      ( "amendments",
+        [ Alcotest.test_case "guest r10 emulation" `Quick test_r10_wrap;
+          Alcotest.test_case "pc-relative reads" `Quick test_pc_read;
+          Alcotest.test_case "constant materialization" `Quick
+            test_materialize ] ) ]
