@@ -736,20 +736,85 @@ let bechamel () =
         res)
     tests
 
+(* ---------------------------- throughput ----------------------------- *)
+
+(* Simulator host throughput: simulated instructions retired per wall
+   second, measured separately for the native-A9 arm (Interp) and the
+   DBT-M3 arm (Engine + native freeze/thaw around it). This is the
+   metric host-side perf PRs move; the simulated cycle counters they
+   must NOT move are pinned by test/test_neutrality.ml. Writes
+   BENCH_1.json so the perf trajectory is tracked across PRs. *)
+let throughput ~smoke () =
+  let cycles = if smoke then 1 else 8 in
+  Printf.printf
+    "\n== simulator throughput (%d warm suspend/resume cycles per arm%s) ==\n%!"
+    cycles
+    (if smoke then ", smoke" else "");
+  let t0 = Unix.gettimeofday () in
+  (* native arm *)
+  let nat = Native_run.create () in
+  ignore (Native_run.suspend_resume_cycle nat);
+  let a9 = nat.Native_run.plat.Tk_drivers.Platform.soc.Soc.cpu in
+  let i0 = a9.Tk_machine.Core.instructions in
+  let w0 = Unix.gettimeofday () in
+  for _ = 1 to cycles do
+    ignore (Native_run.suspend_resume_cycle nat)
+  done;
+  let native_wall = Unix.gettimeofday () -. w0 in
+  let native_instrs = a9.Tk_machine.Core.instructions - i0 in
+  let mips_native = float_of_int native_instrs /. native_wall /. 1e6 in
+  Printf.printf "  native arm: %9d sim instrs in %6.2f s -> %7.2f sim-MIPS\n%!"
+    native_instrs native_wall mips_native;
+  (* DBT arm (ARK mode): the cycle interleaves native freeze/thaw with
+     the offloaded phases, so count both cores' retired instructions *)
+  let ark = Ark_run.create () in
+  ignore (Ark_run.suspend_resume_cycle ark);
+  let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
+  let j0 =
+    soc.Soc.m3.Tk_machine.Core.instructions
+    + soc.Soc.cpu.Tk_machine.Core.instructions
+  in
+  let w1 = Unix.gettimeofday () in
+  for _ = 1 to cycles do
+    ignore (Ark_run.suspend_resume_cycle ark)
+  done;
+  let dbt_wall = Unix.gettimeofday () -. w1 in
+  let dbt_instrs =
+    soc.Soc.m3.Tk_machine.Core.instructions
+    + soc.Soc.cpu.Tk_machine.Core.instructions - j0
+  in
+  let mips_dbt = float_of_int dbt_instrs /. dbt_wall /. 1e6 in
+  Printf.printf "  DBT arm:    %9d sim instrs in %6.2f s -> %7.2f sim-MIPS\n%!"
+    dbt_instrs dbt_wall mips_dbt;
+  let wall = Unix.gettimeofday () -. t0 in
+  if not smoke then begin
+    let oc = open_out "BENCH_1.json" in
+    Printf.fprintf oc
+      "{\"sim_mips_native\": %.3f, \"sim_mips_dbt\": %.3f, \
+       \"suite_wall_s\": %.3f}\n"
+      mips_native mips_dbt wall;
+    close_out oc;
+    Printf.printf "  wrote BENCH_1.json\n%!"
+  end
+
 (* ------------------------------- main -------------------------------- *)
 
 let all_names =
   [ "table3"; "table4"; "table5"; "table6"; "fig3"; "fig5"; "fig6"; "fig7";
     "abi"; "services"; "fallback"; "dram"; "biglittle"; "battery"; "aarch64";
-    "ablation" ]
+    "ablation"; "throughput" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let runs = ref 200 in
+  let smoke = ref false in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--runs" :: n :: rest ->
       runs := int_of_string n;
+      parse acc rest
+    | "--smoke" :: rest ->
+      smoke := true;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in
@@ -775,6 +840,7 @@ let () =
       | "battery" -> battery ()
       | "aarch64" -> aarch64 ()
       | "ablation" -> ablation ()
+      | "throughput" -> throughput ~smoke:!smoke ()
       | "bechamel" -> bechamel ()
       | other -> Printf.eprintf "unknown bench %s\n" other)
     selected;

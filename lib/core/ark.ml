@@ -288,9 +288,9 @@ and deliver_pending_irq t =
   if t.in_irq || not t.engine.Engine.irq_dispatch then false
   else begin
     let fab = t.soc.Soc.fabric in
-    match Intc.highest fab.Intc.nvic with
-    | None -> false
-    | Some _ ->
+    (* O(1) poll: this runs at every translation-block boundary *)
+    if not (Intc.deliverable fab.Intc.nvic) then false
+    else begin
       let nline = Intc.ack fab.Intc.nvic in
       Intc.eoi fab.Intc.nvic nline;
       let pline = fab.Intc.reverse_route nline in
@@ -319,6 +319,7 @@ and deliver_pending_irq t =
           match c.kind with Context.Irq_thread _ -> wake c | _ -> ())
         t.contexts;
       true
+    end
   end
 
 (* ------------------------- context slices --------------------------- *)

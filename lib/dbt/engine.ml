@@ -48,7 +48,15 @@ type t = {
           in a saved context or on the stack (call return sites, svc
           resume points, block starts) — the map fallback migration uses
           to rewrite code-cache addresses (§5.3) *)
-  decode_cache : (int, inst) Hashtbl.t;
+  host_decode : inst option array;
+      (** dense pre-decoded code cache, indexed by
+          [(addr - Soc.code_cache_base) / 4]: populated at [write_host]
+          time (so patching a site re-decodes it in place), read by the
+          hot loop as one array load. Host-side speed only — the
+          simulated charges are unchanged. *)
+  block_start : bool array;
+      (** dense membership set mirroring [block_starts], same indexing
+          as [host_decode] — the hot loop's IRQ-window probe *)
   mutable cur_pc : int;
   mutable pc_overridden : bool;
   mutable chain : bool;
@@ -102,7 +110,9 @@ let rec create ~(soc : Soc.t) ~mode () =
       cb = dummy_cb (); cursor = Soc.code_cache_base;
       block_map = Hashtbl.create 1024; block_starts = Hashtbl.create 1024;
       sites = Hashtbl.create 1024; host_points = Hashtbl.create 4096;
-      decode_cache = Hashtbl.create 4096; cur_pc = 0; pc_overridden = false;
+      host_decode = Array.make (Soc.code_cache_size / 4) None;
+      block_start = Array.make (Soc.code_cache_size / 4) false;
+      cur_pc = 0; pc_overridden = false;
       chain = true; block_limit = Translator.default_block_limit;
       irq_dispatch = true; env = dummy_env; guest_translated = 0;
       host_emitted = 0; blocks = 0; engine_exits = 0; patches = 0;
@@ -116,8 +126,9 @@ let rec create ~(soc : Soc.t) ~mode () =
       t.cb.on_gic_access ~write:false addr 0
     end
     else if Mem.in_ram mem addr then begin
-      Core.charge m3 (Cache.access m3.Core.cache ~write:false addr);
-      Mem.ram_read mem addr nbytes
+      Core.charge_stall m3 (Cache.access m3.Core.cache ~write:false addr);
+      if nbytes = 4 then Mem.ram_read32 mem addr
+      else Mem.ram_read mem addr nbytes
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -130,8 +141,9 @@ let rec create ~(soc : Soc.t) ~mode () =
       ignore (t.cb.on_gic_access ~write:true addr v)
     end
     else if Mem.in_ram mem addr then begin
-      Core.charge m3 (Cache.access m3.Core.cache ~write:true addr);
-      Mem.ram_write mem addr nbytes v
+      Core.charge_stall m3 (Cache.access m3.Core.cache ~write:true addr);
+      if nbytes = 4 then Mem.ram_write32 mem addr v
+      else Mem.ram_write mem addr nbytes v
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -154,8 +166,12 @@ and write_host t addr (i : inst) =
   (* emitting through the M3 cache: translation produces real traffic *)
   Core.charge t.soc.Soc.m3
     (Cache.access t.soc.Soc.m3.Core.cache ~write:true addr);
-  Mem.ram_write t.soc.Soc.mem addr 4 w;
-  Hashtbl.remove t.decode_cache addr
+  Mem.ram_write32 t.soc.Soc.mem addr w;
+  (* pre-decode the freshly written word; a word that does not decode
+     (impossible for encode_exn output, but kept equivalent to the lazy
+     seed path) is left for decode_host to report at execution time *)
+  t.host_decode.((addr - Soc.code_cache_base) asr 2) <-
+    (match V7m.decode w with i -> Some i | exception _ -> None)
 
 and emit_block t (b : Translator.block) =
   let host_start = t.cursor in
@@ -202,6 +218,7 @@ and translate_block t gpc =
     let h = emit_block t b in
     Hashtbl.replace t.block_map gpc h;
     Hashtbl.replace t.block_starts h gpc;
+    t.block_start.((h - Soc.code_cache_base) asr 2) <- true;
     Hashtbl.replace t.host_points h gpc;
     t.blocks <- t.blocks + 1;
     t.guest_translated <- t.guest_translated + b.Translator.b_guest_count;
@@ -279,16 +296,16 @@ and dispatch t cpu _code =
       t.cb.on_fallback reason ~guest_pc:gpc ~skippable cpu)
 
 and decode_host t addr =
-  match Hashtbl.find_opt t.decode_cache addr with
+  match t.host_decode.((addr - Soc.code_cache_base) asr 2) with
   | Some i -> i
   | None ->
-    let w = Mem.ram_read t.soc.Soc.mem addr 4 in
+    let w = Mem.ram_read32 t.soc.Soc.mem addr in
     let i =
       try V7m.decode w
       with V7m.Decode_error _ | Invalid_argument _ ->
         raise (Host_error (Printf.sprintf "bad host fetch at 0x%x (0x%x)" addr w))
     in
-    Hashtbl.add t.decode_cache addr i;
+    t.host_decode.((addr - Soc.code_cache_base) asr 2) <- Some i;
     i
 
 (* -------------------- guest-state accessors ------------------------- *)
@@ -298,25 +315,25 @@ and decode_host t addr =
 and guest_reg t (cpu : Exec.cpu) i =
   match t.mode with
   | Translator.Ark ->
-    if i = Rules.scratch then Mem.ram_read t.soc.Soc.mem Layout.env_r10 4
+    if i = Rules.scratch then Mem.ram_read32 t.soc.Soc.mem Layout.env_r10
     else cpu.Exec.r.(i)
   | Translator.Mid ->
     if i = 10 || i = 11 || i = sp || i = lr then
-      Mem.ram_read t.soc.Soc.mem (Layout.env_reg i) 4
+      Mem.ram_read32 t.soc.Soc.mem (Layout.env_reg i)
     else cpu.Exec.r.(i)
-  | Translator.Baseline -> Mem.ram_read t.soc.Soc.mem (Layout.env_reg i) 4
+  | Translator.Baseline -> Mem.ram_read32 t.soc.Soc.mem (Layout.env_reg i)
 
 let set_guest_reg t (cpu : Exec.cpu) i v =
   match t.mode with
   | Translator.Ark ->
-    if i = Rules.scratch then Mem.ram_write t.soc.Soc.mem Layout.env_r10 4 v
+    if i = Rules.scratch then Mem.ram_write32 t.soc.Soc.mem Layout.env_r10 v
     else cpu.Exec.r.(i) <- Bits.mask32 v
   | Translator.Mid ->
     if i = 10 || i = 11 || i = sp || i = lr then
-      Mem.ram_write t.soc.Soc.mem (Layout.env_reg i) 4 v
+      Mem.ram_write32 t.soc.Soc.mem (Layout.env_reg i) v
     else cpu.Exec.r.(i) <- Bits.mask32 v
   | Translator.Baseline ->
-    Mem.ram_write t.soc.Soc.mem (Layout.env_reg i) 4 v
+    Mem.ram_write32 t.soc.Soc.mem (Layout.env_reg i) v
 
 (* ----------------------------- run ---------------------------------- *)
 
@@ -325,27 +342,32 @@ let set_guest_reg t (cpu : Exec.cpu) i v =
     raises. The [cpu] is mutated in place; callbacks observe a host pc
     that is always a valid resume point. *)
 let run t (cpu : Exec.cpu) ~fuel =
+  let m3 = t.soc.Soc.m3 in
+  let r = cpu.Exec.r in
   let n = ref 0 in
   while true do
     if !n >= fuel then raise (Host_error "DBT fuel exhausted");
     incr n;
-    let pcv = cpu.Exec.r.(pc) in
+    let pcv = Array.unsafe_get r pc in
     if pcv = Layout.exit_magic then raise Context_exit;
     if not (in_cache t pcv) then
       raise
         (Host_error (Printf.sprintf "host pc outside code cache: 0x%x" pcv));
-    if t.irq_dispatch && Hashtbl.mem t.block_starts pcv then
+    let idx = (pcv - Soc.code_cache_base) asr 2 in
+    if t.irq_dispatch && Array.unsafe_get t.block_start idx then
       t.cb.on_irq_window cpu;
-    let i = decode_host t pcv in
+    let i =
+      match Array.unsafe_get t.host_decode idx with
+      | Some i -> i
+      | None -> decode_host t pcv
+    in
     t.cur_pc <- pcv;
     t.pc_overridden <- false;
     t.host_executed <- t.host_executed + 1;
-    Core.count_instruction t.soc.Soc.m3;
-    Core.charge t.soc.Soc.m3
-      (Core.instr_cycles t.soc.Soc.m3 + Core.fetch_cost t.soc.Soc.m3 pcv);
+    Core.retire m3 pcv;
     match Exec.step cpu t.env ~addr:pcv i with
-    | Exec.Next -> if not t.pc_overridden then cpu.Exec.r.(pc) <- pcv + 4
-    | Exec.Branched -> Core.charge t.soc.Soc.m3 cost_taken_branch
+    | Exec.Next -> if not t.pc_overridden then Array.unsafe_set r pc (pcv + 4)
+    | Exec.Branched -> Core.charge m3 cost_taken_branch
   done
 
 (** [entry_host t gpc] — host address for guest entry [gpc], translating

@@ -45,7 +45,13 @@ type t = {
   host_points : (int, int) Hashtbl.t;
       (** host addr -> guest addr for every point that can appear in a
           saved context or on the stack — fallback's rewrite map (§5.3) *)
-  decode_cache : (int, Types.inst) Hashtbl.t;
+  host_decode : Types.inst option array;
+      (** dense pre-decoded code cache, indexed by
+          [(addr - Soc.code_cache_base) / 4]; populated at emission and
+          patch time, read by the hot loop as one array load *)
+  block_start : bool array;
+      (** dense membership set mirroring [block_starts] (same indexing),
+          probed per instruction for the IRQ window *)
   mutable cur_pc : int;
   mutable pc_overridden : bool;
   mutable chain : bool;  (** patch direct branches (ablation knob) *)

@@ -24,11 +24,15 @@ type cpu = {
   mutable c : bool;
   mutable v : bool;
   mutable irq_on : bool;
+  mutable branched : bool;
+      (** scratch used by {!step} to record a PC write without
+          allocating a per-instruction ref cell; only meaningful while
+          a [step] call is in flight *)
 }
 
 let make_cpu () =
   { r = Array.make 16 0; n = false; z = false; c = false; v = false;
-    irq_on = false }
+    irq_on = false; branched = false }
 
 (** [copy_into src dst] copies all architectural state. *)
 let copy_into src dst =
@@ -76,23 +80,79 @@ let cond_holds cpu = function
   | GT -> (not cpu.z) && cpu.n = cpu.v
   | LE -> cpu.z || cpu.n <> cpu.v
 
-let shift_value kind v amt carry_in =
+(* [shift_value] split into a value half and a carry half so the hot
+   paths (which usually need only one of the two) stay tuple-free *)
+let shift_res kind v amt =
   let v = Bits.mask32 v in
   match kind, amt with
-  | _, 0 -> v, carry_in
-  | LSL, a when a < 32 -> Bits.mask32 (v lsl a), Bits.bit v (32 - a)
-  | LSL, _ -> 0, false
-  | LSR, a when a < 32 -> v lsr a, Bits.bit v (a - 1)
-  | LSR, _ -> 0, false
-  | ASR, a when a < 32 ->
-    Bits.mask32 (Bits.s32 v asr a), Bits.bit v (a - 1)
-  | ASR, _ -> (if Bits.bit v 31 then 0xFFFFFFFF else 0), Bits.bit v 31
-  | ROR, a ->
-    let r = Bits.ror32 v (a land 31) in
-    r, Bits.bit r 31
+  | _, 0 -> v
+  | LSL, a when a < 32 -> Bits.mask32 (v lsl a)
+  | LSL, _ -> 0
+  | LSR, a when a < 32 -> v lsr a
+  | LSR, _ -> 0
+  | ASR, a when a < 32 -> Bits.mask32 (Bits.s32 v asr a)
+  | ASR, _ -> if Bits.bit v 31 then 0xFFFFFFFF else 0
+  | ROR, a -> Bits.ror32 v (a land 31)
+
+let shift_carry kind v amt carry_in =
+  let v = Bits.mask32 v in
+  match kind, amt with
+  | _, 0 -> carry_in
+  | LSL, a when a < 32 -> Bits.bit v (32 - a)
+  | LSL, _ -> false
+  | LSR, a when a < 32 -> Bits.bit v (a - 1)
+  | LSR, _ -> false
+  | ASR, a when a < 32 -> Bits.bit v (a - 1)
+  | ASR, _ -> Bits.bit v 31
+  | ROR, a -> Bits.bit (Bits.ror32 v (a land 31)) 31
+
+let shift_value kind v amt carry_in =
+  shift_res kind v amt, shift_carry kind v amt carry_in
 
 (** Result of executing one instruction: did it write the PC? *)
 type outcome = Next | Branched
+
+(* Register access for [step]. Top-level (rather than closures inside
+   [step]) so that the non-flambda compiler emits zero allocations per
+   executed instruction — this loop is the simulator's hottest path.
+   [rset] records a PC write in [cpu.branched]. *)
+let rget cpu addr r =
+  if r = pc then Bits.mask32 (addr + 8) else cpu.r.(r)
+
+let rset cpu r v =
+  if r = pc then begin
+    cpu.r.(pc) <- Bits.mask32 v land lnot 1;
+    cpu.branched <- true
+  end
+  else cpu.r.(r) <- Bits.mask32 v
+
+let dp_logical cpu s shc res =
+  if s then begin
+    cpu.n <- Bits.bit res 31; cpu.z <- res = 0; cpu.c <- shc
+  end;
+  res
+
+(* TST/TEQ (like CMP/CMN) always set flags; they have no S bit *)
+let dp_flags cpu shc res =
+  cpu.n <- Bits.bit res 31;
+  cpu.z <- res = 0;
+  cpu.c <- shc
+
+let dp_arith cpu ~s ~sub ~rev ~carry rnv op2v =
+  let a = if rev then op2v else rnv in
+  let b = if rev then rnv else op2v in
+  let b' = if sub then Bits.mask32 (lnot b) else b in
+  let cin = Bool.to_int carry in
+  let full = a + b' + cin in
+  let res = Bits.mask32 full in
+  if s then begin
+    cpu.n <- Bits.bit res 31;
+    cpu.z <- res = 0;
+    cpu.c <- full > 0xFFFFFFFF;
+    let sa = Bits.bit a 31 and sb = Bits.bit b' 31 and sr = Bits.bit res 31 in
+    cpu.v <- sa = sb && sa <> sr
+  end;
+  res
 
 (** [step cpu env ~addr inst] executes [inst] located at [addr]. Returns
     {!Branched} iff the instruction wrote PC (the caller otherwise
@@ -100,68 +160,48 @@ type outcome = Next | Branched
 let step cpu env ~addr ({ cond; op } as inst) : outcome =
   if not (cond_holds cpu cond) then Next
   else begin
-    let rd_pc = ref false in
-    let rget r = if r = pc then Bits.mask32 (addr + 8) else cpu.r.(r) in
-    let rset r v =
-      if r = pc then begin
-        cpu.r.(pc) <- Bits.mask32 v land lnot 1;
-        rd_pc := true
-      end
-      else cpu.r.(r) <- Bits.mask32 v
-    in
+    cpu.branched <- false;
     (match op with
     | Dp (o, s, rd, rn, op2) ->
-      let op2v, shc =
+      (* value and shifter-carry are computed separately (both reads are
+         pure) so the common Imm/Reg operands never build a pair *)
+      let op2v =
         match op2 with
-        | Imm v -> Bits.mask32 v, cpu.c
-        | Reg r -> rget r, cpu.c
-        | Sreg (r, k, a) -> shift_value k (rget r) a cpu.c
-        | Sregreg (r, k, rs) -> shift_value k (rget r) (rget rs land 0xFF) cpu.c
+        | Imm v -> Bits.mask32 v
+        | Reg r -> rget cpu addr r
+        | Sreg (r, k, a) -> shift_res k (rget cpu addr r) a
+        | Sregreg (r, k, rs) ->
+          shift_res k (rget cpu addr r) (rget cpu addr rs land 0xFF)
       in
-      let rnv = rget rn in
-      let logical res =
-        if s then begin
-          cpu.n <- Bits.bit res 31; cpu.z <- res = 0; cpu.c <- shc
-        end;
-        res
+      let shc =
+        match op2 with
+        | Imm _ | Reg _ -> cpu.c
+        | Sreg (r, k, a) -> shift_carry k (rget cpu addr r) a cpu.c
+        | Sregreg (r, k, rs) ->
+          shift_carry k (rget cpu addr r) (rget cpu addr rs land 0xFF) cpu.c
       in
-      (* TST/TEQ (like CMP/CMN) always set flags; they have no S bit *)
-      let logical_always res =
-        cpu.n <- Bits.bit res 31;
-        cpu.z <- res = 0;
-        cpu.c <- shc;
-        res
-      in
-      let arith ~sub ?(rev = false) ~carry () =
-        let a, b = if rev then op2v, rnv else rnv, op2v in
-        let b' = if sub then Bits.mask32 (lnot b) else b in
-        let cin = Bool.to_int carry in
-        let full = a + b' + cin in
-        let res = Bits.mask32 full in
-        if s then begin
-          cpu.n <- Bits.bit res 31;
-          cpu.z <- res = 0;
-          cpu.c <- full > 0xFFFFFFFF;
-          let sa = Bits.bit a 31 and sb = Bits.bit b' 31 and sr = Bits.bit res 31 in
-          cpu.v <- sa = sb && sa <> sr
-        end;
-        res
-      in
+      let rnv = rget cpu addr rn in
       (match o with
-      | MOV -> rset rd (logical op2v)
-      | MVN -> rset rd (logical (Bits.mask32 (lnot op2v)))
-      | AND -> rset rd (logical (rnv land op2v))
-      | ORR -> rset rd (logical (rnv lor op2v))
-      | EOR -> rset rd (logical (rnv lxor op2v))
-      | BIC -> rset rd (logical (rnv land lnot op2v))
-      | TST -> ignore (logical_always (rnv land op2v))
-      | TEQ -> ignore (logical_always (rnv lxor op2v))
-      | ADD -> rset rd (arith ~sub:false ~carry:false ())
-      | ADC -> rset rd (arith ~sub:false ~carry:cpu.c ())
-      | SUB -> rset rd (arith ~sub:true ~carry:true ())
-      | SBC -> rset rd (arith ~sub:true ~carry:cpu.c ())
-      | RSB -> rset rd (arith ~sub:true ~rev:true ~carry:true ())
-      | RSC -> rset rd (arith ~sub:true ~rev:true ~carry:cpu.c ())
+      | MOV -> rset cpu rd (dp_logical cpu s shc op2v)
+      | MVN -> rset cpu rd (dp_logical cpu s shc (Bits.mask32 (lnot op2v)))
+      | AND -> rset cpu rd (dp_logical cpu s shc (rnv land op2v))
+      | ORR -> rset cpu rd (dp_logical cpu s shc (rnv lor op2v))
+      | EOR -> rset cpu rd (dp_logical cpu s shc (rnv lxor op2v))
+      | BIC -> rset cpu rd (dp_logical cpu s shc (rnv land lnot op2v))
+      | TST -> dp_flags cpu shc (rnv land op2v)
+      | TEQ -> dp_flags cpu shc (rnv lxor op2v)
+      | ADD ->
+        rset cpu rd (dp_arith cpu ~s ~sub:false ~rev:false ~carry:false rnv op2v)
+      | ADC ->
+        rset cpu rd (dp_arith cpu ~s ~sub:false ~rev:false ~carry:cpu.c rnv op2v)
+      | SUB ->
+        rset cpu rd (dp_arith cpu ~s ~sub:true ~rev:false ~carry:true rnv op2v)
+      | SBC ->
+        rset cpu rd (dp_arith cpu ~s ~sub:true ~rev:false ~carry:cpu.c rnv op2v)
+      | RSB ->
+        rset cpu rd (dp_arith cpu ~s ~sub:true ~rev:true ~carry:true rnv op2v)
+      | RSC ->
+        rset cpu rd (dp_arith cpu ~s ~sub:true ~rev:true ~carry:cpu.c rnv op2v)
       | CMP ->
         (* CMP/CMN always set flags regardless of the s bit *)
         let full = rnv + Bits.mask32 (lnot op2v) + 1 in
@@ -179,23 +219,25 @@ let step cpu env ~addr ({ cond; op } as inst) : outcome =
         cpu.c <- full > 0xFFFFFFFF;
         cpu.v <- Bits.bit rnv 31 = Bits.bit op2v 31
                  && Bits.bit rnv 31 <> Bits.bit res 31)
-    | Movw (rd, i) -> rset rd i
-    | Movt (rd, i) -> rset rd ((rget rd land 0xFFFF) lor (i lsl 16))
+    | Movw (rd, i) -> rset cpu rd i
+    | Movt (rd, i) -> rset cpu rd ((rget cpu addr rd land 0xFFFF) lor (i lsl 16))
     | Mul (s, rd, rn, rm) ->
-      let res = Bits.mask32 (rget rn * rget rm) in
+      let res = Bits.mask32 (rget cpu addr rn * rget cpu addr rm) in
       if s then begin cpu.n <- Bits.bit res 31; cpu.z <- res = 0 end;
-      rset rd res
-    | Mla (rd, rn, rm, ra) -> rset rd (rget rn * rget rm + rget ra)
+      rset cpu rd res
+    | Mla (rd, rn, rm, ra) ->
+      rset cpu rd
+        ((rget cpu addr rn * rget cpu addr rm) + rget cpu addr ra)
     | Udiv (rd, rn, rm) ->
-      let d = rget rm in
-      rset rd (if d = 0 then 0 else rget rn / d)
+      let d = rget cpu addr rm in
+      rset cpu rd (if d = 0 then 0 else rget cpu addr rn / d)
     | Mem { ld; size; rt; rn; off; idx } ->
       let offv =
         match off with
         | Oimm i -> i
-        | Oreg (rm, k, a) -> fst (shift_value k (rget rm) a cpu.c)
+        | Oreg (rm, k, a) -> shift_res k (rget cpu addr rm) a
       in
-      let base = rget rn in
+      let base = rget cpu addr rn in
       let addr_eff =
         match idx with
         | Offset | Pre -> Bits.mask32 (base + offv)
@@ -206,70 +248,75 @@ let step cpu env ~addr ({ cond; op } as inst) : outcome =
         let v = env.load addr_eff nb in
         (* writeback first so a loaded rt = rn wins *)
         (match idx with
-        | Pre -> rset rn (base + offv)
-        | Post -> rset rn (base + offv)
+        | Pre -> rset cpu rn (base + offv)
+        | Post -> rset cpu rn (base + offv)
         | Offset -> ());
-        rset rt v
+        rset cpu rt v
       end
       else begin
         let vmask = (1 lsl (nb * 8)) - 1 in
-        env.store addr_eff nb (rget rt land vmask);
+        env.store addr_eff nb (rget cpu addr rt land vmask);
         match idx with
-        | Pre | Post -> rset rn (base + offv)
+        | Pre | Post -> rset cpu rn (base + offv)
         | Offset -> ()
       end
     | Ldm (rn, wb, regs) ->
-      let base = rget rn in
-      let nregs = List.length regs in
-      let values =
-        List.mapi (fun i r -> r, env.load (Bits.mask32 (base + (4 * i))) 4) regs
-      in
-      if wb then rset rn (base + (4 * nregs));
-      List.iter (fun (r, v) -> rset r v) values
+      let base = rget cpu addr rn in
+      (* writeback before the loaded values land, so a loaded rt = rn
+         wins — same final state as load-all-then-set, without building
+         an intermediate value list per instruction (loads still issue
+         left to right, and none of them reads the register file) *)
+      if wb then rset cpu rn (base + (4 * List.length regs));
+      List.iteri
+        (fun i r -> rset cpu r (env.load (Bits.mask32 (base + (4 * i))) 4))
+        regs
     | Stm (rn, wb, regs) ->
-      let base = rget rn in
+      let base = rget cpu addr rn in
       let n = List.length regs in
       let start = Bits.mask32 (base - (4 * n)) in
-      List.iteri (fun i r -> env.store (Bits.mask32 (start + (4 * i))) 4 (rget r)) regs;
-      if wb then rset rn start
-    | B off -> rset pc (addr + off)
+      List.iteri
+        (fun i r ->
+          env.store (Bits.mask32 (start + (4 * i))) 4 (rget cpu addr r))
+        regs;
+      if wb then rset cpu rn start
+    | B off -> rset cpu pc (addr + off)
     | Bl off ->
-      rset lr (addr + 4);
-      rset pc (addr + off)
-    | Bx r -> rset pc (rget r)
+      rset cpu lr (addr + 4);
+      rset cpu pc (addr + off)
+    | Bx r -> rset cpu pc (rget cpu addr r)
     | Blx_r r ->
-      let target = rget r in
-      rset lr (addr + 4);
-      rset pc target
-    | Clz (rd, rm) -> rset rd (Bits.clz32 (rget rm))
+      let target = rget cpu addr r in
+      rset cpu lr (addr + 4);
+      rset cpu pc target
+    | Clz (rd, rm) -> rset cpu rd (Bits.clz32 (rget cpu addr rm))
     | Sxt (sz, rd, rm) ->
-      let v = rget rm in
-      rset rd
+      let v = rget cpu addr rm in
+      rset cpu rd
         (match sz with
         | Byte -> Bits.mask32 (Bits.sext (v land 0xFF) 8)
         | Half -> Bits.mask32 (Bits.sext (v land 0xFFFF) 16)
         | Word -> v)
     | Uxt (sz, rd, rm) ->
-      let v = rget rm in
-      rset rd
+      let v = rget cpu addr rm in
+      rset cpu rd
         (match sz with Byte -> v land 0xFF | Half -> v land 0xFFFF | Word -> v)
     | Rev (rd, rm) ->
-      let v = rget rm in
-      rset rd
+      let v = rget cpu addr rm in
+      rset cpu rd
         (((v land 0xFF) lsl 24) lor ((v land 0xFF00) lsl 8)
         lor ((v lsr 8) land 0xFF00) lor ((v lsr 24) land 0xFF))
-    | Mrs rd -> rset rd (flags_word cpu)
-    | Msr rs -> set_flags_word cpu (rget rs)
+    | Mrs rd -> rset cpu rd (flags_word cpu)
+    | Msr rs -> set_flags_word cpu (rget cpu addr rs)
     | Svc n -> env.svc cpu n
     | Wfi -> env.wfi cpu
     | Cps en -> cpu.irq_on <- en
-    | Irq_ret -> env.irq_ret cpu; rd_pc := true
+    | Irq_ret -> env.irq_ret cpu; cpu.branched <- true
     | Swp (rd, rm, rn) ->
-      let a = rget rn in
+      let a = rget cpu addr rn in
       let old = env.load a 4 in
-      env.store a 4 (rget rm);
-      rset rd old
+      env.store a 4 (rget cpu addr rm);
+      rset cpu rd old
     | Nop -> ()
     | Udf _ -> env.undef cpu inst);
-    if !rd_pc then Branched else Next
+    if cpu.branched then Branched else Next
   end

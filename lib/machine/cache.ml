@@ -15,6 +15,10 @@ type t = {
   name : string;
   line_bits : int;  (** log2 of line size *)
   nsets : int;
+  set_mask : int;
+      (** [nsets - 1] when [nsets] is a power of two (every realistic
+          size is), else [-1]; lets {!access} replace the per-access
+          integer division by a bitmask *)
   tags : int array;  (** -1 = invalid *)
   dirty : bool array;
   miss_penalty : int;  (** core cycles per miss *)
@@ -29,7 +33,8 @@ type t = {
 let create ~name ~size_kb ~miss_penalty =
   let line = 32 in
   let nsets = size_kb * 1024 / line in
-  { name; line_bits = 5; nsets; tags = Array.make nsets (-1);
+  let set_mask = if nsets land (nsets - 1) = 0 then nsets - 1 else -1 in
+  { name; line_bits = 5; nsets; set_mask; tags = Array.make nsets (-1);
     dirty = Array.make nsets false; miss_penalty; hits = 0; misses = 0;
     rd_bytes = 0; wr_bytes = 0 }
 
@@ -39,18 +44,22 @@ let line_size t = 1 lsl t.line_bits
     (0 on hit, [miss_penalty] on miss) and updates traffic counters. *)
 let access t ~write addr =
   let line = addr lsr t.line_bits in
-  let set = line mod t.nsets in
-  if t.tags.(set) = line then begin
+  let set =
+    if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets
+  in
+  (* [set < nsets] by construction (mask or mod), so the unchecked
+     accesses are safe *)
+  if Array.unsafe_get t.tags set = line then begin
     t.hits <- t.hits + 1;
-    if write then t.dirty.(set) <- true;
+    if write then Array.unsafe_set t.dirty set true;
     0
   end
   else begin
     t.misses <- t.misses + 1;
-    if t.tags.(set) >= 0 && t.dirty.(set) then
+    if Array.unsafe_get t.tags set >= 0 && Array.unsafe_get t.dirty set then
       t.wr_bytes <- t.wr_bytes + line_size t;
-    t.tags.(set) <- line;
-    t.dirty.(set) <- write;
+    Array.unsafe_set t.tags set line;
+    Array.unsafe_set t.dirty set write;
     t.rd_bytes <- t.rd_bytes + line_size t;
     t.miss_penalty
   end

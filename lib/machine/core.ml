@@ -49,6 +49,16 @@ let charge t cycles =
   t.frac_ps <- ps mod 1000;
   Clock.advance t.clock (ps / 1000)
 
+(** [charge_stall t stall] — fast path for charging a cache-access
+    result: on a hit ([stall = 0]) it skips the zero-cycle bookkeeping
+    and only fires platform events that are already due, which is
+    exactly what [charge t 0] does (busy counters gain 0, the
+    sub-cycle remainder is unchanged, and [Clock.advance 0] reduces to
+    [Clock.run_due]). Cycle-identical to [charge t stall], cheaper on
+    the hot hit path. *)
+let charge_stall t stall =
+  if stall <> 0 then charge t stall else Clock.run_due t.clock
+
 (** [fetch_cost t addr] is the stall cost of fetching from [addr] through
     this core's cache. *)
 let fetch_cost t addr = Cache.access t.cache ~write:false addr
@@ -75,6 +85,18 @@ let instr_cycles t =
     t.cpi_acc <- t.cpi_acc mod t.p.cpi_den;
     1 + extra
   end
+
+(** [retire t addr] — fused per-instruction accounting for the hot
+    interpreter loops: count the instruction and charge base CPI plus
+    the fetch stall in one call. Cycle-identical to
+    [count_instruction t; charge t (instr_cycles t + fetch_cost t addr)]
+    including side-effect order (the fetch's cache access happens before
+    the CPI accumulator update, as in the seed's right-to-left argument
+    evaluation). *)
+let retire t addr =
+  t.instructions <- t.instructions + 1;
+  let stall = Cache.access t.cache ~write:false addr in
+  charge t (instr_cycles t + stall)
 
 let busy_ns t = t.busy_ps / 1000
 let idle_ns t = t.idle_ps / 1000

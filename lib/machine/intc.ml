@@ -20,17 +20,34 @@ type t = {
   enabled : bool array;
   pending : bool array;
   mutable in_service : int option;
+  mutable live : int;
+      (** number of lines both pending and enabled, maintained
+          incrementally so the interpreters' per-instruction /
+          per-block "any deliverable interrupt?" poll is O(1) instead
+          of a scan over all lines *)
 }
 
 let create ~name ~nlines =
   { iname = name; nlines; enabled = Array.make nlines false;
-    pending = Array.make nlines false; in_service = None }
+    pending = Array.make nlines false; in_service = None; live = 0 }
 
-let set_pending t line = if line >= 0 && line < t.nlines then t.pending.(line) <- true
+let set_pending t line =
+  if line >= 0 && line < t.nlines && not t.pending.(line) then begin
+    t.pending.(line) <- true;
+    if t.enabled.(line) then t.live <- t.live + 1
+  end
 
-let clear_pending t line = t.pending.(line) <- false
+let clear_pending t line =
+  if t.pending.(line) then begin
+    t.pending.(line) <- false;
+    if t.enabled.(line) then t.live <- t.live - 1
+  end
 
-let enable t line v = t.enabled.(line) <- v
+let enable t line v =
+  if t.enabled.(line) <> v then begin
+    t.enabled.(line) <- v;
+    if t.pending.(line) then t.live <- t.live + (if v then 1 else -1)
+  end
 
 (** [highest t] is the lowest-numbered enabled pending line, if any
     (fixed priority by line number, like a default-configured GIC). *)
@@ -40,7 +57,12 @@ let highest t =
     else if t.pending.(i) && t.enabled.(i) then Some i
     else go (i + 1)
   in
-  if t.in_service <> None then None else go 0
+  if t.in_service <> None || t.live = 0 then None else go 0
+
+(** [deliverable t] — O(1) equivalent of [highest t <> None]: is there
+    an enabled pending line and nothing in service? The hot interpreter
+    loops poll this between instructions / at block starts. *)
+let deliverable t = t.live > 0 && t.in_service = None
 
 (** [ack t] — interrupt acknowledge: returns the highest pending line,
     marks it in-service and clears pending. 1023 = spurious (none). *)
@@ -48,6 +70,7 @@ let ack t =
   match highest t with
   | Some l ->
     t.pending.(l) <- false;
+    t.live <- t.live - 1;  (* [highest] only returns enabled lines *)
     t.in_service <- Some l;
     l
   | None -> 1023

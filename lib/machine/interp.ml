@@ -7,6 +7,15 @@
     GIC interrupts vector to the kernel's IRQ entry stub between
     instructions.
 
+    Decode memoization is a {e dense pre-decoded array} over the guest
+    kernel image span ([Soc.kernel_base ..) — fetch-decode is one array
+    load, and the self-modifying-store invalidation is an O(1) array
+    write (covering {e both} words touched by a store that straddles a
+    word boundary). Fetches outside the image span (none in practice)
+    fall back to a hashtable. All of this is host-side speed only: the
+    simulated cycle/traffic counters are bit-identical to the lazy
+    hashtable scheme (pinned by test/test_neutrality.ml).
+
     Guest [SVC] is used as a simulation hypercall (halt / platform-off /
     console), dispatched to the embedding runner through [on_svc]. *)
 
@@ -16,11 +25,18 @@ exception Halt of string  (** raised by hypercalls to end a run *)
 
 exception Fault of string  (** simulation bug: deadlock, bad fetch, ... *)
 
+(* The dense decode array covers where kernel code lives: the image
+   region below the page pool. *)
+let dense_base = Soc.kernel_base
+let dense_top = Soc.page_pool_base
+let dense_words = (dense_top - dense_base) / 4
+
 type t = {
   soc : Soc.t;
   core : Core.t;
   cpu : Exec.cpu;
-  decode_cache : (int, Types.inst) Hashtbl.t;
+  decode : Types.inst option array;  (** dense, indexed by image word *)
+  decode_cache : (int, Types.inst) Hashtbl.t;  (** out-of-span fallback *)
   mutable env : Exec.env;
   mutable irq_vector : int;  (** guest address of the IRQ entry stub *)
   mutable irq_saved : (int * int) list;  (** (return pc, flags) *)
@@ -33,31 +49,45 @@ let dummy_env : Exec.env =
     svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
     undef = (fun _ _ -> ()) }
 
+let in_dense addr = addr >= dense_base && addr < dense_top
+
 let create ~(soc : Soc.t) () =
   let core = soc.cpu in
   let t =
-    { soc; core; cpu = Exec.make_cpu (); decode_cache = Hashtbl.create 4096;
+    { soc; core; cpu = Exec.make_cpu (); decode = Array.make dense_words None;
+      decode_cache = Hashtbl.create 64;
       env = dummy_env; irq_vector = 0; irq_saved = [];
       on_svc = (fun _ _ _ -> ()); trace = None }
   in
   let mem = soc.mem in
   let load addr nbytes =
     if Mem.in_ram mem addr then begin
-      Core.charge core (Cache.access core.cache ~write:false addr);
-      Mem.ram_read mem addr nbytes
+      Core.charge_stall core (Cache.access core.cache ~write:false addr);
+      if nbytes = 4 then Mem.ram_read32 mem addr
+      else Mem.ram_read mem addr nbytes
     end
     else begin
       Core.charge core core.p.mmio_penalty;
       Mem.read mem addr nbytes
     end
   in
+  (* self-modifying code safety: drop any stale decode for a word the
+     store touches. A store may straddle a word boundary (e.g. a 4-byte
+     store at an unaligned address), so both affected words are
+     invalidated. *)
+  let invalidate_word w =
+    if in_dense w then Array.unsafe_set t.decode ((w - dense_base) asr 2) None
+    else Hashtbl.remove t.decode_cache w
+  in
   let store addr nbytes v =
     if Mem.in_ram mem addr then begin
-      Core.charge core (Cache.access core.cache ~write:true addr);
-      (* self-modifying code safety: drop any stale decode *)
-      if Hashtbl.mem t.decode_cache (addr land lnot 3) then
-        Hashtbl.remove t.decode_cache (addr land lnot 3);
-      Mem.ram_write mem addr nbytes v
+      Core.charge_stall core (Cache.access core.cache ~write:true addr);
+      let w0 = addr land lnot 3 in
+      invalidate_word w0;
+      let w1 = (addr + nbytes - 1) land lnot 3 in
+      if w1 <> w0 then invalidate_word w1;
+      if nbytes = 4 then Mem.ram_write32 mem addr v
+      else Mem.ram_write mem addr nbytes v
     end
     else begin
       Core.charge core core.p.mmio_penalty;
@@ -87,18 +117,29 @@ let create ~(soc : Soc.t) () =
 (** [set_pc t addr] positions the next fetch. *)
 let set_pc t addr = t.cpu.Exec.r.(Types.pc) <- addr
 
+let decode_word t addr =
+  let w = Mem.ram_read32 t.soc.mem addr in
+  try V7a.decode w
+  with V7a.Decode_error _ | Invalid_argument _ ->
+    raise (Fault (Printf.sprintf "bad fetch at 0x%x (word 0x%x)" addr w))
+
 let fetch_decode t addr =
-  match Hashtbl.find_opt t.decode_cache addr with
-  | Some i -> i
-  | None ->
-    let w = Mem.ram_read t.soc.mem addr 4 in
-    let i =
-      try V7a.decode w
-      with V7a.Decode_error _ | Invalid_argument _ ->
-        raise (Fault (Printf.sprintf "bad fetch at 0x%x (word 0x%x)" addr w))
-    in
-    Hashtbl.add t.decode_cache addr i;
-    i
+  if in_dense addr && addr land 3 = 0 then begin
+    let idx = (addr - dense_base) asr 2 in
+    match Array.unsafe_get t.decode idx with
+    | Some i -> i
+    | None ->
+      let i = decode_word t addr in
+      Array.unsafe_set t.decode idx (Some i);
+      i
+  end
+  else
+    match Hashtbl.find_opt t.decode_cache addr with
+    | Some i -> i
+    | None ->
+      let i = decode_word t addr in
+      Hashtbl.add t.decode_cache addr i;
+      i
 
 let deliver_irq t =
   let cpu = t.cpu in
@@ -110,17 +151,16 @@ let deliver_irq t =
     first). *)
 let step t =
   let cpu = t.cpu in
-  if cpu.Exec.irq_on && Intc.highest t.soc.fabric.gic <> None then
+  if cpu.Exec.irq_on && Intc.deliverable t.soc.fabric.gic then
     deliver_irq t;
-  let addr = cpu.Exec.r.(Types.pc) in
+  let addr = Array.unsafe_get cpu.Exec.r Types.pc in
   if not (Mem.in_ram t.soc.mem addr) then
     raise (Fault (Printf.sprintf "PC outside RAM: 0x%x" addr));
   let i = fetch_decode t addr in
   (match t.trace with Some f -> f addr i | None -> ());
-  Core.count_instruction t.core;
-  Core.charge t.core (Core.instr_cycles t.core + Core.fetch_cost t.core addr);
+  Core.retire t.core addr;
   match Exec.step cpu t.env ~addr i with
-  | Exec.Next -> cpu.Exec.r.(Types.pc) <- addr + 4
+  | Exec.Next -> Array.unsafe_set cpu.Exec.r Types.pc (addr + 4)
   | Exec.Branched -> ()
 
 (** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]

@@ -57,6 +57,18 @@ let ram_write t addr nbytes v =
   | 4 -> Bytes.set_int32_le t.ram off (Int32.of_int (Tk_isa.Bits.s32 v))
   | n -> invalid_arg (Printf.sprintf "ram_write size %d" n)
 
+(* Fast-path word accessors for the interpreter hot loops: same
+   semantics as [ram_read]/[ram_write] with [nbytes = 4], minus the size
+   dispatch. The caller has already established [in_ram addr]; the
+   Bytes primitives still bounds-check the (rare) case of a word
+   straddling the end of RAM. *)
+let ram_read32 t addr =
+  Int32.to_int (Bytes.get_int32_le t.ram (addr - t.ram_base)) land 0xFFFFFFFF
+
+let ram_write32 t addr v =
+  Bytes.set_int32_le t.ram (addr - t.ram_base)
+    (Int32.of_int (Tk_isa.Bits.s32 v))
+
 (** [read t addr nbytes] — core- or DBT-initiated read; RAM or MMIO.
     @raise Bus_fault on unclaimed addresses. *)
 let read t addr nbytes =
