@@ -797,12 +797,71 @@ let throughput ~smoke () =
     Printf.printf "  wrote BENCH_1.json\n%!"
   end
 
+(* -------------------------------- trace ------------------------------ *)
+
+(* Flight-recorder showcase: one traced + profiled offloaded cycle with
+   its per-phase table and hot blocks, plus the host-side cost of
+   tracing (the simulated counters are identical either way — pinned by
+   test/test_neutrality.ml). *)
+let trace_bench () =
+  Printf.printf "\n== flight recorder (traced offloaded cycle) ==\n%!";
+  let ark = Ark_run.create () in
+  ignore (Ark_run.suspend_resume_cycle ark);  (* warm: translations done *)
+  let tr = Ark_run.trace ark in
+  let engine = ark.Ark_run.ark.Transkernel.Ark.engine in
+  engine.Tk_dbt.Engine.profile <- true;
+  (* untraced warm cycle wall-clock *)
+  let w0 = Unix.gettimeofday () in
+  ignore (Ark_run.suspend_resume_cycle ark);
+  let untraced = Unix.gettimeofday () -. w0 in
+  (* traced warm cycle *)
+  Trace.enable tr;
+  let w1 = Unix.gettimeofday () in
+  ignore (Ark_run.suspend_resume_cycle ark);
+  let traced = Unix.gettimeofday () -. w1 in
+  Trace.disable tr;
+  let devices = ark.Ark_run.nat.Native_run.devices in
+  let phase_name code =
+    let open Tk_kernel.Hyper in
+    if code = ph_suspend_begin then "suspend_begin"
+    else if code = ph_suspend_end then "suspend_end"
+    else if code = ph_resume_begin then "resume_begin"
+    else if code = ph_resume_end then "resume_end"
+    else if code = 900 then "sleep_begin"
+    else if code = 901 then "sleep_end"
+    else if code >= ph_dev_mark then
+      let i = (code - ph_dev_mark) / 10 in
+      let k = (code - ph_dev_mark) mod 10 in
+      Printf.sprintf "%s:%s"
+        (Option.value ~default:(string_of_int i) (List.nth_opt devices i))
+        (match k with
+        | 0 -> "suspend.b" | 1 -> "suspend.e"
+        | 2 -> "resume.b" | 3 -> "resume.e"
+        | _ -> string_of_int k)
+    else string_of_int code
+  in
+  Trace.summary ~phase_name tr;
+  let rows = Tk_dbt.Engine.profile_blocks engine in
+  Report.table ~title:"DBT hot blocks (top 10 by executions)"
+    ~header:[ "guest_pc"; "execs"; "chain_hit"; "g_insts"; "h_words" ]
+    (List.filteri (fun i _ -> i < 10) rows
+    |> List.map (fun (bp : Tk_dbt.Engine.block_profile) ->
+           [ Printf.sprintf "0x%x" bp.Tk_dbt.Engine.bp_guest;
+             string_of_int bp.Tk_dbt.Engine.bp_execs;
+             Report.pct (Tk_dbt.Engine.chain_rate bp);
+             string_of_int bp.Tk_dbt.Engine.bp_guest_insts;
+             string_of_int bp.Tk_dbt.Engine.bp_host_words ]));
+  Printf.printf
+    "\nhost cost of tracing: %.2f ms/cycle untraced, %.2f ms/cycle traced \
+     (%.1fx; zero when disabled by construction)\n"
+    (untraced *. 1e3) (traced *. 1e3) (traced /. untraced)
+
 (* ------------------------------- main -------------------------------- *)
 
 let all_names =
   [ "table3"; "table4"; "table5"; "table6"; "fig3"; "fig5"; "fig6"; "fig7";
     "abi"; "services"; "fallback"; "dram"; "biglittle"; "battery"; "aarch64";
-    "ablation"; "throughput" ]
+    "ablation"; "trace"; "throughput" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -840,6 +899,7 @@ let () =
       | "battery" -> battery ()
       | "aarch64" -> aarch64 ()
       | "ablation" -> ablation ()
+      | "trace" -> trace_bench ()
       | "throughput" -> throughput ~smoke:!smoke ()
       | "bechamel" -> bechamel ()
       | other -> Printf.eprintf "unknown bench %s\n" other)

@@ -46,6 +46,87 @@ let mode_conv =
 
 (* -------------------------------- run -------------------------------- *)
 
+module Trace = Tk_stats.Trace
+
+(* render phase-marker codes (Hyper.phase_mark payloads plus the
+   runners' 900/901 sleep markers) for the per-phase summary table *)
+let phase_name devices code =
+  let open Tk_kernel.Hyper in
+  if code = ph_suspend_begin then "suspend_begin"
+  else if code = ph_suspend_end then "suspend_end"
+  else if code = ph_resume_begin then "resume_begin"
+  else if code = ph_resume_end then "resume_end"
+  else if code = 900 then "sleep_begin"
+  else if code = 901 then "sleep_end"
+  else if code >= ph_dev_mark then begin
+    let i = (code - ph_dev_mark) / 10 in
+    let k = (code - ph_dev_mark) mod 10 in
+    let dev =
+      match List.nth_opt devices i with
+      | Some d -> d
+      | None -> Printf.sprintf "dev%d" i
+    in
+    let what =
+      match k with
+      | 0 -> "suspend.b"
+      | 1 -> "suspend.e"
+      | 2 -> "resume.b"
+      | 3 -> "resume.e"
+      | _ -> string_of_int k
+    in
+    dev ^ ":" ^ what
+  end
+  else string_of_int code
+
+(* enable the flight recorder if any tracing option was given; returns
+   whether it is on. Called after boot so the trace covers only the
+   benchmark cycles. *)
+let trace_setup tr ~trace_file ~trace_filter ~trace_cap =
+  if trace_file = None && trace_filter = None && trace_cap = None then false
+  else begin
+    let filter =
+      match trace_filter with
+      | None -> None
+      | Some s -> (
+        match Trace.filter_of_names (String.split_on_char ',' s) with
+        | Ok m -> Some m
+        | Error n ->
+          Printf.eprintf "unknown trace event kind: %s\n" n;
+          exit 2)
+    in
+    Trace.enable ?cap:trace_cap ?filter tr;
+    true
+  end
+
+let trace_finish tr ~trace_file ~devices =
+  (match trace_file with
+  | Some f ->
+    let oc = open_out f in
+    Trace.dump_jsonl oc tr;
+    close_out oc;
+    Printf.printf "trace: %d events (of %d recorded) -> %s\n"
+      (Trace.retained tr) tr.Trace.total f
+  | None -> ());
+  Trace.summary ~phase_name:(phase_name devices) tr
+
+let print_profile (e : Tk_dbt.Engine.t) =
+  let rows = Tk_dbt.Engine.profile_blocks e in
+  let top = List.filteri (fun i _ -> i < 24) rows in
+  Tk_stats.Report.table ~title:"DBT hot blocks (top 24 by executions)"
+    ~header:
+      [ "guest_pc"; "host"; "execs"; "dispatch"; "chain_hit"; "g_insts";
+        "h_words" ]
+    (List.map
+       (fun (bp : Tk_dbt.Engine.block_profile) ->
+         [ Printf.sprintf "0x%x" bp.Tk_dbt.Engine.bp_guest;
+           Printf.sprintf "0x%x" bp.Tk_dbt.Engine.bp_host;
+           string_of_int bp.Tk_dbt.Engine.bp_execs;
+           string_of_int bp.Tk_dbt.Engine.bp_dispatches;
+           Tk_stats.Report.pct (Tk_dbt.Engine.chain_rate bp);
+           string_of_int bp.Tk_dbt.Engine.bp_guest_insts;
+           string_of_int bp.Tk_dbt.Engine.bp_host_words ])
+       top)
+
 let summarize label (core : Tk_machine.Core.t) params warns =
   let act = Tk_machine.Core.activity core in
   let e = Power.of_activity ~params ~act () in
@@ -60,21 +141,29 @@ let summarize label (core : Tk_machine.Core.t) params warns =
     warns
 
 let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
-    verbose =
+    trace_file trace_filter trace_cap profile verbose =
   (match mode with
   | `Native ->
     let nat = Native_run.create ~layout ~sleep_ms () in
+    let tr = Native_run.trace nat in
+    let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
     for i = 1 to cycles do
       ignore (Native_run.suspend_resume_cycle nat);
       if verbose then Printf.printf "cycle %d done\n%!" i
     done;
     summarize "native"
       nat.Native_run.plat.Tk_drivers.Platform.soc.Soc.cpu Soc.a9_params
-      (List.length nat.Native_run.warns)
+      (List.length nat.Native_run.warns);
+    if tracing then
+      trace_finish tr ~trace_file ~devices:nat.Native_run.devices
   | `Dbt dbt_mode ->
     let ark =
       Ark_run.create ~layout ~mode:dbt_mode ~sleep_ms ?m3_cache_kb:m3_cache ()
     in
+    let tr = Ark_run.trace ark in
+    let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
+    let e = ark.Ark_run.ark.Transkernel.Ark.engine in
+    if profile then e.Tk_dbt.Engine.profile <- true;
     let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
     for i = 1 to cycles do
       if glitch_every > 0 && i mod glitch_every = 0 then
@@ -87,13 +176,16 @@ let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
     summarize "offloaded"
       (Ark_run.plat ark).Tk_drivers.Platform.soc.Soc.m3 Soc.m3_params
       (List.length ark.Ark_run.nat.Native_run.warns);
-    let e = ark.Ark_run.ark.Transkernel.Ark.engine in
     Printf.printf
       "DBT: %d blocks, %d guest -> %d host instructions, %d engine exits, \
        %d fallbacks\n"
       e.Tk_dbt.Engine.blocks e.Tk_dbt.Engine.guest_translated
       e.Tk_dbt.Engine.host_emitted e.Tk_dbt.Engine.engine_exits
-      (List.length ark.Ark_run.fallbacks));
+      (List.length ark.Ark_run.fallbacks);
+    if tracing then
+      trace_finish tr ~trace_file
+        ~devices:ark.Ark_run.nat.Native_run.devices;
+    if profile then print_profile e);
   0
 
 (* ------------------------------ compare ------------------------------ *)
@@ -226,12 +318,37 @@ let m3_cache_arg =
   Arg.(value & opt (some int) None
        & info [ "m3-cache" ] ~docv:"KB" ~doc:"Peripheral-core LLC size.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the flight recorder and write the events as \
+                 JSONL to $(docv).")
+
+let trace_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-filter" ] ~docv:"KINDS"
+           ~doc:"Comma-separated event kinds to record (retire, read, \
+                 write, irq-raise, irq-deliver, power, translate, chain, \
+                 invalidate, phase; groups: mem, irq, dbt, all).")
+
+let trace_cap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "trace-cap" ] ~docv:"N"
+           ~doc:"Ring capacity in events (oldest events drop beyond it).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"DBT hot-block profile: per-block execution counts, \
+                 dispatch entries and chain hit rate.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 
 let run_t =
   Term.(
     const run_cmd $ mode_arg $ cycles_arg $ layout_arg $ sleep_arg
-    $ glitch_arg $ resume_native_arg $ m3_cache_arg $ verbose_arg)
+    $ glitch_arg $ resume_native_arg $ m3_cache_arg $ trace_arg
+    $ trace_filter_arg $ trace_cap_arg $ profile_arg $ verbose_arg)
 
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run suspend/resume cycles.") run_t;

@@ -36,6 +36,7 @@ exception Host_error of string
 type t = {
   soc : Soc.t;
   mode : Translator.mode;
+  tr : Tk_stats.Trace.t;  (** the platform flight recorder, cached *)
   mutable classify_target : int -> Translator.target_class;
   cb : callbacks;
   (* code cache *)
@@ -65,6 +66,10 @@ type t = {
   mutable block_limit : int;  (** guest instructions per block *)
   mutable irq_dispatch : bool;  (** ARK spinlock emulation pauses this *)
   mutable env : Exec.env;
+  mutable env_traced : Exec.env;
+      (** same host environment with flight-recorder emission on memory
+          accesses; the run loop selects it only while tracing is
+          enabled, keeping the disabled path free of trace branches *)
   (* statistics *)
   mutable guest_translated : int;
   mutable host_emitted : int;
@@ -72,6 +77,17 @@ type t = {
   mutable engine_exits : int;
   mutable patches : int;
   mutable host_executed : int;
+  (* hot-block profiler (host-side observability; simulated charges are
+     unaffected whether it is on or off) *)
+  mutable profile : bool;
+  block_exec : int array;
+      (** per-block execution count, same dense indexing as
+          [block_start]; bumped when the hot loop enters a block start *)
+  block_dispatch : (int, int) Hashtbl.t;
+      (** host block start -> entries through the dispatch slow path
+          (i.e. not via a chained direct branch) *)
+  block_size : (int, int * int) Hashtbl.t;
+      (** host block start -> (guest instruction count, host words) *)
 }
 
 (* cost knobs, in M3 cycles *)
@@ -105,8 +121,9 @@ let dummy_env : Exec.env =
     undef = (fun _ _ -> ()) }
 
 let rec create ~(soc : Soc.t) ~mode () =
+  let tr = soc.Soc.trace in
   let t =
-    { soc; mode; classify_target = (fun _ -> Translator.T_normal);
+    { soc; mode; tr; classify_target = (fun _ -> Translator.T_normal);
       cb = dummy_cb (); cursor = Soc.code_cache_base;
       block_map = Hashtbl.create 1024; block_starts = Hashtbl.create 1024;
       sites = Hashtbl.create 1024; host_points = Hashtbl.create 4096;
@@ -114,12 +131,19 @@ let rec create ~(soc : Soc.t) ~mode () =
       block_start = Array.make (Soc.code_cache_size / 4) false;
       cur_pc = 0; pc_overridden = false;
       chain = true; block_limit = Translator.default_block_limit;
-      irq_dispatch = true; env = dummy_env; guest_translated = 0;
+      irq_dispatch = true; env = dummy_env; env_traced = dummy_env;
+      guest_translated = 0;
       host_emitted = 0; blocks = 0; engine_exits = 0; patches = 0;
-      host_executed = 0 }
+      host_executed = 0; profile = false;
+      block_exec = Array.make (Soc.code_cache_size / 4) 0;
+      block_dispatch = Hashtbl.create 1024;
+      block_size = Hashtbl.create 1024 }
   in
   let m3 = soc.Soc.m3 in
   let mem = soc.Soc.mem in
+  (* the untraced closures are the seed's hot path, byte for byte: the
+     run loop only hands [env_traced] to the executor while the flight
+     recorder is enabled, so tracing costs nothing when it is off *)
   let load addr nbytes =
     if Soc.is_cpu_private addr then begin
       charge t cost_gic_fault;
@@ -150,6 +174,47 @@ let rec create ~(soc : Soc.t) ~mode () =
       Mem.write mem addr nbytes v
     end
   in
+  let load_traced addr nbytes =
+    if Soc.is_cpu_private addr then begin
+      (* gic-private accesses surface as controller events, not reads *)
+      charge t cost_gic_fault;
+      t.cb.on_gic_access ~write:false addr 0
+    end
+    else if Mem.in_ram mem addr then begin
+      let stall = Cache.access m3.Core.cache ~write:false addr in
+      Core.charge_stall m3 stall;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_read addr stall;
+      if nbytes = 4 then Mem.ram_read32 mem addr
+      else Mem.ram_read mem addr nbytes
+    end
+    else begin
+      Core.charge m3 m3.Core.p.Core.mmio_penalty;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_read addr m3.Core.p.Core.mmio_penalty;
+      Mem.read mem addr nbytes
+    end
+  in
+  let store_traced addr nbytes v =
+    if Soc.is_cpu_private addr then begin
+      charge t cost_gic_fault;
+      ignore (t.cb.on_gic_access ~write:true addr v)
+    end
+    else if Mem.in_ram mem addr then begin
+      let stall = Cache.access m3.Core.cache ~write:true addr in
+      Core.charge_stall m3 stall;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_write addr stall;
+      if nbytes = 4 then Mem.ram_write32 mem addr v
+      else Mem.ram_write mem addr nbytes v
+    end
+    else begin
+      Core.charge m3 m3.Core.p.Core.mmio_penalty;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_write addr m3.Core.p.Core.mmio_penalty;
+      Mem.write mem addr nbytes v
+    end
+  in
   let svc cpu n = dispatch t cpu n in
   let wfi _ = raise (Host_error "host wfi in translated code") in
   let irq_ret _ = raise (Host_error "host exception return in translated code") in
@@ -157,6 +222,9 @@ let rec create ~(soc : Soc.t) ~mode () =
     raise (Host_error ("host undef: " ^ Types.to_string i))
   in
   t.env <- { Exec.load; store; svc; wfi; irq_ret; undef };
+  t.env_traced <-
+    { Exec.load = load_traced; store = store_traced; svc; wfi; irq_ret;
+      undef };
   t
 
 (* ------------------------- code emission ---------------------------- *)
@@ -222,6 +290,11 @@ and translate_block t gpc =
     Hashtbl.replace t.host_points h gpc;
     t.blocks <- t.blocks + 1;
     t.guest_translated <- t.guest_translated + b.Translator.b_guest_count;
+    Hashtbl.replace t.block_size h
+      (b.Translator.b_guest_count, (t.cursor - h) asr 2);
+    if t.tr.Tk_stats.Trace.enabled then
+      Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_translate gpc b.Translator.b_guest_count;
     h
 
 (* patch a resolved direct branch/call site *)
@@ -229,11 +302,22 @@ and patch t site_addr (i : inst) =
   write_host t site_addr i;
   Hashtbl.remove t.sites site_addr;
   t.patches <- t.patches + 1;
-  charge t cost_patch
+  charge t cost_patch;
+  if t.tr.Tk_stats.Trace.enabled then
+    Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
+      Tk_stats.Trace.ev_chain site_addr 0
 
 and set_pc t (cpu : Exec.cpu) v =
   cpu.Exec.r.(pc) <- v;
   t.pc_overridden <- true
+
+(* jump to a translated block through the dispatch slow path; the
+   profiler counts these to compute each block's chain hit rate *)
+and goto_block t (cpu : Exec.cpu) h =
+  if t.profile then
+    Hashtbl.replace t.block_dispatch h
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.block_dispatch h));
+  set_pc t cpu h
 
 (* --------------------------- dispatch ------------------------------- *)
 
@@ -252,20 +336,20 @@ and dispatch t cpu _code =
       if t.chain && Result.is_ok (V7m.encode (at ~cond (Bl off))) then
         patch t site_addr (at ~cond (Bl off));
       cpu.Exec.r.(lr) <- site_addr + 4;
-      set_pc t cpu h
+      goto_block t cpu h
     | Translator.S_jump { target } ->
       let h = translate_block t target in
       let cond = (decode_host t site_addr).cond in
       let off = h - site_addr in
       if t.chain && Result.is_ok (V7m.encode (at ~cond (B off))) then
         patch t site_addr (at ~cond (B off));
-      set_pc t cpu h
+      goto_block t cpu h
     | Translator.S_tail { target } ->
       let h = translate_block t target in
       let off = h - site_addr in
       if t.chain && Result.is_ok (V7m.encode (at (B off))) then
         patch t site_addr (at (B off));
-      set_pc t cpu h
+      goto_block t cpu h
     | Translator.S_emu { name; _ } ->
       set_pc t cpu (site_addr + 4);
       t.cb.on_emu name cpu
@@ -277,7 +361,7 @@ and dispatch t cpu _code =
       let target = guest_reg t cpu reg in
       let h = translate_block t target in
       cpu.Exec.r.(lr) <- site_addr + 4;
-      set_pc t cpu h
+      goto_block t cpu h
     | Translator.S_exit_pc ->
       charge t cost_exit_pc;
       let gtarget = Mem.ram_read t.soc.Soc.mem Layout.env_next_pc 4 in
@@ -286,7 +370,7 @@ and dispatch t cpu _code =
       end
       else begin
         let h = translate_block t gtarget in
-        set_pc t cpu h
+        goto_block t cpu h
       end
     | Translator.S_guest_svc { n; _ } ->
       set_pc t cpu (site_addr + 4);
@@ -343,6 +427,12 @@ let set_guest_reg t (cpu : Exec.cpu) i v =
     that is always a valid resume point. *)
 let run t (cpu : Exec.cpu) ~fuel =
   let m3 = t.soc.Soc.m3 in
+  let tr = t.tr in
+  (* tracing never toggles while translated code is executing, so the
+     decision is hoisted: the disabled loop tests only an immutable
+     register-resident bool and runs the seed's untraced environment *)
+  let traced = tr.Tk_stats.Trace.enabled in
+  let env = if traced then t.env_traced else t.env in
   let r = cpu.Exec.r in
   let n = ref 0 in
   while true do
@@ -354,8 +444,12 @@ let run t (cpu : Exec.cpu) ~fuel =
       raise
         (Host_error (Printf.sprintf "host pc outside code cache: 0x%x" pcv));
     let idx = (pcv - Soc.code_cache_base) asr 2 in
-    if t.irq_dispatch && Array.unsafe_get t.block_start idx then
-      t.cb.on_irq_window cpu;
+    if Array.unsafe_get t.block_start idx then begin
+      if t.profile then
+        Array.unsafe_set t.block_exec idx
+          (Array.unsafe_get t.block_exec idx + 1);
+      if t.irq_dispatch then t.cb.on_irq_window cpu
+    end;
     let i =
       match Array.unsafe_get t.host_decode idx with
       | Some i -> i
@@ -365,7 +459,10 @@ let run t (cpu : Exec.cpu) ~fuel =
     t.pc_overridden <- false;
     t.host_executed <- t.host_executed + 1;
     Core.retire m3 pcv;
-    match Exec.step cpu t.env ~addr:pcv i with
+    if traced then
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_retire pcv 0;
+    match Exec.step cpu env ~addr:pcv i with
     | Exec.Next -> if not t.pc_overridden then Array.unsafe_set r pc (pcv + 4)
     | Exec.Branched -> Core.charge m3 cost_taken_branch
   done
@@ -377,3 +474,44 @@ let entry_host t gpc = translate_block t gpc
 (** [guest_point_of_host t haddr] — guest address for a saved host resume
     point, for fallback migration. *)
 let guest_point_of_host t haddr = Hashtbl.find_opt t.host_points haddr
+
+(* ------------------------ hot-block profiler ------------------------- *)
+
+type block_profile = {
+  bp_guest : int;  (** guest block start address *)
+  bp_host : int;  (** host (code-cache) block start address *)
+  bp_execs : int;  (** times the hot loop entered this block *)
+  bp_dispatches : int;  (** entries through the dispatch slow path *)
+  bp_guest_insts : int;  (** guest instructions translated *)
+  bp_host_words : int;  (** host words emitted (incl. engine sites) *)
+}
+
+(** [chain_rate bp] — fraction of entries into the block that arrived
+    via a chained (patched) direct branch rather than the dispatch slow
+    path. *)
+let chain_rate bp =
+  if bp.bp_execs = 0 then 0.0
+  else float_of_int (bp.bp_execs - bp.bp_dispatches)
+       /. float_of_int bp.bp_execs
+
+(** [profile_blocks t] — per-block profile rows, hottest first. Only
+    meaningful after a run with [t.profile] set. *)
+let profile_blocks t =
+  let rows =
+    Hashtbl.fold
+      (fun h gpc acc ->
+        let idx = (h - Soc.code_cache_base) asr 2 in
+        let execs = t.block_exec.(idx) in
+        let dispatches =
+          Option.value ~default:0 (Hashtbl.find_opt t.block_dispatch h)
+        in
+        let gi, hw =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt t.block_size h)
+        in
+        { bp_guest = gpc; bp_host = h; bp_execs = execs;
+          bp_dispatches = dispatches; bp_guest_insts = gi;
+          bp_host_words = hw }
+        :: acc)
+      t.block_starts []
+  in
+  List.sort (fun a b -> compare (b.bp_execs, b.bp_guest) (a.bp_execs, a.bp_guest)) rows

@@ -36,6 +36,7 @@ exception Host_error of string
 type t = {
   soc : Soc.t;
   mode : Translator.mode;
+  tr : Tk_stats.Trace.t;  (** the platform flight recorder, cached *)
   mutable classify_target : int -> Translator.target_class;
   cb : callbacks;
   mutable cursor : int;  (** code-cache allocation point *)
@@ -58,12 +59,21 @@ type t = {
   mutable block_limit : int;  (** guest instructions per block *)
   mutable irq_dispatch : bool;  (** ARK's spinlock emulation pauses this *)
   mutable env : Exec.env;
+  mutable env_traced : Exec.env;
+      (** [env] with flight-recorder emission on memory accesses; the
+          run loop selects it only while tracing is enabled *)
   mutable guest_translated : int;
   mutable host_emitted : int;
   mutable blocks : int;
   mutable engine_exits : int;
   mutable patches : int;
   mutable host_executed : int;
+  mutable profile : bool;
+      (** count per-block executions / dispatch entries (host-side
+          observability; simulated charges are unaffected) *)
+  block_exec : int array;
+  block_dispatch : (int, int) Hashtbl.t;
+  block_size : (int, int * int) Hashtbl.t;
 }
 
 val cost_taken_branch : int
@@ -96,3 +106,21 @@ val run : t -> Exec.cpu -> fuel:int -> unit
     raises; [cpu] is mutated in place and is always at a valid resume
     point when callbacks fire.
     @raise Host_error on engine errors or fuel exhaustion *)
+
+(** One row of the hot-block profiler (see {!profile_blocks}). *)
+type block_profile = {
+  bp_guest : int;  (** guest block start address *)
+  bp_host : int;  (** host (code-cache) block start address *)
+  bp_execs : int;  (** times the hot loop entered this block *)
+  bp_dispatches : int;  (** entries through the dispatch slow path *)
+  bp_guest_insts : int;  (** guest instructions translated *)
+  bp_host_words : int;  (** host words emitted (incl. engine sites) *)
+}
+
+val chain_rate : block_profile -> float
+(** fraction of block entries that arrived via a chained direct branch
+    rather than the dispatch slow path *)
+
+val profile_blocks : t -> block_profile list
+(** per-block profile rows, hottest first; meaningful after a run with
+    [profile] set *)

@@ -76,6 +76,10 @@ let finish_power t on =
   t.busy <- false;
   t.power_on <- on;
   t.cmd_done <- true;
+  let tr = t.soc.Soc.trace in
+  if tr.Tk_stats.Trace.enabled then
+    Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_none
+      Tk_stats.Trace.ev_power t.index (Bool.to_int on);
   raise_irq t
 
 let cmd t v =

@@ -71,12 +71,15 @@ let create ?layout ?devices ?(mode = Translator.Ark) ?sleep_ms ?m3_cache_kb
   let t = { nat; ark; events = []; fallbacks = [] } in
   ark.Ark.on_hypercall <-
     (fun n cpu ->
-      if n = Hyper.phase_mark then
+      if n = Hyper.phase_mark then begin
+        let code = Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0 in
         t.events <-
-          { ev_code = Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0;
+          { ev_code = code;
             ev_time_ns = plat.soc.Soc.clock.Clock.now;
             ev_m3 = Core.activity plat.soc.Soc.m3 }
-          :: t.events
+          :: t.events;
+        Tk_stats.Trace.phase plat.soc.Soc.trace code
+      end
       else if n = Hyper.warn_hit then
         t.nat.Native_run.warns <-
           Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0
@@ -98,7 +101,12 @@ let record t code =
   t.events <-
     { ev_code = code; ev_time_ns = (plat t).soc.Soc.clock.Clock.now;
       ev_m3 = Core.activity (plat t).soc.Soc.m3 }
-    :: t.events
+    :: t.events;
+  Tk_stats.Trace.phase (plat t).soc.Soc.trace code
+
+(** [trace t] — the platform's flight recorder (enable/dump through
+    {!Tk_stats.Trace}). *)
+let trace t = (plat t).soc.Soc.trace
 
 (** [suspend_resume_cycle t] runs one full ephemeral-task cycle with the
     device phases offloaded: native freeze -> handoff -> ARK dpm_suspend

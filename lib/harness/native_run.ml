@@ -36,7 +36,12 @@ let record t code =
   t.events <-
     { ev_code = code; ev_time_ns = t.plat.soc.Soc.clock.Clock.now;
       ev_cpu = Core.activity t.plat.soc.Soc.cpu }
-    :: t.events
+    :: t.events;
+  Tk_stats.Trace.phase t.plat.soc.Soc.trace code
+
+(** [trace t] — the platform's flight recorder (enable/dump through
+    {!Tk_stats.Trace}). *)
+let trace t = t.plat.soc.Soc.trace
 
 let handle_svc t (cpu : Exec.cpu) n =
   let r0 = cpu.Exec.r.(0) in

@@ -245,3 +245,12 @@ let decode word : inst =
     | _ -> raise (Decode_error word)
   in
   { cond; op }
+
+(** [decode_total w] — total variant of {!decode}: malformed words
+    become a defined [Udf] (undefined-instruction) result instead of an
+    exception, so random-word fetches always produce {e something} the
+    executor can trap on. *)
+let decode_total word =
+  try decode word
+  with Decode_error _ | Invalid_argument _ ->
+    Types.at (Types.Udf (word land 0xFFFF))

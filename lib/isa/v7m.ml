@@ -288,3 +288,10 @@ let decode word : inst =
     | _ -> raise (Decode_error word)
   in
   { cond; op }
+
+(** [decode_total w] — total variant of {!decode}: malformed words
+    become a defined [Udf] result instead of an exception. *)
+let decode_total word =
+  try decode word
+  with Decode_error _ | Invalid_argument _ ->
+    Types.at (Types.Udf (word land 0xFFFF))

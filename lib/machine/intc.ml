@@ -25,16 +25,24 @@ type t = {
           incrementally so the interpreters' per-instruction /
           per-block "any deliverable interrupt?" poll is O(1) instead
           of a scan over all lines *)
+  mutable tr : Tk_stats.Trace.t;
+      (** flight recorder (the platform's; {!Tk_stats.Trace.null} until
+          the SoC wires it) *)
+  mutable tr_core : int;  (** which side this controller serves *)
 }
 
 let create ~name ~nlines =
   { iname = name; nlines; enabled = Array.make nlines false;
-    pending = Array.make nlines false; in_service = None; live = 0 }
+    pending = Array.make nlines false; in_service = None; live = 0;
+    tr = Tk_stats.Trace.null; tr_core = Tk_stats.Trace.core_none }
 
 let set_pending t line =
   if line >= 0 && line < t.nlines && not t.pending.(line) then begin
     t.pending.(line) <- true;
-    if t.enabled.(line) then t.live <- t.live + 1
+    if t.enabled.(line) then t.live <- t.live + 1;
+    if t.tr.Tk_stats.Trace.enabled then
+      Tk_stats.Trace.emit t.tr ~core:t.tr_core Tk_stats.Trace.ev_irq_raise
+        line 0
   end
 
 let clear_pending t line =
@@ -72,6 +80,9 @@ let ack t =
     t.pending.(l) <- false;
     t.live <- t.live - 1;  (* [highest] only returns enabled lines *)
     t.in_service <- Some l;
+    if t.tr.Tk_stats.Trace.enabled then
+      Tk_stats.Trace.emit t.tr ~core:t.tr_core Tk_stats.Trace.ev_irq_deliver
+        l 0;
     l
   | None -> 1023
 

@@ -34,10 +34,15 @@ let dense_words = (dense_top - dense_base) / 4
 type t = {
   soc : Soc.t;
   core : Core.t;
+  tr : Tk_stats.Trace.t;  (** the platform flight recorder, cached *)
   cpu : Exec.cpu;
   decode : Types.inst option array;  (** dense, indexed by image word *)
   decode_cache : (int, Types.inst) Hashtbl.t;  (** out-of-span fallback *)
   mutable env : Exec.env;
+  mutable env_traced : Exec.env;
+      (** same environment with flight-recorder emission on memory
+          accesses; [step] selects it only while tracing is enabled, so
+          the disabled hot path carries no trace branches *)
   mutable irq_vector : int;  (** guest address of the IRQ entry stub *)
   mutable irq_saved : (int * int) list;  (** (return pc, flags) *)
   mutable on_svc : t -> Exec.cpu -> int -> unit;
@@ -53,13 +58,19 @@ let in_dense addr = addr >= dense_base && addr < dense_top
 
 let create ~(soc : Soc.t) () =
   let core = soc.cpu in
+  let tr = soc.trace in
   let t =
-    { soc; core; cpu = Exec.make_cpu (); decode = Array.make dense_words None;
+    { soc; core; tr; cpu = Exec.make_cpu ();
+      decode = Array.make dense_words None;
       decode_cache = Hashtbl.create 64;
-      env = dummy_env; irq_vector = 0; irq_saved = [];
+      env = dummy_env; env_traced = dummy_env; irq_vector = 0;
+      irq_saved = [];
       on_svc = (fun _ _ _ -> ()); trace = None }
   in
   let mem = soc.mem in
+  (* The untraced closures below are the seed's hot path, byte for
+     byte: [step] only hands [env_traced] to the executor while the
+     flight recorder is enabled, so tracing costs nothing when off. *)
   let load addr nbytes =
     if Mem.in_ram mem addr then begin
       Core.charge_stall core (Cache.access core.cache ~write:false addr);
@@ -94,6 +105,59 @@ let create ~(soc : Soc.t) () =
       Mem.write mem addr nbytes v
     end
   in
+  let load_traced addr nbytes =
+    if Mem.in_ram mem addr then begin
+      let stall = Cache.access core.cache ~write:false addr in
+      Core.charge_stall core stall;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+        Tk_stats.Trace.ev_read addr stall;
+      if nbytes = 4 then Mem.ram_read32 mem addr
+      else Mem.ram_read mem addr nbytes
+    end
+    else begin
+      Core.charge core core.p.mmio_penalty;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+        Tk_stats.Trace.ev_read addr core.p.mmio_penalty;
+      Mem.read mem addr nbytes
+    end
+  in
+  (* traced variant: also reports decode invalidations that actually
+     dropped a cached entry (a self-modifying-code signal) *)
+  let invalidate_word_traced w =
+    if in_dense w then begin
+      let idx = (w - dense_base) asr 2 in
+      if Array.unsafe_get t.decode idx <> None then
+        Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+          Tk_stats.Trace.ev_invalidate w 0;
+      Array.unsafe_set t.decode idx None
+    end
+    else begin
+      if Hashtbl.mem t.decode_cache w then
+        Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+          Tk_stats.Trace.ev_invalidate w 0;
+      Hashtbl.remove t.decode_cache w
+    end
+  in
+  let store_traced addr nbytes v =
+    if Mem.in_ram mem addr then begin
+      let stall = Cache.access core.cache ~write:true addr in
+      Core.charge_stall core stall;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+        Tk_stats.Trace.ev_write addr stall;
+      let w0 = addr land lnot 3 in
+      invalidate_word_traced w0;
+      let w1 = (addr + nbytes - 1) land lnot 3 in
+      if w1 <> w0 then invalidate_word_traced w1;
+      if nbytes = 4 then Mem.ram_write32 mem addr v
+      else Mem.ram_write mem addr nbytes v
+    end
+    else begin
+      Core.charge core core.p.mmio_penalty;
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_cpu
+        Tk_stats.Trace.ev_write addr core.p.mmio_penalty;
+      Mem.write mem addr nbytes v
+    end
+  in
   let wfi _cpu =
     if not (Core.idle_until_event core) then
       raise (Fault "WFI with no pending event: platform deadlock")
@@ -110,8 +174,10 @@ let create ~(soc : Soc.t) () =
   let undef _cpu inst =
     raise (Fault (Printf.sprintf "undefined instruction: %s" (Types.to_string inst)))
   in
-  t.env <-
-    { load; store; svc = (fun cpu n -> t.on_svc t cpu n); wfi; irq_ret; undef };
+  let svc cpu n = t.on_svc t cpu n in
+  t.env <- { load; store; svc; wfi; irq_ret; undef };
+  t.env_traced <-
+    { load = load_traced; store = store_traced; svc; wfi; irq_ret; undef };
   t
 
 (** [set_pc t addr] positions the next fetch. *)
@@ -147,9 +213,11 @@ let deliver_irq t =
   cpu.Exec.irq_on <- false;
   cpu.Exec.r.(Types.pc) <- t.irq_vector
 
-(** [step t] executes one instruction (delivering a pending enabled IRQ
-    first). *)
-let step t =
+(* one step with the tracing decision precomputed: [run] hoists the
+   enabled check out of its loop entirely (tracing never toggles while
+   guest code is executing), so the disabled path tests only an
+   immutable register-resident bool *)
+let step_env t traced env =
   let cpu = t.cpu in
   if cpu.Exec.irq_on && Intc.deliverable t.soc.fabric.gic then
     deliver_irq t;
@@ -159,16 +227,27 @@ let step t =
   let i = fetch_decode t addr in
   (match t.trace with Some f -> f addr i | None -> ());
   Core.retire t.core addr;
-  match Exec.step cpu t.env ~addr i with
+  if traced then
+    Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_cpu
+      Tk_stats.Trace.ev_retire addr 0;
+  match Exec.step cpu env ~addr i with
   | Exec.Next -> Array.unsafe_set cpu.Exec.r Types.pc (addr + 4)
   | Exec.Branched -> ()
+
+(** [step t] executes one instruction (delivering a pending enabled IRQ
+    first). *)
+let step t =
+  let traced = t.tr.Tk_stats.Trace.enabled in
+  step_env t traced (if traced then t.env_traced else t.env)
 
 (** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
     instructions elapse, which raises {!Fault} — a runaway guest). *)
 let run t ~fuel =
   let n = ref 0 in
+  let traced = t.tr.Tk_stats.Trace.enabled in
+  let env = if traced then t.env_traced else t.env in
   while !n < fuel do
     incr n;
-    step t
+    step_env t traced env
   done;
   raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel))

@@ -78,6 +78,9 @@ type t = {
   m3 : Core.t;
   cpu_timer : Timer.t;
   m3_timer : Timer.t;
+  trace : Tk_stats.Trace.t;
+      (** the platform's flight recorder (disabled by default); every
+          component of this SoC emits into it *)
 }
 
 (** [create ?m3_cache_kb ()] builds a fresh platform. [m3_cache_kb]
@@ -109,7 +112,22 @@ let create ?(m3_cache_kb = m3_cache_kb) () =
   Mem.add_region mem (Intc.mmio_region fabric.gic ~base:gic_base);
   Mem.add_region mem (Timer.mmio_region cpu_timer ~base:cpu_timer_base);
   Mem.add_region mem (Timer.mmio_region m3_timer ~base:m3_timer_base);
-  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer }
+  (* flight recorder: one per platform, time-sourced from the shared
+     clock, with per-core busy/traffic gauges sampled at phase marks *)
+  let trace = Tk_stats.Trace.create () in
+  trace.Tk_stats.Trace.now <- (fun () -> clock.Clock.now);
+  trace.Tk_stats.Trace.probes <-
+    [ ("a9_busy_cy", fun () -> cpu.Core.busy_cycles);
+      ("a9_instrs", fun () -> cpu.Core.instructions);
+      ("a9_miss", fun () -> cpu.Core.cache.Cache.misses);
+      ("m3_busy_cy", fun () -> m3.Core.busy_cycles);
+      ("m3_instrs", fun () -> m3.Core.instructions);
+      ("m3_miss", fun () -> m3.Core.cache.Cache.misses) ];
+  fabric.Intc.gic.Intc.tr <- trace;
+  fabric.Intc.gic.Intc.tr_core <- Tk_stats.Trace.core_cpu;
+  fabric.Intc.nvic.Intc.tr <- trace;
+  fabric.Intc.nvic.Intc.tr_core <- Tk_stats.Trace.core_m3;
+  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace }
 
 (** [dev_base i] is the MMIO base address of device slot [i]. *)
 let dev_base i = dev_mmio_base + (i * dev_mmio_stride)

@@ -1,0 +1,270 @@
+(* ISA codec property battery: seeded-PRNG fuzz over both encoders.
+
+   Two properties per ISA:
+
+   - round-trip: for canonical-form instructions within each encoder's
+     documented constraints, [decode (encode i) = i] structurally. The
+     generators are constraint-aware (e.g. V7M modified immediates,
+     LSL#0 register-shift canonicalization, writeback offset ranges) so
+     every generated instruction must encode; an [Error] from the
+     encoder is itself a test failure.
+
+   - totality: [decode_total] never raises, for any 32-bit word —
+     malformed words (bad cond nibble, unknown class/sub-op) become a
+     defined [Udf] the executor can trap on. This is what lets the
+     interpreters fetch from arbitrary guest memory without host-side
+     exceptions leaking simulation state.
+
+   Iteration counts scale with TK_FUZZ_SCALE (CI keeps it at 1; crank
+   it locally for a deeper soak). Failures print the generator seed and
+   iteration index, which reproduce the case exactly. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+let scale =
+  match Sys.getenv_opt "TK_FUZZ_SCALE" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let base_seed = 0x15a90
+
+(* ------------------------ shared generators -------------------------- *)
+
+let rnd = Random.State.int
+let flip = Random.State.bool
+let reg st = rnd st 16
+let gcond st = cond_of_int (rnd st 15)
+let msize st = mem_size_of_int (rnd st 3)
+let skind st = shift_kind_of_int (rnd st 4)
+let imm16 st = rnd st 0x10000
+
+let word32 st = rnd st 0x10000 lor (rnd st 0x10000 lsl 16)
+
+let idx3 st = match rnd st 3 with 0 -> Offset | 1 -> Pre | _ -> Post
+
+(* branch offsets: word-aligned, signed 23-bit word offset *)
+let branch_off st = (rnd st (1 lsl 23) - (1 lsl 22)) * 4
+
+(* reg lists round-trip through a 16-bit mask: sorted, unique *)
+let reglist st =
+  let mask = rnd st 0x10000 in
+  List.filter (fun r -> mask land (1 lsl r) <> 0) (List.init 16 Fun.id)
+
+(* ------------------------------ V7A ---------------------------------- *)
+
+(* any 8-bit value rotated right by an even amount is encodable *)
+let imm_v7a st = Bits.ror32 (rnd st 256) (2 * rnd st 16)
+
+let operand2_v7a st =
+  match rnd st 4 with
+  | 0 -> Imm (imm_v7a st)
+  | 1 -> Reg (reg st)
+  | 2 ->
+    (* LSL #0 is canonicalized to a bare Reg by decode *)
+    let k = skind st and a = rnd st 32 in
+    if k = LSL && a = 0 then Reg (reg st) else Sreg (reg st, k, a)
+  | _ -> Sregreg (reg st, skind st, reg st)
+
+let misc_v7a st =
+  match rnd st 16 with
+  | 0 -> Mul (flip st, reg st, reg st, reg st)
+  | 1 -> Mla (reg st, reg st, reg st, reg st)
+  | 2 -> Udiv (reg st, reg st, reg st)
+  | 3 -> Clz (reg st, reg st)
+  | 4 -> Sxt (msize st, reg st, reg st)
+  | 5 -> Uxt (msize st, reg st, reg st)
+  | 6 -> Rev (reg st, reg st)
+  | 7 -> Mrs (reg st)
+  | 8 -> Msr (reg st)
+  | 9 -> Svc (imm16 st)
+  | 10 -> Wfi
+  | 11 -> Cps (flip st)
+  | 12 -> Irq_ret
+  | 13 -> Swp (reg st, reg st, reg st)
+  | 14 -> Nop
+  | _ -> Udf (imm16 st)
+
+let gen_v7a st : inst =
+  let op =
+    match rnd st 24 with
+    | 0 | 1 | 2 | 3 | 4 | 5 ->
+      Dp (dp_op_of_int (rnd st 16), flip st, reg st, reg st, operand2_v7a st)
+    | 6 | 7 | 8 ->
+      Mem
+        { ld = flip st; size = msize st; rt = reg st; rn = reg st;
+          idx = idx3 st; off = Oimm (rnd st 4095 - 2047) }
+    | 9 | 10 ->
+      Mem
+        { ld = flip st; size = msize st; rt = reg st; rn = reg st;
+          idx = idx3 st; off = Oreg (reg st, skind st, rnd st 32) }
+    | 11 ->
+      if flip st then Ldm (reg st, flip st, reglist st)
+      else Stm (reg st, flip st, reglist st)
+    | 12 -> B (branch_off st)
+    | 13 -> Bl (branch_off st)
+    | 14 -> if flip st then Bx (reg st) else Blx_r (reg st)
+    | 15 -> Movw (reg st, imm16 st)
+    | 16 -> Movt (reg st, imm16 st)
+    | _ -> misc_v7a st
+  in
+  { cond = gcond st; op }
+
+(* ------------------------------ V7M ---------------------------------- *)
+
+(* the four Thumb-2 modified-immediate families *)
+let imm_v7m st =
+  match rnd st 5 with
+  | 0 -> rnd st 256
+  | 1 ->
+    let b = 1 + rnd st 255 in
+    b lor (b lsl 16)
+  | 2 ->
+    let b = 1 + rnd st 255 in
+    (b lsl 8) lor (b lsl 24)
+  | 3 ->
+    let b = 1 + rnd st 255 in
+    b lor (b lsl 8) lor (b lsl 16) lor (b lsl 24)
+  | _ -> Bits.ror32 (0x80 lor rnd st 128) (8 + rnd st 24)
+
+(* RSC has no V7M encoding *)
+let rec dp_op_v7m st =
+  let o = dp_op_of_int (rnd st 16) in
+  if o = RSC then dp_op_v7m st else o
+
+let dp_v7m st =
+  match rnd st 6 with
+  | 0 | 1 -> Dp (dp_op_v7m st, flip st, reg st, reg st, Imm (imm_v7m st))
+  | 2 -> Dp (dp_op_v7m st, flip st, reg st, reg st, Reg (reg st))
+  | 3 | 4 ->
+    let k = skind st and a = rnd st 32 in
+    let op2 =
+      if k = LSL && a = 0 then Reg (reg st) else Sreg (reg st, k, a)
+    in
+    Dp (dp_op_v7m st, flip st, reg st, reg st, op2)
+  | _ ->
+    (* register-shift appears only as a bare move *)
+    Dp (MOV, flip st, reg st, reg st, Sregreg (reg st, skind st, reg st))
+
+let misc_v7m st =
+  match rnd st 14 with
+  | 0 -> Mul (flip st, reg st, reg st, reg st)
+  | 1 -> Mla (reg st, reg st, reg st, reg st)
+  | 2 -> Udiv (reg st, reg st, reg st)
+  | 3 -> Clz (reg st, reg st)
+  | 4 -> Sxt (msize st, reg st, reg st)
+  | 5 -> Uxt (msize st, reg st, reg st)
+  | 6 -> Rev (reg st, reg st)
+  | 7 -> Mrs (reg st)
+  | 8 -> Msr (reg st)
+  | 9 -> Svc (imm16 st)
+  | 10 -> Wfi
+  | 11 -> Cps (flip st)
+  | 12 -> Nop
+  | _ -> Udf (imm16 st)
+
+let gen_v7m st : inst =
+  let op =
+    match rnd st 24 with
+    | 0 | 1 | 2 | 3 | 4 | 5 -> dp_v7m st
+    | 6 | 7 | 8 ->
+      (* immediate offsets: [-255, 4095] plain, |o| <= 255 writeback *)
+      let idx = idx3 st in
+      let o =
+        match idx with
+        | Offset -> rnd st (4095 + 256) - 255
+        | Pre | Post -> rnd st 511 - 255
+      in
+      Mem
+        { ld = flip st; size = msize st; rt = reg st; rn = reg st; idx;
+          off = Oimm o }
+    | 9 | 10 ->
+      (* register offsets: no writeback, LSL #0..3 only *)
+      Mem
+        { ld = flip st; size = msize st; rt = reg st; rn = reg st;
+          idx = Offset; off = Oreg (reg st, LSL, rnd st 4) }
+    | 11 ->
+      if flip st then Ldm (reg st, flip st, reglist st)
+      else Stm (reg st, flip st, reglist st)
+    | 12 -> B (branch_off st)
+    | 13 -> Bl (branch_off st)
+    | 14 -> if flip st then Bx (reg st) else Blx_r (reg st)
+    | 15 -> Movw (reg st, imm16 st)
+    | 16 -> Movt (reg st, imm16 st)
+    | _ -> misc_v7m st
+  in
+  { cond = gcond st; op }
+
+(* ---------------------------- properties ----------------------------- *)
+
+let roundtrip name encode decode decode_total gen iters () =
+  let st = Random.State.make [| base_seed |] in
+  for i = 1 to iters do
+    let inst = gen st in
+    match encode inst with
+    | Error e ->
+      Alcotest.failf "%s round-trip #%d (seed 0x%x): unencodable %s (%s)"
+        name i base_seed (to_string inst) e
+    | Ok w ->
+      let inst' = decode w in
+      if inst' <> inst then
+        Alcotest.failf "%s round-trip #%d (seed 0x%x): %s -> 0x%08x -> %s"
+          name i base_seed (to_string inst) w (to_string inst');
+      if decode_total w <> inst then
+        Alcotest.failf
+          "%s round-trip #%d (seed 0x%x): decode_total disagrees with \
+           decode on 0x%08x"
+          name i base_seed w
+  done
+
+let totality name decode_total iters () =
+  let st = Random.State.make [| base_seed + 7 |] in
+  for i = 1 to iters do
+    let w = word32 st in
+    match decode_total w with
+    | (_ : inst) -> ()
+    | exception e ->
+      Alcotest.failf "%s decode_total #%d (seed 0x%x) raised on 0x%08x: %s"
+        name i (base_seed + 7) w (Printexc.to_string e)
+  done
+
+(* hand-picked malformed words: decode raises, decode_total yields Udf *)
+let total_edges () =
+  let check name decode decode_total w =
+    (match decode w with
+    | i ->
+      Alcotest.failf "%s: expected decode to reject 0x%08x, got %s" name w
+        (to_string i)
+    | exception _ -> ());
+    match decode_total w with
+    | { op = Udf _; _ } -> ()
+    | i ->
+      Alcotest.failf "%s: expected Udf from decode_total 0x%08x, got %s" name
+        w (to_string i)
+  in
+  (* cond nibble 15 is reserved in both ISAs *)
+  check "v7a" V7a.decode V7a.decode_total 0xF0000000;
+  check "v7m" V7m.decode V7m.decode_total 0xF0000000;
+  (* V7A class 6 sub-ops 16..31 are unallocated *)
+  check "v7a" V7a.decode V7a.decode_total ((6 lsl 25) lor (17 lsl 20));
+  (* V7M class 3 has no sub-ops 12 (SWP) or 13 *)
+  check "v7m" V7m.decode V7m.decode_total ((3 lsl 25) lor (12 lsl 20));
+  check "v7m" V7m.decode V7m.decode_total ((3 lsl 25) lor (13 lsl 20))
+
+let n = 10_000 * scale
+
+let () =
+  Alcotest.run "isa-prop"
+    [ ( "round-trip",
+        [ Alcotest.test_case "v7a decode (encode i) = i" `Quick
+            (roundtrip "v7a" V7a.encode V7a.decode V7a.decode_total gen_v7a n);
+          Alcotest.test_case "v7m decode (encode i) = i" `Quick
+            (roundtrip "v7m" V7m.encode V7m.decode V7m.decode_total gen_v7m n)
+        ] );
+      ( "totality",
+        [ Alcotest.test_case "v7a decode_total never raises" `Quick
+            (totality "v7a" V7a.decode_total n);
+          Alcotest.test_case "v7m decode_total never raises" `Quick
+            (totality "v7m" V7m.decode_total n);
+          Alcotest.test_case "malformed words become Udf" `Quick total_edges
+        ] ) ]

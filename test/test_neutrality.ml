@@ -91,6 +91,39 @@ let test_mid () = check_nums "Mid" golden_mid (run_mode Translator.Mid)
 let test_baseline () =
   check_nums "Baseline" golden_baseline (run_mode Translator.Baseline)
 
+(* ------------------- tracing neutrality ------------------------------ *)
+
+(* The flight recorder must be simulation-neutral: a cycle run with
+   tracing enabled has to reproduce the exact same goldens as one run
+   with it disabled. Guards against any emission site accidentally
+   charging simulated cycles or perturbing model state. *)
+
+let run_native_traced () =
+  let nat = Native_run.create () in
+  Tk_stats.Trace.enable (Native_run.trace nat);
+  ignore (Native_run.suspend_resume_cycle nat);
+  let soc = nat.Native_run.plat.Tk_drivers.Platform.soc in
+  of_soc soc ~active:soc.Soc.cpu
+
+let run_mode_traced mode =
+  let ark = Ark_run.create ~mode () in
+  Tk_stats.Trace.enable (Ark_run.trace ark);
+  (match Ark_run.suspend_resume_cycle ark with
+  | `Ok -> ()
+  | `Fell_back r -> Alcotest.failf "unexpected fallback: %s" r);
+  let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
+  of_soc soc ~active:soc.Soc.m3
+
+let test_native_traced () =
+  check_nums "native (tracing on)" golden_native (run_native_traced ())
+
+let test_ark_traced () =
+  check_nums "ARK (tracing on)" golden_ark (run_mode_traced Translator.Ark)
+
+let test_baseline_traced () =
+  check_nums "Baseline (tracing on)" golden_baseline
+    (run_mode_traced Translator.Baseline)
+
 (* ------------------- chaining on/off equivalence --------------------- *)
 
 (* Architectural end state of a run: what the guest computed, independent
@@ -145,6 +178,12 @@ let () =
           Alcotest.test_case "ARK arm" `Quick test_ark;
           Alcotest.test_case "Mid arm" `Quick test_mid;
           Alcotest.test_case "Baseline arm" `Quick test_baseline ] );
+      ( "tracing neutrality",
+        [ Alcotest.test_case "native arm (tracing on)" `Quick
+            test_native_traced;
+          Alcotest.test_case "ARK arm (tracing on)" `Quick test_ark_traced;
+          Alcotest.test_case "Baseline arm (tracing on)" `Quick
+            test_baseline_traced ] );
       ( "chaining ablation",
         [ Alcotest.test_case "on/off architectural equivalence" `Quick
             test_chaining_equivalence ] ) ]

@@ -1,0 +1,152 @@
+(* Flight-recorder regression — pins the event stream itself.
+
+   The neutrality suite pins the simulated counters; this suite pins
+   what the recorder *observes*: a golden digest (per-kind event
+   totals, total event count, and a hash over the retained ring) of
+   one fixed suspend/resume cycle in the native and ARK arms with
+   tracing enabled. Any change to emission sites, event ordering, or
+   payloads shows up here.
+
+   Run the binary with TK_CAPTURE=1 to print fresh goldens. Recapture
+   is legitimate when emission coverage intentionally changes (a new
+   event kind, a new probe), never to paper over an accidental change
+   in what existing sites record.
+
+   The rest are unit checks on recorder mechanics: disabled recorders
+   stay empty, kind filters mask counts, the ring drops oldest events
+   at capacity, and the JSONL dump is line-per-event well-formed. *)
+
+module Trace = Tk_stats.Trace
+module Translator = Tk_dbt.Translator
+module Native_run = Tk_harness.Native_run
+module Ark_run = Tk_harness.Ark_run
+
+type dg = { counts : int list; total : int; hash : int }
+
+let pp d =
+  Printf.sprintf "{ counts = [ %s ];\n    total = %d; hash = 0x%x }"
+    (String.concat "; " (List.map string_of_int d.counts))
+    d.total d.hash
+
+let digest tr =
+  let counts, total, hash = Trace.digest tr in
+  { counts; total; hash }
+
+let native_trace ?cap ?filter () =
+  let nat = Native_run.create () in
+  (* enable after boot: the trace covers exactly one cycle *)
+  Trace.enable ?cap ?filter (Native_run.trace nat);
+  ignore (Native_run.suspend_resume_cycle nat);
+  Native_run.trace nat
+
+let ark_trace () =
+  let ark = Ark_run.create () in
+  Trace.enable (Ark_run.trace ark);
+  (match Ark_run.suspend_resume_cycle ark with
+  | `Ok -> ()
+  | `Fell_back r -> Alcotest.failf "unexpected fallback: %s" r);
+  Ark_run.trace ark
+
+(* ------------------- goldens (captured from seed) -------------------- *)
+
+let golden_native =
+  { counts = [ 1621853; 734337; 182182; 130; 126; 16; 0; 0; 0; 42; 8064; 912 ];
+    total = 2538686; hash = 0x30c7fcbacb7e8e83 }
+
+let golden_ark =
+  { counts =
+      [ 1563306; 710453; 171367; 26; 13; 16; 297; 425; 0; 42; 7063; 1041 ];
+    total = 2445945; hash = 0x130c1faac40c192d }
+
+let check_digest label golden got =
+  if got <> golden then
+    Alcotest.failf "%s: trace digest drifted\n  golden: %s\n  got:    %s"
+      label (pp golden) (pp got)
+
+let test_golden_native () =
+  check_digest "native cycle" golden_native (digest (native_trace ()))
+
+let test_golden_ark () =
+  check_digest "ARK cycle" golden_ark (digest (ark_trace ()))
+
+(* ------------------------ recorder mechanics ------------------------- *)
+
+let test_disabled_empty () =
+  let nat = Native_run.create () in
+  ignore (Native_run.suspend_resume_cycle nat);
+  let tr = Native_run.trace nat in
+  Alcotest.(check int) "no events recorded" 0 tr.Trace.total;
+  Alcotest.(check int) "nothing retained" 0 (Trace.retained tr);
+  Alcotest.(check bool) "no phase marks" true (tr.Trace.marks = [])
+
+let test_filter_masks () =
+  let filter =
+    match Trace.filter_of_names [ "irq" ] with
+    | Ok m -> m
+    | Error n -> Alcotest.failf "bad filter name %s" n
+  in
+  let tr = native_trace ~filter () in
+  Alcotest.(check int) "no retires counted" 0 tr.Trace.counts.(Trace.ev_retire);
+  Alcotest.(check int) "no reads counted" 0 tr.Trace.counts.(Trace.ev_read);
+  Alcotest.(check int) "no writes counted" 0 tr.Trace.counts.(Trace.ev_write);
+  Alcotest.(check bool) "irq delivers counted" true
+    (tr.Trace.counts.(Trace.ev_irq_deliver) > 0);
+  (* phase marks snapshot regardless of the event filter *)
+  Alcotest.(check bool) "phase rows survive filtering" true
+    (Trace.phase_rows tr <> [])
+
+let test_ring_wrap () =
+  let cap = 512 in
+  let tr = native_trace ~cap () in
+  Alcotest.(check int) "retained bounded by cap" cap (Trace.retained tr);
+  Alcotest.(check bool) "older events dropped" true (Trace.dropped tr > 0);
+  Alcotest.(check int) "total = retained + dropped" tr.Trace.total
+    (Trace.retained tr + Trace.dropped tr);
+  let visited = ref 0 in
+  Trace.iter tr (fun ~time:_ ~core:_ ~kind:_ ~a:_ ~b:_ -> incr visited);
+  Alcotest.(check int) "iter visits exactly the retained" cap !visited
+
+let test_jsonl_shape () =
+  let tr = native_trace ~cap:256 () in
+  let path = Filename.temp_file "tk_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.dump_jsonl oc tr;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref 0 in
+      (try
+         while true do
+           let l = input_line ic in
+           incr lines;
+           let ok =
+             String.length l > 2
+             && l.[0] = '{'
+             && l.[String.length l - 1] = '}'
+           in
+           if not ok then Alcotest.failf "malformed JSONL line: %s" l
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int) "one line per retained event" (Trace.retained tr)
+        !lines)
+
+let () =
+  if Sys.getenv_opt "TK_CAPTURE" <> None then begin
+    Printf.printf "let golden_native =\n  %s\n" (pp (digest (native_trace ())));
+    Printf.printf "let golden_ark =\n  %s\n" (pp (digest (ark_trace ())));
+    exit 0
+  end;
+  Alcotest.run "trace"
+    [ ( "golden trace digests",
+        [ Alcotest.test_case "native cycle" `Quick test_golden_native;
+          Alcotest.test_case "ARK cycle" `Quick test_golden_ark ] );
+      ( "recorder mechanics",
+        [ Alcotest.test_case "disabled recorder stays empty" `Quick
+            test_disabled_empty;
+          Alcotest.test_case "kind filter masks counts" `Quick
+            test_filter_masks;
+          Alcotest.test_case "ring wraps at capacity" `Quick test_ring_wrap;
+          Alcotest.test_case "JSONL dump is line-per-event" `Quick
+            test_jsonl_shape ] ) ]
