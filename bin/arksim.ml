@@ -264,6 +264,78 @@ let disasm_cmd symbol =
     done;
     0
 
+(* ------------------------------ analyze ------------------------------ *)
+
+module Finding = Tk_analysis.Finding
+module Rule_check = Tk_analysis.Rule_check
+module Image_lint = Tk_analysis.Image_lint
+module Abi_check = Tk_analysis.Abi_check
+
+(* [--image] accepts a kernel version or "all" (the default: the static
+   gate must hold on every variant ARK claims to run unmodified) *)
+let variant_conv =
+  Arg.conv
+    ( (function
+      | "all" -> Ok `All
+      | s -> Result.map (fun l -> `One l) (layout_of_string s)),
+      fun ppf v ->
+        Format.pp_print_string ppf
+          (match v with
+          | `All -> "all"
+          | `One (l : Tk_kernel.Layout.t) -> l.Tk_kernel.Layout.version) )
+
+let analyze_cmd image_sel rules abi cfg json =
+  let run_all = not (rules || abi || cfg) in
+  let tagged : (string * Finding.t) list ref = ref [] in
+  let collect image fs =
+    tagged := !tagged @ List.map (fun f -> (image, f)) fs
+  in
+  if rules || run_all then begin
+    let r = Rule_check.validate () in
+    Rule_check.print_stats r;
+    collect "-" r.Rule_check.findings
+  end;
+  let layouts =
+    match image_sel with `All -> Tk_kernel.Variants.all | `One l -> [ l ]
+  in
+  if abi || cfg || run_all then
+    List.iter
+      (fun (lay : Tk_kernel.Layout.t) ->
+        let version = lay.Tk_kernel.Layout.version in
+        Printf.printf "\n===== kernel %s =====\n" version;
+        let built = Tk_drivers.Platform.build_image ~layout:lay () in
+        let image = built.Tk_kernel.Image.image in
+        if cfg || run_all then begin
+          let r = Image_lint.lint image in
+          Image_lint.print_report r;
+          collect version r.Image_lint.findings
+        end;
+        if abi || run_all then begin
+          let r = Abi_check.check image in
+          Abi_check.print_report r;
+          collect version r.Abi_check.findings
+        end)
+      layouts;
+  let findings = List.map snd !tagged in
+  Finding.print_table findings;
+  (match json with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    List.iter
+      (fun (image, f) ->
+        output_string oc (Finding.to_json ~extra:[ ("image", image) ] f);
+        output_char oc '\n')
+      !tagged;
+    close_out oc;
+    Printf.printf "findings: %d records -> %s\n" (List.length !tagged) file);
+  let nerr = List.length (Finding.errors findings) in
+  Printf.printf "\nanalyze: %d error(s), %d warning(s), %d finding(s) total\n"
+    nerr
+    (List.length (Finding.warnings findings))
+    (List.length findings);
+  if nerr > 0 then 1 else 0
+
 (* ------------------------------- info -------------------------------- *)
 
 let info_cmd () =
@@ -362,7 +434,31 @@ let cmds =
         const disasm_cmd
         $ Arg.(required & pos 0 (some string) None & info [] ~docv:"SYMBOL"));
     Cmd.v (Cmd.info "info" ~doc:"Platform and image inventory.")
-      Term.(const info_cmd $ const ()) ]
+      Term.(const info_cmd $ const ());
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Static verification: translation-rule validation, guest \
+               image CFG lint and ABI conformance. Exits non-zero on any \
+               error-severity finding.")
+      Term.(
+        const analyze_cmd
+        $ Arg.(value & opt variant_conv `All
+               & info [ "image" ] ~docv:"VER"
+                   ~doc:"Kernel variant to analyze (or $(b,all)).")
+        $ Arg.(value & flag
+               & info [ "rules" ]
+                   ~doc:"Differential state-grid validation of every \
+                         translation rule in the Spec.")
+        $ Arg.(value & flag
+               & info [ "abi" ]
+                   ~doc:"Table 2 ABI conformance over every bl site.")
+        $ Arg.(value & flag
+               & info [ "cfg" ]
+                   ~doc:"Image CFG lint: dead code, fallback census, \
+                         stack bound, indirect-call audit.")
+        $ Arg.(value & opt (some string) None
+               & info [ "json" ] ~docv:"FILE"
+                   ~doc:"Also write the findings as JSONL to $(docv).")) ]
 
 let () =
   exit

@@ -1,0 +1,147 @@
+(** ABI conformance: prove the guest image only leans on ARK through the
+    narrow Table 2 interface.
+
+    Three obligations, per kernel variant:
+    {ol
+    {- {b structural}: the {!Tk_kernel.Kabi} sets are well-formed —
+       emulated/hooked/cold are pairwise disjoint and every emulated or
+       hooked name is a Table 2 symbol or a core-specific service;}
+    {- {b resolution}: {!Kabi.resolve} succeeds, i.e. every Table 2
+       symbol exists in the image (the Figure 3 ABI-break detector);}
+    {- {b call audit}: every direct [bl] site in the image targets a
+       known function entry — each one is classified as emulated /
+       hooked / cold / translated, and a target that is {e none} of
+       these (no symbol at all, or a branch into the middle of a
+       function) is an error: it would be translated garbage on the
+       peripheral core.}}
+
+    The checker works on a raw {!Tk_isa.Asm.image} so tests can craft
+    deliberately broken images without going through the kernel
+    builder. *)
+
+module Asm = Tk_isa.Asm
+module Kabi = Tk_kernel.Kabi
+
+type callee_class = Emulated | Hooked | Cold | Translated
+
+let class_name = function
+  | Emulated -> "emulated"
+  | Hooked -> "hooked"
+  | Cold -> "cold"
+  | Translated -> "translated"
+
+let classify_name name =
+  if List.mem name Kabi.emulated then Emulated
+  else if List.mem name Kabi.hooked then Hooked
+  else if List.mem name Kabi.cold then Cold
+  else Translated
+
+type report = {
+  class_counts : (string * int) list;  (** call sites per callee class *)
+  callees : (string * string) list;  (** callee -> class, call-audit view *)
+  findings : Finding.t list;
+}
+
+let structural_findings () =
+  let overlap a b = List.filter (fun x -> List.mem x b) a in
+  let pairs =
+    [ ("emulated", Kabi.emulated, "hooked", Kabi.hooked);
+      ("emulated", Kabi.emulated, "cold", Kabi.cold);
+      ("hooked", Kabi.hooked, "cold", Kabi.cold) ]
+  in
+  List.concat_map
+    (fun (na, a, nb, b) ->
+      List.map
+        (fun sym ->
+          Finding.v ~pass:"abi" ~severity:Finding.Error ~code:"set-overlap"
+            ~where:sym
+            (Printf.sprintf "symbol is in both the %s and %s sets" na nb))
+        (overlap a b))
+    pairs
+  @ List.filter_map
+      (fun sym ->
+        if
+          List.mem sym Kabi.table2
+          || List.mem sym [ Kabi.spin_lock; Kabi.spin_unlock ]
+        then None
+        else
+          Some
+            (Finding.v ~pass:"abi" ~severity:Finding.Error
+               ~code:"outside-table2" ~where:sym
+               "emulated/hooked symbol is not part of the Table 2 ABI"))
+      (Kabi.emulated @ Kabi.hooked)
+
+let resolution_findings (image : Asm.image) =
+  match Kabi.resolve (Asm.symbol_opt image) with
+  | _ -> []
+  | exception Failure msg ->
+    [ Finding.v ~pass:"abi" ~severity:Finding.Error ~code:"abi-break"
+        ~where:"Table 2" msg ]
+
+(** [check image] — all three obligations over one linked image. *)
+let check (image : Asm.image) : report =
+  let cfg = Cfg.build image in
+  let counts = Hashtbl.create 8 in
+  let callees = Hashtbl.create 64 in
+  let findings = ref [] in
+  let audit (site, target) =
+    match Hashtbl.find_opt image.Asm.sym_of_addr target with
+    | Some name ->
+      let cls = classify_name name in
+      Hashtbl.replace callees name (class_name cls);
+      Hashtbl.replace counts cls
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts cls))
+    | None ->
+      let code, detail =
+        match Cfg.func_of_addr cfg target with
+        | Some f ->
+          ( "bl-into-function-body",
+            Printf.sprintf "bl targets 0x%x inside `%s', not an entry point"
+              target f.Cfg.f_name )
+        | None ->
+          ( "unknown-callee",
+            Printf.sprintf
+              "bl targets 0x%x: no function there — neither an image \
+               function nor an ABI symbol"
+              target )
+      in
+      findings :=
+        Finding.v ~pass:"abi" ~severity:Finding.Error ~code
+          ~where:(Asm.nearest_symbol image site)
+          detail
+        :: !findings
+  in
+  List.iter
+    (fun f -> List.iter audit (Cfg.call_sites cfg f))
+    cfg.Cfg.funcs;
+  let class_counts =
+    List.filter_map
+      (fun cls ->
+        match Hashtbl.find_opt counts cls with
+        | Some n -> Some (class_name cls, n)
+        | None -> Some (class_name cls, 0))
+      [ Emulated; Hooked; Cold; Translated ]
+  in
+  let callees =
+    List.sort compare
+      (Hashtbl.fold (fun name cls acc -> (name, cls) :: acc) callees [])
+  in
+  { class_counts;
+    callees;
+    findings =
+      structural_findings () @ resolution_findings image
+      @ List.rev !findings }
+
+let print_report (r : report) =
+  Tk_stats.Report.table ~title:"cross-boundary call classes"
+    ~aligns:[ Tk_stats.Report.L; Tk_stats.Report.R ]
+    ~header:[ "callee class"; "bl sites" ]
+    (List.map (fun (k, v) -> [ k; string_of_int v ]) r.class_counts);
+  let boundary =
+    List.filter (fun (_, cls) -> cls <> "translated") r.callees
+  in
+  if boundary <> [] then
+    Tk_stats.Report.table ~title:"ABI boundary callees"
+      ~aligns:[ Tk_stats.Report.L; Tk_stats.Report.L ]
+      ~header:[ "symbol"; "class" ]
+      (List.map (fun (n, c) -> [ n; c ]) boundary)

@@ -1,0 +1,235 @@
+(** Control-flow graph recovery over a linked guest image.
+
+    ECMO-style rehosting starts from static analysis of the kernel image
+    before any execution; this module is that front end. It decodes the
+    code section of an {!Tk_isa.Asm.image} back into the shared AST,
+    splits it into basic blocks at fragment entries, branch targets and
+    control-flow terminators, and records the three site classes the
+    dataflow passes in {!Image_lint} consume: direct calls, indirect
+    calls, and returns/indirect branches.
+
+    Literal words embedded in the code stream (e.g. jump-table data) that
+    do not decode are kept as [data] slots — they terminate blocks and
+    are reported by the lint pass if reachable. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+(** One decoded code-section slot. *)
+type slot =
+  | Inst of inst
+  | Data of int  (** word that does not decode as V7A *)
+
+(** How a basic block ends (mirrors the DBT engine's interception set:
+    the translator ends translation units at exactly these shapes). *)
+type terminator =
+  | Fallthrough  (** next block is a leader (branch target / fragment) *)
+  | Jump of int  (** unconditional [b]: one successor *)
+  | Cond_jump of int * int  (** conditional branch: (taken, fallthrough) *)
+  | Call of int * int  (** [bl]: (callee, return successor) *)
+  | Indirect_call of int  (** [blx reg]: unknown callee, return successor *)
+  | Ret  (** [bx], pc-writing [ldm]/[pop] or data-processing, [irqret] *)
+  | Stop  (** [udf] or undecodable word: execution cannot continue *)
+
+type block = {
+  b_start : int;  (** address of the first instruction *)
+  b_insts : (int * inst) list;  (** (address, instruction), ascending *)
+  b_term : terminator;
+  b_succs : int list;
+      (** intra-procedural successor block addresses (calls fall through
+          to their return site; callees are {e not} successors) *)
+}
+
+type func = {
+  f_name : string;
+  f_entry : int;
+  f_size : int;  (** code bytes *)
+}
+
+type t = {
+  image : Asm.image;
+  slots : slot array;  (** code section, word-indexed from [image.base] *)
+  blocks : block list;  (** ascending by [b_start] *)
+  block_at : (int, block) Hashtbl.t;
+  funcs : func list;  (** link order = address order *)
+}
+
+let code_words (image : Asm.image) = image.Asm.code_size / 4
+
+let in_code (image : Asm.image) addr =
+  addr >= image.Asm.base
+  && addr < image.Asm.base + image.Asm.code_size
+  && addr land 3 = 0
+
+let slot_at t addr =
+  if in_code t.image addr then Some t.slots.((addr - t.image.Asm.base) / 4)
+  else None
+
+(* does this instruction write the pc other than through B/Bl (i.e. a
+   return or computed branch the translator intercepts)? *)
+let writes_pc i = List.mem pc (regs_written i)
+
+(* terminator + raw successor addresses for an instruction at [addr];
+   [next] = addr + 4 *)
+let classify_inst addr (i : inst) =
+  let next = addr + 4 in
+  match i.op with
+  | B off when i.cond = AL -> Some (Jump (addr + off), [ addr + off ])
+  | B off -> Some (Cond_jump (addr + off, next), [ addr + off; next ])
+  | Bl off ->
+    (* conditional bl exists architecturally; either way control returns
+       to the next instruction *)
+    Some (Call (addr + off, next), [ next ])
+  | Blx_r _ -> Some (Indirect_call next, [ next ])
+  | Bx _ | Irq_ret -> Some (Ret, [])
+  | Udf _ -> Some (Stop, [])
+  | _ when writes_pc i -> Some (Ret, [])
+  | _ -> None
+
+(** [build image] — decode and block-structure the code section. *)
+let build (image : Asm.image) : t =
+  let n = code_words image in
+  let slots =
+    Array.init n (fun k ->
+        let w = image.Asm.words.(k) in
+        match V7a.decode w with
+        | i -> Inst i
+        | exception V7a.Decode_error _ -> Data w
+        | exception Invalid_argument _ -> Data w)
+  in
+  let addr_of k = image.Asm.base + (4 * k) in
+  (* leaders: fragment entries, labels, branch targets, successors of
+     terminators *)
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  Hashtbl.iter
+    (fun name addr ->
+      ignore name;
+      if in_code image addr then leader.((addr - image.Asm.base) / 4) <- true)
+    image.Asm.symbols;
+  Array.iteri
+    (fun k slot ->
+      let addr = addr_of k in
+      let mark a =
+        if in_code image a then leader.((a - image.Asm.base) / 4) <- true
+      in
+      match slot with
+      | Data _ -> mark (addr + 4)
+      | Inst i -> (
+        match classify_inst addr i with
+        | None -> ()
+        | Some (_, succs) ->
+          mark (addr + 4);
+          List.iter mark succs))
+    slots;
+  (* carve blocks *)
+  let blocks = ref [] in
+  let block_at = Hashtbl.create 64 in
+  let k = ref 0 in
+  while !k < n do
+    let start = addr_of !k in
+    let insts = ref [] in
+    let term = ref None in
+    let stop = ref false in
+    while not !stop do
+      let addr = addr_of !k in
+      (match slots.(!k) with
+      | Data _ ->
+        term := Some (Stop, []);
+        stop := true
+      | Inst i -> (
+        insts := (addr, i) :: !insts;
+        match classify_inst addr i with
+        | Some (t, succs) ->
+          term := Some (t, succs);
+          stop := true
+        | None -> ()));
+      incr k;
+      if (not !stop) && (!k >= n || leader.(!k)) then stop := true
+    done;
+    let term, succs =
+      match !term with
+      | Some (t, succs) -> (t, List.filter (in_code image) succs)
+      | None ->
+        (* ran into the next leader or the end of the code section *)
+        let next = addr_of !k in
+        (Fallthrough, if in_code image next then [ next ] else [])
+    in
+    let b =
+      { b_start = start; b_insts = List.rev !insts; b_term = term;
+        b_succs = succs }
+    in
+    blocks := b :: !blocks;
+    Hashtbl.replace block_at start b
+  done;
+  let funcs =
+    let cursor = ref image.Asm.base in
+    List.map
+      (fun (name, size) ->
+        let entry = !cursor in
+        cursor := !cursor + size;
+        { f_name = name; f_entry = entry; f_size = size })
+      image.Asm.frag_sizes
+  in
+  { image; slots; blocks = List.rev !blocks; block_at; funcs }
+
+(** [func_of_addr t addr] — the fragment containing [addr]. *)
+let func_of_addr t addr =
+  List.find_opt
+    (fun f -> addr >= f.f_entry && addr < f.f_entry + f.f_size)
+    t.funcs
+
+(** [func_blocks t f] — the blocks whose start lies inside fragment
+    [f], address order. *)
+let func_blocks t f =
+  List.filter
+    (fun b -> b.b_start >= f.f_entry && b.b_start < f.f_entry + f.f_size)
+    t.blocks
+
+(** [call_sites t f] — [(site, callee)] for every direct [bl] in [f]. *)
+let call_sites t f =
+  List.filter_map
+    (fun b ->
+      match b.b_term with
+      | Call (callee, _) -> (
+        match List.rev b.b_insts with
+        | (site, _) :: _ -> Some (site, callee)
+        | [] -> None)
+      | _ -> None)
+    (func_blocks t f)
+
+(** [indirect_sites t f] — addresses of [blx reg] sites in [f]. *)
+let indirect_sites t f =
+  List.filter_map
+    (fun b ->
+      match b.b_term with
+      | Indirect_call _ -> (
+        match List.rev b.b_insts with
+        | (site, _) :: _ -> Some site
+        | [] -> None)
+      | _ -> None)
+    (func_blocks t f)
+
+(** Decoded-instruction count (excludes data words). *)
+let inst_count t =
+  Array.fold_left
+    (fun acc s -> match s with Inst _ -> acc + 1 | Data _ -> acc)
+    0 t.slots
+
+let data_count t =
+  Array.fold_left
+    (fun acc s -> match s with Data _ -> acc + 1 | Inst _ -> acc)
+    0 t.slots
+
+let edge_count t =
+  List.fold_left (fun acc b -> acc + List.length b.b_succs) 0 t.blocks
+
+(** [print_summary t] — per-image CFG shape table. *)
+let print_summary t =
+  Tk_stats.Report.kv "guest image CFG"
+    [ ("code bytes", string_of_int t.image.Asm.code_size);
+      ("functions", string_of_int (List.length t.funcs));
+      ("instructions", string_of_int (inst_count t));
+      ("data words in code", string_of_int (data_count t));
+      ("basic blocks", string_of_int (List.length t.blocks));
+      ("intra-procedural edges", string_of_int (edge_count t)) ]

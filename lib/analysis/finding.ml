@@ -1,0 +1,80 @@
+(** Shared currency of the static verification layer: one {e finding} per
+    rule divergence, CFG lint hit or ABI violation.
+
+    Every analysis pass ({!Rule_check}, {!Image_lint}, {!Abi_check})
+    reduces to a list of findings; the [arksim analyze] driver renders
+    them as a human table and/or JSONL, and the CI gate fails when any
+    {!Error}-severity finding survives. Keeping the record flat and
+    stringly keeps the JSON schema stable across passes (documented in
+    README "Static verification"). *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  pass : string;  (** producing pass: ["rules"], ["cfg"] or ["abi"] *)
+  severity : severity;
+  code : string;  (** stable machine tag, e.g. ["rule-divergence"] *)
+  where : string;  (** instruction form or [symbol+0xoff] site *)
+  detail : string;  (** human explanation, one line *)
+}
+
+let v ~pass ~severity ~code ~where detail =
+  { pass; severity; code; where; detail }
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.severity = Warning) fs
+
+(* JSON string escaping: the details embed disassembly, which is plain
+   ASCII, but quotes/backslashes must survive a jq round-trip *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** [to_json ?extra f] — one JSONL record:
+    [{"pass":..,"severity":..,"code":..,"where":..,"detail":..}], with
+    [extra] [(key, value)] string fields prepended (the analyze driver
+    tags findings with the kernel variant this way). *)
+let to_json ?(extra = []) f =
+  let extra_fields =
+    String.concat ""
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf {|"%s":"%s",|} (json_escape k) (json_escape v))
+         extra)
+  in
+  Printf.sprintf
+    {|{%s"pass":"%s","severity":"%s","code":"%s","where":"%s","detail":"%s"}|}
+    extra_fields (json_escape f.pass) (severity_name f.severity)
+    (json_escape f.code) (json_escape f.where) (json_escape f.detail)
+
+(** [print_table fs] renders findings through {!Tk_stats.Report} (errors
+    first). No-op on an empty list. *)
+let print_table ?(title = "findings") fs =
+  if fs <> [] then
+    let weight f =
+      match f.severity with Error -> 0 | Warning -> 1 | Info -> 2
+    in
+    let fs = List.stable_sort (fun a b -> compare (weight a) (weight b)) fs in
+    Tk_stats.Report.table ~title
+      ~aligns:[ Tk_stats.Report.L; Tk_stats.Report.L; Tk_stats.Report.L;
+                Tk_stats.Report.L; Tk_stats.Report.L ]
+      ~header:[ "pass"; "severity"; "code"; "where"; "detail" ]
+      (List.map
+         (fun f ->
+           [ f.pass; severity_name f.severity; f.code; f.where; f.detail ])
+         fs)

@@ -1,0 +1,389 @@
+(** Dataflow passes over a recovered guest-image CFG ({!Cfg}):
+    reachability/dead code, untranslatable-instruction census, worst-case
+    stack-depth bound against the M3 stack budget, and the indirect-call
+    audit (the static pre-flight ECMO argues a rehosted kernel needs).
+
+    Severity policy: a finding is an {!Finding.Error} only when it would
+    make offloaded execution wrong or crash the peripheral core (stack
+    overrun, undecodable word on a reachable path); expected properties
+    of ARK's design — fallback sites, dead fragments, indirect calls —
+    are reported as census ([Warning]/[Info]) so the CI gate tracks them
+    without failing the build. *)
+
+open Tk_isa.Types
+module Asm = Tk_isa.Asm
+module Rules = Tk_dbt.Rules
+module Kabi = Tk_kernel.Kabi
+module Spec = Tk_isa.Spec
+
+(** Entry points invoked from outside the image: the boot/PM calls the
+    harness (stand-in user space) makes, the IRQ vector, and ARK's
+    upcall entry points (Table 2 top). Fragment names ending in [_init]
+    are driver init entry points. *)
+let entry_symbols (image : Asm.image) =
+  let fixed =
+    [ "kernel_main"; "irq_entry"; "call_exit_stub"; "pm_suspend";
+      "wifi_prepare_traffic"; "dpm_set_async"; "pm_runtime_suspend";
+      "pm_runtime_resume"; Kabi.worker_thread; Kabi.irq_thread;
+      Kabi.do_softirq; Kabi.run_local_timers; Kabi.generic_handle_irq ]
+  in
+  let is_init name =
+    String.length name > 5
+    && String.sub name (String.length name - 5) 5 = "_init"
+  in
+  let inits =
+    List.filter_map
+      (fun (name, _) -> if is_init name then Some name else None)
+      image.Asm.frag_sizes
+  in
+  List.filter (fun s -> Hashtbl.mem image.Asm.symbols s) (fixed @ inits)
+
+(** ARK's translated-execution entry points: reachability from here,
+    with emulated/cold callees cut (the engine diverts those), is the
+    hot path that actually runs under DBT. *)
+let hot_entry_symbols (image : Asm.image) =
+  List.filter
+    (fun s -> Hashtbl.mem image.Asm.symbols s)
+    [ Kabi.worker_thread; Kabi.irq_thread; Kabi.do_softirq;
+      Kabi.run_local_timers; Kabi.generic_handle_irq ]
+
+(* function-level call-graph reachability. [cut name] prunes the
+   traversal at callees the DBT engine never translates into. *)
+let reachable_funcs (t : Cfg.t) ~entries ~cut =
+  let seen = Hashtbl.create 64 in
+  let rec visit (f : Cfg.func) =
+    if not (Hashtbl.mem seen f.Cfg.f_name) then begin
+      Hashtbl.replace seen f.Cfg.f_name ();
+      List.iter
+        (fun (_site, callee) ->
+          match Cfg.func_of_addr t callee with
+          | Some g when not (cut g.Cfg.f_name) -> visit g
+          | _ -> ())
+        (Cfg.call_sites t f)
+    end
+  in
+  List.iter
+    (fun s ->
+      match Asm.symbol_opt t.Cfg.image s with
+      | Some addr -> (
+        match Cfg.func_of_addr t addr with
+        | Some f -> visit f
+        | None -> ())
+      | None -> ())
+    entries;
+  seen
+
+(* ------------------- reachability / dead code ------------------------ *)
+
+(* Address-taken functions: indirect calls ([blx reg]) can reach any
+   function whose entry address escapes into a register or memory. Two
+   conservative sources cover this image format completely: initialized
+   data-section words, and movw/movt pairs in code (the only way the
+   assembler materializes a 32-bit function address — [Asm.Adr]). *)
+let address_taken (t : Cfg.t) =
+  let image = t.Cfg.image in
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Cfg.func) -> Hashtbl.replace entries f.Cfg.f_entry f.Cfg.f_name)
+    t.Cfg.funcs;
+  let taken = ref [] in
+  let note addr =
+    match Hashtbl.find_opt entries addr with
+    | Some name -> taken := name :: !taken
+    | None -> ()
+  in
+  let ncode = image.Asm.code_size / 4 in
+  Array.iteri (fun k w -> if k >= ncode then note w) image.Asm.words;
+  let n = Array.length t.Cfg.slots in
+  for k = 0 to n - 2 do
+    match (t.Cfg.slots.(k), t.Cfg.slots.(k + 1)) with
+    | ( Cfg.Inst { op = Movw (rd, lo); _ },
+        Cfg.Inst { op = Movt (rd', hi); _ } )
+      when rd = rd' ->
+      note ((hi lsl 16) lor lo)
+    | _ -> ()
+  done;
+  List.sort_uniq compare !taken
+
+let dead_code_findings (t : Cfg.t) =
+  let live =
+    reachable_funcs t
+      ~entries:(entry_symbols t.Cfg.image @ address_taken t)
+      ~cut:(fun _ -> false)
+  in
+  let dead =
+    List.filter (fun f -> not (Hashtbl.mem live f.Cfg.f_name)) t.Cfg.funcs
+  in
+  List.map
+    (fun (f : Cfg.func) ->
+      Finding.v ~pass:"cfg" ~severity:Finding.Warning ~code:"dead-function"
+        ~where:f.Cfg.f_name
+        (Printf.sprintf
+           "%d bytes unreachable from any entry point or address-taken \
+            function"
+           f.Cfg.f_size))
+    dead
+
+(* --------------- untranslatable / fallback census -------------------- *)
+
+(* instructions the DBT engine intercepts rather than sending through
+   the rules: all control flow (block terminators in the CFG) *)
+let engine_mediated (i : inst) =
+  match i.op with
+  | B _ | Bl _ | Bx _ | Blx_r _ | Irq_ret -> true
+  | _ -> List.mem pc (regs_written i)
+
+let fallback_census (t : Cfg.t) =
+  (* address-taken functions are conservatively hot: work items, timer
+     callbacks and driver pm ops all run translated via blx *)
+  let hot =
+    reachable_funcs t
+      ~entries:(hot_entry_symbols t.Cfg.image @ address_taken t)
+      ~cut:(fun name -> List.mem name Kabi.emulated || List.mem name Kabi.cold)
+  in
+  let findings = ref [] in
+  let counts = Hashtbl.create 8 in
+  let bump key = Hashtbl.replace counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let in_hot = Hashtbl.mem hot f.Cfg.f_name in
+      List.iter
+        (fun (b : Cfg.block) ->
+          List.iter
+            (fun (addr, i) ->
+              if not (engine_mediated i) then
+                match Rules.classify i with
+                | cat, _ -> bump (Spec.category_name cat)
+                | exception Rules.Untranslatable msg ->
+                  bump "fallback";
+                  let sev, code =
+                    if in_hot then (Finding.Warning, "untranslatable-hot")
+                    else (Finding.Info, "untranslatable")
+                  in
+                  findings :=
+                    Finding.v ~pass:"cfg" ~severity:sev ~code
+                      ~where:(Asm.nearest_symbol t.Cfg.image addr)
+                      (Printf.sprintf "`%s' hits fallback: %s" (to_string i)
+                         msg)
+                    :: !findings)
+            b.Cfg.b_insts)
+        (Cfg.func_blocks t f))
+    t.Cfg.funcs;
+  (counts, List.rev !findings)
+
+(* ----------------------- stack-depth bound --------------------------- *)
+
+(* stack delta of one instruction, in bytes of growth (full-descending
+   stacks); [None] = writes SP in a way we cannot bound *)
+let stack_delta (i : inst) =
+  match i.op with
+  | Stm (13, true, regs) -> Some (4 * List.length regs)
+  | Ldm (13, true, regs) -> Some (-4 * List.length regs)
+  | Dp (SUB, _, 13, 13, Imm v) -> Some v
+  | Dp (ADD, _, 13, 13, Imm v) -> Some (-v)
+  | _ -> if List.mem 13 (regs_written i) then None else Some 0
+
+type frame = {
+  fr_local : int;  (** max depth reached inside the function *)
+  fr_calls : (int * int) list;  (** (depth at call site, callee addr) *)
+  fr_unknown : bool;  (** SP modified unboundably *)
+}
+
+(* intra-procedural worst depth: forward propagation of depth-at-entry
+   over the function's blocks; revisits only on increase, capped so a
+   push-in-a-loop cannot spin us (it is reported as unbounded) *)
+let frame_of (t : Cfg.t) (f : Cfg.func) =
+  let entry_depth = Hashtbl.create 8 in
+  let local = ref 0 and unknown = ref false and calls = ref [] in
+  let budget = ref 4096 in
+  let rec walk (b : Cfg.block) depth =
+    decr budget;
+    let prev = Hashtbl.find_opt entry_depth b.Cfg.b_start in
+    if !budget > 0 && (prev = None || Option.get prev < depth) then begin
+      Hashtbl.replace entry_depth b.Cfg.b_start depth;
+      let d = ref depth in
+      List.iter
+        (fun (_addr, i) ->
+          (match stack_delta i with
+          | Some delta -> d := !d + delta
+          | None -> unknown := true);
+          if !d > !local then local := !d)
+        b.Cfg.b_insts;
+      (match b.Cfg.b_term with
+      | Cfg.Call (callee, _) -> calls := (!d, callee) :: !calls
+      | Cfg.Indirect_call _ ->
+        (* unknowable callee: noted by the indirect audit; depth-wise we
+           assume it returns without extra guest stack (ARK translates
+           the target like any other code, so its own frame is counted
+           when the target is a known function) *)
+        ()
+      | _ -> ());
+      List.iter
+        (fun succ ->
+          match Hashtbl.find_opt t.Cfg.block_at succ with
+          | Some nb
+            when succ >= f.Cfg.f_entry
+                 && succ < f.Cfg.f_entry + f.Cfg.f_size ->
+            walk nb !d
+          | _ -> ())
+        b.Cfg.b_succs
+    end
+  in
+  (match Hashtbl.find_opt t.Cfg.block_at f.Cfg.f_entry with
+  | Some b -> walk b 0
+  | None -> ());
+  if !budget <= 0 then unknown := true;
+  { fr_local = !local; fr_calls = !calls; fr_unknown = !unknown }
+
+type stack_bound = {
+  sb_worst : int;  (** bytes, over all thread entry points *)
+  sb_worst_entry : string;
+  sb_irq : int;  (** extra bytes an IRQ adds on top *)
+  sb_budget : int;  (** {!Tk_machine.Soc.stack_size} *)
+  sb_findings : Finding.t list;
+}
+
+let stack_bound (t : Cfg.t) =
+  let frames = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      Hashtbl.replace frames f.Cfg.f_name (frame_of t f))
+    t.Cfg.funcs;
+  let findings = ref [] in
+  let unknowns = ref [] in
+  let memo = Hashtbl.create 64 in
+  (* worst depth of [f] including callees; cycles in the call graph are
+     recursion -> unbounded, reported once per cycle entry *)
+  let rec total (f : Cfg.func) stack_names =
+    match Hashtbl.find_opt memo f.Cfg.f_name with
+    | Some v -> v
+    | None ->
+      if List.mem f.Cfg.f_name stack_names then begin
+        findings :=
+          Finding.v ~pass:"cfg" ~severity:Finding.Warning
+            ~code:"recursion" ~where:f.Cfg.f_name
+            (Printf.sprintf "recursive call cycle: %s"
+               (String.concat " -> "
+                  (List.rev (f.Cfg.f_name :: stack_names))))
+          :: !findings;
+        0 (* frame already counted once by the caller chain *)
+      end
+      else begin
+        let fr = Hashtbl.find frames f.Cfg.f_name in
+        if fr.fr_unknown then unknowns := f.Cfg.f_name :: !unknowns;
+        let v =
+          List.fold_left
+            (fun acc (depth, callee) ->
+              match Cfg.func_of_addr t callee with
+              | Some g ->
+                max acc (depth + total g (f.Cfg.f_name :: stack_names))
+              | None -> acc)
+            fr.fr_local fr.fr_calls
+        in
+        Hashtbl.replace memo f.Cfg.f_name v;
+        v
+      end
+  in
+  let entry_bound name =
+    match Asm.symbol_opt t.Cfg.image name with
+    | None -> None
+    | Some addr -> (
+      match Cfg.func_of_addr t addr with
+      | Some f -> Some (name, total f [])
+      | None -> None)
+  in
+  (* thread roots: external entry points plus address-taken functions
+     (kthread entries and callbacks start on a fresh or unknown-depth
+     stack; taking their own worst chain is the conservative bound) *)
+  let entries =
+    List.filter_map entry_bound
+      (List.sort_uniq compare
+         (entry_symbols t.Cfg.image @ address_taken t))
+  in
+  let thread_entries =
+    List.filter (fun (n, _) -> n <> "irq_entry") entries
+  in
+  let worst_entry, worst =
+    List.fold_left
+      (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+      ("-", 0) thread_entries
+  in
+  let irq =
+    match List.assoc_opt "irq_entry" entries with Some v -> v | None -> 0
+  in
+  List.iter
+    (fun name ->
+      findings :=
+        Finding.v ~pass:"cfg" ~severity:Finding.Warning ~code:"sp-unbounded"
+          ~where:name "SP modified in a way static analysis cannot bound"
+        :: !findings)
+    (List.sort_uniq compare !unknowns);
+  let budget = Tk_machine.Soc.stack_size in
+  if worst + irq > budget then
+    findings :=
+      Finding.v ~pass:"cfg" ~severity:Finding.Error ~code:"stack-overrun"
+        ~where:worst_entry
+        (Printf.sprintf
+           "worst-case stack %d B (+%d B IRQ) exceeds the %d B budget"
+           worst irq budget)
+      :: !findings;
+  { sb_worst = worst; sb_worst_entry = worst_entry; sb_irq = irq;
+    sb_budget = budget; sb_findings = List.rev !findings }
+
+(* ----------------------- indirect-call audit ------------------------- *)
+
+let indirect_audit (t : Cfg.t) =
+  List.concat_map
+    (fun (f : Cfg.func) ->
+      List.map
+        (fun site ->
+          let target =
+            match Cfg.slot_at t site with
+            | Some (Cfg.Inst i) -> to_string i
+            | _ -> "blx ?"
+          in
+          Finding.v ~pass:"cfg" ~severity:Finding.Info ~code:"indirect-call"
+            ~where:(Asm.nearest_symbol t.Cfg.image site)
+            (Printf.sprintf
+               "`%s': target resolved at run time (function pointer)"
+               target))
+        (Cfg.indirect_sites t f))
+    t.Cfg.funcs
+
+(* --------------------------- driver ---------------------------------- *)
+
+type report = {
+  cfg : Cfg.t;
+  census : (string * int) list;  (** translation-category histogram *)
+  stack : stack_bound;
+  findings : Finding.t list;
+}
+
+(** [lint image] — run all image passes. *)
+let lint (image : Asm.image) : report =
+  let t = Cfg.build image in
+  let counts, fallback_findings = fallback_census t in
+  let stack = stack_bound t in
+  let census =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  let findings =
+    dead_code_findings t @ fallback_findings @ stack.sb_findings
+    @ indirect_audit t
+  in
+  { cfg = t; census; stack; findings }
+
+let print_report (r : report) =
+  Cfg.print_summary r.cfg;
+  Tk_stats.Report.table ~title:"translation census (code section)"
+    ~aligns:[ Tk_stats.Report.L; Tk_stats.Report.R ]
+    ~header:[ "category"; "instructions" ]
+    (List.map (fun (k, v) -> [ k; string_of_int v ]) r.census);
+  Tk_stats.Report.kv "worst-case stack bound"
+    [ ("deepest entry", r.stack.sb_worst_entry);
+      ("thread depth (bytes)", string_of_int r.stack.sb_worst);
+      ("irq_entry adds (bytes)", string_of_int r.stack.sb_irq);
+      ("per-thread budget (bytes)", string_of_int r.stack.sb_budget) ]

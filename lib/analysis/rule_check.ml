@@ -1,0 +1,410 @@
+(** Translation-rule validator: static differential checking of every
+    {!Tk_isa.Spec} instruction form over a dense grid of machine states.
+
+    The PR-2 differential fuzzer samples random programs; this pass is
+    the complementary {e exhaustive-per-rule} check in the spirit of
+    translation validation: for each guest instruction form the rules
+    claim to translate, enumerate flags (all 16 NZCV combinations),
+    condition codes, register-value vectors chosen for carry/shift/sign
+    edge cases, and register {e placements} that exercise the r10
+    emulation wrap — then run the guest instruction and its legalized
+    host sequence through the same {!Tk_isa.Exec} semantics and demand
+    bit-identical outcomes.
+
+    What "identical" means under ARK's conventions (§5.2):
+    {ul
+    {- r0..r9, r11, sp, lr pass through — must match exactly;}
+    {- guest r10 is emulated at {!Tk_dbt.Layout.env_r10}: the guest's
+       final r10 is compared against that memory word after the host run
+       (host r10 itself is the dedicated scratch and may hold anything);}
+    {- host r12 is the secondary scratch, {e dead only} when the guest
+       instruction itself touches r10 — otherwise clobbering it is a
+       scratch-leak violation;}
+    {- NZCV, memory writes outside the env block, and environment traps
+       (SVC/WFI) must agree.}}
+
+    The [legalize] hook exists so tests can seed a deliberately broken
+    rule and watch this pass name the exact form and machine state. *)
+
+open Tk_isa
+open Tk_isa.Types
+module Rules = Tk_dbt.Rules
+module Layout = Tk_dbt.Layout
+
+(* ----------------------- machine-state grid -------------------------- *)
+
+(** Guest address every form is legalized and executed at (pc-relative
+    forms materialize [gpc + 8]). *)
+let gpc = 0x10010000
+
+(* host code-cache stand-in address; only used as the amendment
+   sequence's notional location, never fetched through memory *)
+let hbase = 0x11000000
+
+(* host scratch sentinel: a rules bug that *reads* r10/r12 before
+   writing them sees this value and diverges from the guest *)
+let scratch_sentinel = 0xA5A5A5A5
+
+let conds = [ AL; EQ; NE; CS; LT ]
+
+(* r0..r14 assignments; each vector targets a failure family. Values
+   avoid the env block (0x10FF0000) so guest stores cannot collide with
+   the emulated-r10 slot (collisions are detected and skipped anyway). *)
+let reg_vectors =
+  [| (* distinct small values: placement/substitution bugs *)
+     Array.init 15 (fun i -> (i + 1) * 0x11);
+     (* zeros: flag-setting on zero results, null bases *)
+     Array.make 15 0;
+     (* carry/overflow edges *)
+     [| 0xFFFFFFFF; 1; 0x80000000; 0x7FFFFFFF; 0xFFFFFFFE; 2;
+        0x55555555; 0xAAAAAAAA; 31; 0xCAFEBABE; 0x0BADF00D; 0x10203040;
+        0xDEADBEEF; 0x10600000; 0x10600100 |];
+     (* memory-addressing: plausible word-aligned bases in r1/r8, small
+        index registers *)
+     [| 0x12345678; 0x10500000; 0x40; 3; 4; 0x10500800; 6; 7;
+        0x10501000; 9; 0x77777777; 11; 12; 0x105FF000; 14 |];
+     (* shift-amount edges: amounts 0, 31, 32, 33 and 0x100 (-> 0 after
+        the &0xFF register-shift mask) through the operand registers *)
+     [| 0x80000001; 0xFFFFFFFF; 32; 33; 0x100; 31; 1; 0; 0x10500000;
+        2; 0x3F; 0x20; 0x1F; 0x105F0000; 0xF0F0F0F0 |] |]
+
+(* ------------------------- sparse memory ----------------------------- *)
+
+(* Byte-granular sparse memory with deterministic non-zero background
+   content, so an erroneous load from an unwritten address still yields
+   a value both arms must agree on. *)
+let background addr = (addr * 0x9E3779B1) lsr 16 land 0xFF
+
+type smem = (int, int) Hashtbl.t
+
+let smem_create () : smem = Hashtbl.create 16
+
+let smem_load (m : smem) addr nbytes =
+  let v = ref 0 in
+  for k = nbytes - 1 downto 0 do
+    let a = Bits.mask32 (addr + k) in
+    let byte =
+      match Hashtbl.find_opt m a with Some b -> b | None -> background a
+    in
+    v := (!v lsl 8) lor byte
+  done;
+  !v
+
+let smem_store (m : smem) addr nbytes v =
+  for k = 0 to nbytes - 1 do
+    Hashtbl.replace m (Bits.mask32 (addr + k)) ((v lsr (8 * k)) land 0xFF)
+  done
+
+let smem_copy (m : smem) : smem = Hashtbl.copy m
+
+(* the env block words the host legitimately uses for r10 emulation and
+   flag spills; excluded from the memory diff *)
+let env_addr a =
+  a >= Layout.env_r10 && a < Layout.env_flags_spill + 4
+
+let smem_diff (guest : smem) (host : smem) =
+  let diffs = ref [] in
+  let probe a =
+    if not (env_addr a) then begin
+      let gv =
+        match Hashtbl.find_opt guest a with Some b -> b | None -> background a
+      in
+      let hv =
+        match Hashtbl.find_opt host a with Some b -> b | None -> background a
+      in
+      if gv <> hv then diffs := (a, gv, hv) :: !diffs
+    end
+  in
+  Hashtbl.iter (fun a _ -> probe a) guest;
+  Hashtbl.iter (fun a _ -> if not (Hashtbl.mem guest a) then probe a) host;
+  List.sort_uniq compare !diffs
+
+(* --------------------------- execution ------------------------------- *)
+
+(* environment traps are part of the observable outcome *)
+type run = {
+  cpu : Exec.cpu;
+  mem : smem;
+  mutable traps : string list;  (** newest first *)
+  mutable fault : string option;
+}
+
+let make_run mem =
+  { cpu = Exec.make_cpu (); mem; traps = []; fault = None }
+
+let env_of run : Exec.env =
+  { Exec.load = (fun a n -> smem_load run.mem a n);
+    store = (fun a n v -> smem_store run.mem a n v);
+    svc = (fun _ n -> run.traps <- Printf.sprintf "svc %d" n :: run.traps);
+    wfi = (fun _ -> run.traps <- "wfi" :: run.traps);
+    irq_ret = (fun _ -> run.traps <- "irq_ret" :: run.traps);
+    undef =
+      (fun _ i ->
+        run.traps <- Printf.sprintf "undef %s" (to_string i) :: run.traps) }
+
+let set_flags (cpu : Exec.cpu) (n, z, c, v) =
+  cpu.Exec.n <- n; cpu.Exec.z <- z; cpu.Exec.c <- c; cpu.Exec.v <- v
+
+let flags_str (cpu : Exec.cpu) =
+  Printf.sprintf "%c%c%c%c"
+    (if cpu.Exec.n then 'N' else 'n') (if cpu.Exec.z then 'Z' else 'z')
+    (if cpu.Exec.c then 'C' else 'c') (if cpu.Exec.v then 'V' else 'v')
+
+(* one guest instruction at [gpc] *)
+let run_guest inst flags vec =
+  let run = make_run (smem_create ()) in
+  Array.blit vec 0 run.cpu.Exec.r 0 15;
+  set_flags run.cpu flags;
+  (try ignore (Exec.step run.cpu (env_of run) ~addr:gpc inst)
+   with e -> run.fault <- Some (Printexc.to_string e));
+  run
+
+(* the legalized host sequence, laid out at [hbase]; the only internal
+   control flow is the wrap_cond skip branch, which must land inside or
+   exactly one past the sequence *)
+let run_host hosts flags vec uses_r10 =
+  let run = make_run (smem_create ()) in
+  Array.blit vec 0 run.cpu.Exec.r 0 15;
+  (* guest r10 lives in the env block; host r10 is scratch *)
+  smem_store run.mem Layout.env_r10 4 vec.(10);
+  run.cpu.Exec.r.(10) <- scratch_sentinel;
+  if uses_r10 then run.cpu.Exec.r.(12) <- scratch_sentinel;
+  set_flags run.cpu flags;
+  let n = Array.length hosts in
+  let env = env_of run in
+  let idx = ref 0 and fuel = ref (4 * (n + 4)) in
+  (try
+     while !idx < n && run.fault = None do
+       decr fuel;
+       if !fuel < 0 then begin
+         run.fault <- Some "host sequence does not terminate"
+       end
+       else begin
+         let addr = hbase + (4 * !idx) in
+         match Exec.step run.cpu env ~addr hosts.(!idx) with
+         | Exec.Next -> incr idx
+         | Exec.Branched ->
+           let target = run.cpu.Exec.r.(pc) in
+           let j = (target - hbase) asr 2 in
+           if j < 0 || j > n || target land 3 <> 0 then
+             run.fault <-
+               Some (Printf.sprintf "host branch escapes sequence (0x%x)" target)
+           else idx := j
+       end
+     done
+   with e -> run.fault <- Some (Printexc.to_string e));
+  run
+
+(* ------------------------- state comparison -------------------------- *)
+
+(* registers that pass through and must survive the amendment sequence
+   bit-exactly; r10 is compared via the env slot, r12 via [uses_r10] *)
+let passthrough = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 11; 13; 14 ]
+
+let compare_state ~uses_r10 (g : run) (h : run) =
+  let bad = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  (match g.fault, h.fault with
+  | None, None -> ()
+  | gf, hf ->
+    note "fault: guest=%s host=%s"
+      (Option.value ~default:"-" gf) (Option.value ~default:"-" hf));
+  List.iter
+    (fun r ->
+      if g.cpu.Exec.r.(r) <> h.cpu.Exec.r.(r) then
+        note "%s: guest=0x%x host=0x%x" (reg_name r) g.cpu.Exec.r.(r)
+          h.cpu.Exec.r.(r))
+    passthrough;
+  let g10 = g.cpu.Exec.r.(10) in
+  let h10 = smem_load h.mem Layout.env_r10 4 in
+  if g10 <> h10 then note "r10(env): guest=0x%x host=0x%x" g10 h10;
+  if (not uses_r10) && g.cpu.Exec.r.(12) <> h.cpu.Exec.r.(12) then
+    note "r12 scratch leak: guest=0x%x host=0x%x" g.cpu.Exec.r.(12)
+      h.cpu.Exec.r.(12);
+  if flags_str g.cpu <> flags_str h.cpu then
+    note "flags: guest=%s host=%s" (flags_str g.cpu) (flags_str h.cpu);
+  if g.traps <> h.traps then
+    note "traps: guest=[%s] host=[%s]"
+      (String.concat "; " (List.rev g.traps))
+      (String.concat "; " (List.rev h.traps));
+  (match smem_diff g.mem h.mem with
+  | [] -> ()
+  | (a, gv, hv) :: _ as ds ->
+    note "memory: %d bytes differ, first at 0x%x (guest=0x%02x host=0x%02x)"
+      (List.length ds) a gv hv);
+  List.rev !bad
+
+(* --------------------------- the validator --------------------------- *)
+
+type stats = {
+  spec_forms : int;  (** Table 3 total — 558 architectural forms *)
+  spec_entries : int;  (** entries in {!Spec.all_forms} *)
+  implemented : int;  (** entries carrying a representative AST *)
+  validated : int;  (** forms put through the state grid *)
+  control_flow : int;  (** engine-mediated (sites), excluded here *)
+  fallback : int;  (** untranslatable -> fallback, by design *)
+  variants : int;  (** form variants incl. r10 placements *)
+  states : int;  (** machine states differentially executed *)
+  divergent : int;  (** states whose two arms disagreed *)
+  hazard_skips : int;  (** states skipped: guest store hit the env block *)
+}
+
+type report = { stats : stats; findings : Finding.t list }
+
+let is_control { op; _ } =
+  match op with B _ | Bl _ | Bx _ | Blx_r _ -> true | _ -> false
+
+(* register placements: the representative AST, its flag-setting twin
+   (the spec reprs are all s=false, but the S-bit path carries the §5.2
+   shifter-carry caveat), plus substitutions that drag r10 through the
+   operand/destination positions to exercise the emulation wrap and the
+   r12 secondary scratch *)
+let placements i =
+  let subst old =
+    match Rules.subst_all ~old ~rep:Rules.scratch i with
+    | j when j <> i -> Some j
+    | _ -> None
+    | exception Rules.Untranslatable _ -> None
+  in
+  let s_variant =
+    match i.op with
+    | Dp ((CMP | CMN | TST | TEQ), _, _, _, _) -> None
+    | Dp (o, false, rd, rn, op2) ->
+      Some ({ i with op = Dp (o, true, rd, rn, op2) }, "flag-setting")
+    | Mul (false, rd, rn, rm) ->
+      Some ({ i with op = Mul (true, rd, rn, rm) }, "flag-setting")
+    | _ -> None
+  in
+  ((i, "as-spec") :: Option.to_list s_variant)
+  @ List.filter_map
+      (fun (old, tag) ->
+        match subst old with Some j -> Some (j, tag) | None -> None)
+      [ (0, "r10-as-dest"); (1, "r10-as-src") ]
+
+let default_legalize = Rules.legalize
+
+(** [validate ?legalize ?max_findings ()] runs the full grid. At most
+    [max_findings] divergences are materialized as findings (the
+    [divergent] counter keeps exact count); a broken rule would
+    otherwise flood the report with thousands of states. *)
+let validate ?(legalize = default_legalize) ?(max_findings = 40) () =
+  let findings = ref [] and nfind = ref 0 in
+  let states = ref 0 and divergent = ref 0 and hazard = ref 0 in
+  let variants = ref 0 in
+  let validated = ref 0 and control = ref 0 and fellback = ref 0 in
+  let implemented = ref 0 in
+  let add f =
+    incr nfind;
+    if !nfind <= max_findings then findings := f :: !findings
+  in
+  let flag_grid =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun z ->
+            List.concat_map
+              (fun c -> List.map (fun v -> (n, z, c, v)) [ false; true ])
+              [ false; true ])
+          [ false; true ])
+      [ false; true ]
+  in
+  let check_variant (form : Spec.form) (inst0, tag) =
+    incr variants;
+    List.iter
+      (fun cond ->
+        let inst = { inst0 with cond } in
+        match legalize ~gpc inst with
+        | exception Rules.Untranslatable _ -> ()
+        | _cat, hosts ->
+          (try Rules.check_encodable hosts
+           with Rules.Untranslatable msg ->
+             add
+               (Finding.v ~pass:"rules" ~severity:Finding.Error
+                  ~code:"amendment-not-encodable"
+                  ~where:(Printf.sprintf "%s [%s]" form.Spec.fname tag)
+                  msg));
+          let hosts = Array.of_list hosts in
+          let uses_r10 =
+            List.mem Rules.scratch (regs_read inst)
+            || List.mem Rules.scratch (regs_written inst)
+          in
+          List.iter
+            (fun flags ->
+              Array.iteri
+                (fun vid vec ->
+                  let g = run_guest inst flags vec in
+                  (* a guest store landing in the env block would fight
+                     the emulated r10 slot; the real engine has the same
+                     (documented) hazard, so the state is skipped *)
+                  if Hashtbl.fold (fun a _ acc -> acc || env_addr a)
+                       g.mem false
+                  then incr hazard
+                  else begin
+                    incr states;
+                    let h = run_host hosts flags vec uses_r10 in
+                    match compare_state ~uses_r10 g h with
+                    | [] -> ()
+                    | problems ->
+                      incr divergent;
+                      add
+                        (Finding.v ~pass:"rules" ~severity:Finding.Error
+                           ~code:"rule-divergence"
+                           ~where:form.Spec.fname
+                           (Printf.sprintf
+                              "%s [%s] cond=%s flags=%s vec=%d: %s"
+                              (to_string inst) tag
+                              (match cond_suffix cond with
+                              | "" -> "al"
+                              | s -> s)
+                              (let cpu = Exec.make_cpu () in
+                               set_flags cpu flags; flags_str cpu)
+                              vid
+                              (String.concat "; " problems)))
+                  end)
+                reg_vectors)
+            flag_grid)
+      conds
+  in
+  List.iter
+    (fun (form : Spec.form) ->
+      match form.Spec.repr with
+      | None -> ()
+      | Some i ->
+        incr implemented;
+        if is_control i then incr control
+        else begin
+          match legalize ~gpc i with
+          | exception Rules.Untranslatable _ -> incr fellback
+          | _ ->
+            incr validated;
+            List.iter (check_variant form) (placements i)
+        end)
+    Spec.all_forms;
+  { stats =
+      { spec_forms = Spec.total;
+        spec_entries = List.length Spec.all_forms;
+        implemented = !implemented;
+        validated = !validated;
+        control_flow = !control;
+        fallback = !fellback;
+        variants = !variants;
+        states = !states;
+        divergent = !divergent;
+        hazard_skips = !hazard };
+    findings = List.rev !findings }
+
+(** [print_stats r] — the coverage counter block ([arksim analyze
+    --rules]). *)
+let print_stats (r : report) =
+  let s = r.stats in
+  Tk_stats.Report.kv "rule validator coverage"
+    [ ("spec forms (Table 3 total)", string_of_int s.spec_forms);
+      ("spec entries", string_of_int s.spec_entries);
+      ("implemented (representative AST)", string_of_int s.implemented);
+      ("state-grid validated", string_of_int s.validated);
+      ("control flow (engine sites)", string_of_int s.control_flow);
+      ("fallback by design", string_of_int s.fallback);
+      ("form variants (incl. r10 placements)", string_of_int s.variants);
+      ("machine states executed", string_of_int s.states);
+      ("divergent states", string_of_int s.divergent);
+      ("env-hazard skips", string_of_int s.hazard_skips) ]

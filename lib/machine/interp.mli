@@ -1,0 +1,48 @@
+(** Guest-native interpreter: the CPU executing V7A kernel code directly.
+
+    This is the paper's "native execution" arm: the monolithic kernel
+    running device suspend/resume on the Cortex-A9. The loop fetches
+    encoded words from DRAM (through the A9's cache model), decodes them
+    (memoized in a dense pre-decoded array), executes via {!Tk_isa.Exec}
+    and charges cycles; pending GIC interrupts vector to the kernel's
+    IRQ entry stub between instructions. Self-modifying stores
+    invalidate the pre-decoded entries they touch.
+
+    Guest [SVC] is used as a simulation hypercall (halt / platform-off /
+    console), dispatched to the embedding runner through [on_svc]. *)
+
+open Tk_isa
+
+exception Halt of string  (** raised by hypercalls to end a run *)
+
+exception Fault of string  (** simulation bug: deadlock, bad fetch, ... *)
+
+type t = {
+  soc : Soc.t;
+  core : Core.t;
+  tr : Tk_stats.Trace.t;  (** the platform flight recorder, cached *)
+  cpu : Exec.cpu;
+  decode : Types.inst option array;  (** dense, indexed by image word *)
+  decode_cache : (int, Types.inst) Hashtbl.t;  (** out-of-span fallback *)
+  mutable env : Exec.env;
+  mutable env_traced : Exec.env;
+      (** same environment with flight-recorder emission on memory
+          accesses; [step] selects it only while tracing is enabled *)
+  mutable irq_vector : int;  (** guest address of the IRQ entry stub *)
+  mutable irq_saved : (int * int) list;  (** (return pc, flags) *)
+  mutable on_svc : t -> Exec.cpu -> int -> unit;
+  mutable trace : (int -> Types.inst -> unit) option;
+}
+
+val create : soc:Soc.t -> unit -> t
+
+(** [set_pc t addr] positions the next fetch. *)
+val set_pc : t -> int -> unit
+
+(** [step t] executes one instruction (delivering a pending enabled IRQ
+    first). *)
+val step : t -> unit
+
+(** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
+    instructions elapse, which raises {!Fault} — a runaway guest). *)
+val run : t -> fuel:int -> unit

@@ -1,0 +1,265 @@
+(* Static verification layer (arksim analyze): the rule validator must
+   exonerate every shipped translation rule and convict a deliberately
+   broken one; the image passes must pass every seed kernel variant
+   clean and flag crafted bad images (unknown ABI callee, untranslatable
+   instruction on the hot path, stack overrun) with the exact golden
+   finding. *)
+
+open Tk_isa.Types
+module Asm = Tk_isa.Asm
+module Rules = Tk_dbt.Rules
+module Finding = Tk_analysis.Finding
+module Rule_check = Tk_analysis.Rule_check
+module Cfg = Tk_analysis.Cfg
+module Image_lint = Tk_analysis.Image_lint
+module Abi_check = Tk_analysis.Abi_check
+module Layout = Tk_kernel.Layout
+module Variants = Tk_kernel.Variants
+module Kabi = Tk_kernel.Kabi
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let has ~code ~where_sub fs =
+  List.exists
+    (fun (f : Finding.t) ->
+      f.Finding.code = code
+      &&
+      let w = f.Finding.where and s = where_sub in
+      let lw = String.length w and ls = String.length s in
+      let rec at i = i + ls <= lw && (String.sub w i ls = s || at (i + 1)) in
+      at 0)
+    fs
+
+(* ------------------------- rule validator ---------------------------- *)
+
+let test_rules_clean () =
+  let r = Rule_check.validate () in
+  let s = r.Rule_check.stats in
+  checki "Table 3 spec total" 558 s.Rule_check.spec_forms;
+  checkb "every implemented non-control form hits the grid" true
+    (s.Rule_check.validated
+     + s.Rule_check.control_flow + s.Rule_check.fallback
+    = s.Rule_check.implemented);
+  checkb "grid is dense (>= 100k states)" true (s.Rule_check.states >= 100_000);
+  checki "zero divergent states" 0 s.Rule_check.divergent;
+  checki "no rule findings" 0 (List.length r.Rule_check.findings)
+
+(* a seeded wrong rule: EOR legalized as ORR — the validator must name
+   the exact spec form and a concrete machine state *)
+let test_rules_catch_seeded_bug () =
+  let broken ~gpc (i : inst) =
+    match i.op with
+    | Dp (EOR, s, rd, rn, op2) ->
+      let cat, _ = Rules.legalize ~gpc i in
+      (cat, [ { i with op = Dp (ORR, s, rd, rn, op2) } ])
+    | _ -> Rules.legalize ~gpc i
+  in
+  let r = Rule_check.validate ~legalize:broken () in
+  let s = r.Rule_check.stats in
+  checkb "divergences detected" true (s.Rule_check.divergent > 0);
+  checkb "finding names the eor form" true
+    (has ~code:"rule-divergence" ~where_sub:"eor" r.Rule_check.findings);
+  checkb "no other form convicted" true
+    (List.for_all
+       (fun (f : Finding.t) ->
+         String.length f.Finding.where >= 3
+         && String.sub f.Finding.where 0 3 = "eor")
+       r.Rule_check.findings);
+  (* the divergence report pins the machine state that exposed it *)
+  checkb "finding carries cond/flags/vec state" true
+    (List.for_all
+       (fun (f : Finding.t) ->
+         let d = f.Finding.detail in
+         let mem sub =
+           let ls = String.length sub and ld = String.length d in
+           let rec at i =
+             i + ls <= ld && (String.sub d i ls = sub || at (i + 1))
+           in
+           at 0
+         in
+         mem "cond=" && mem "flags=" && mem "vec=")
+       r.Rule_check.findings)
+
+(* a rule emitting a v7a-only amendment must be convicted even before
+   execution, by the encodability screen *)
+let test_rules_catch_unencodable_amendment () =
+  let broken ~gpc (i : inst) =
+    match i.op with
+    | Dp (RSB, _, _, _, _) ->
+      (* RSC is exactly the kind of host instruction v7m lacks *)
+      (Tk_isa.Spec.No_counterpart, [ { i with op = Dp (RSC, false, 0, 1, Reg 2) } ])
+    | _ -> Rules.legalize ~gpc i
+  in
+  let r = Rule_check.validate ~legalize:broken () in
+  checkb "encodability screen fires" true
+    (has ~code:"amendment-not-encodable" ~where_sub:"rsb"
+       r.Rule_check.findings)
+
+(* ------------------------ seed images are clean ----------------------- *)
+
+let build lay = (Tk_drivers.Platform.build_image ~layout:lay ()).Tk_kernel.Image.image
+
+let test_seed_variants_lint_clean () =
+  List.iter
+    (fun (lay : Layout.t) ->
+      let r = Image_lint.lint (build lay) in
+      checki
+        (Printf.sprintf "%s: no error findings" lay.Layout.version)
+        0
+        (List.length (Finding.errors r.Image_lint.findings));
+      checkb
+        (Printf.sprintf "%s: stack fits budget" lay.Layout.version)
+        true
+        (r.Image_lint.stack.Image_lint.sb_worst
+         + r.Image_lint.stack.Image_lint.sb_irq
+        <= r.Image_lint.stack.Image_lint.sb_budget);
+      checkb
+        (Printf.sprintf "%s: census nonempty" lay.Layout.version)
+        true
+        (List.length r.Image_lint.census > 0))
+    Variants.all
+
+let test_seed_variants_abi_clean () =
+  List.iter
+    (fun (lay : Layout.t) ->
+      let r = Abi_check.check (build lay) in
+      checki
+        (Printf.sprintf "%s: abi clean" lay.Layout.version)
+        0
+        (List.length (Finding.errors r.Abi_check.findings));
+      (* the narrow boundary is actually exercised *)
+      List.iter
+        (fun cls ->
+          checkb
+            (Printf.sprintf "%s: some %s bl sites" lay.Layout.version cls)
+            true
+            (match List.assoc_opt cls r.Abi_check.class_counts with
+            | Some n -> n > 0
+            | None -> false))
+        [ "emulated"; "hooked"; "cold"; "translated" ])
+    Variants.all
+
+(* ------------------------- crafted bad images ------------------------- *)
+
+let base = Tk_machine.Soc.kernel_base
+
+let ret = at (Bx lr)
+
+(* a bl whose target is neither a function entry nor any symbol: the
+   Figure 3 failure mode the gate exists for *)
+let test_unknown_callee_convicted () =
+  let img =
+    Asm.link ~base
+      [ { Asm.name = "kernel_main";
+          items = [ Asm.Ins (at (Bl 0x4000)); Asm.Ins ret ] } ]
+      []
+  in
+  let r = Abi_check.check img in
+  checkb "unknown-callee error" true
+    (has ~code:"unknown-callee" ~where_sub:"kernel_main"
+       (Finding.errors r.Abi_check.findings))
+
+let test_bl_into_body_convicted () =
+  let img =
+    Asm.link ~base
+      [ { Asm.name = "victim";
+          items = [ Asm.Ins (at Nop); Asm.Ins (at Nop); Asm.Ins ret ] };
+        (* bl back into victim+4, skipping the entry point: the bl sits
+           at victim+12, so the offset is -8 *)
+        { Asm.name = "kernel_main";
+          items = [ Asm.Ins (at (Bl (-8))); Asm.Ins ret ] } ]
+      []
+  in
+  let r = Abi_check.check img in
+  checkb "bl-into-function-body error" true
+    (has ~code:"bl-into-function-body" ~where_sub:"kernel_main"
+       (Finding.errors r.Abi_check.findings))
+
+(* an untranslatable instruction — a pre-indexed load whose offset is
+   too wide for the v7m writeback encoding AND whose writeback lands in
+   its own destination — reachable from an ARK upcall entry: hot-path
+   fallback warning *)
+let test_untranslatable_hot_flagged () =
+  let bad =
+    at
+      (Mem { ld = true; size = Word; rt = 1; rn = 1; off = Oimm 512; idx = Pre })
+  in
+  let img =
+    Asm.link ~base
+      [ { Asm.name = Kabi.worker_thread; items = [ Asm.Ins bad; Asm.Ins ret ] } ]
+      []
+  in
+  let r = Image_lint.lint img in
+  checkb "untranslatable-hot warning" true
+    (has ~code:"untranslatable-hot" ~where_sub:Kabi.worker_thread
+       r.Image_lint.findings);
+  checkb "counted as fallback in the census" true
+    (match List.assoc_opt "fallback" r.Image_lint.census with
+    | Some n -> n = 1
+    | None -> false)
+
+(* a frame bigger than the per-thread stack budget must be a hard error *)
+let test_stack_overrun_convicted () =
+  let big = Tk_machine.Soc.stack_size * 2 in
+  let img =
+    Asm.link ~base
+      [ { Asm.name = "kernel_main";
+          items =
+            [ Asm.Ins (at (Dp (SUB, false, 13, 13, Imm big)));
+              Asm.Ins (at (Dp (ADD, false, 13, 13, Imm big)));
+              Asm.Ins ret ] } ]
+      []
+  in
+  let r = Image_lint.lint img in
+  checkb "stack-overrun error" true
+    (has ~code:"stack-overrun" ~where_sub:"kernel_main"
+       (Finding.errors r.Image_lint.findings));
+  checki "bound equals the crafted frame" big
+    r.Image_lint.stack.Image_lint.sb_worst
+
+(* ------------------------- findings plumbing -------------------------- *)
+
+let test_finding_json () =
+  let f =
+    Finding.v ~pass:"abi" ~severity:Finding.Error ~code:"unknown-callee"
+      ~where:"kernel_main" "bl targets \"nowhere\""
+  in
+  Alcotest.(check string)
+    "json record"
+    "{\"image\":\"v4.4\",\"pass\":\"abi\",\"severity\":\"error\",\
+     \"code\":\"unknown-callee\",\"where\":\"kernel_main\",\
+     \"detail\":\"bl targets \\\"nowhere\\\"\"}"
+    (Finding.to_json ~extra:[ ("image", "v4.4") ] f)
+
+let test_abi_structural_clean () =
+  checki "Kabi sets well-formed" 0
+    (List.length (Abi_check.structural_findings ()))
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "translation-rule validator",
+        [ Alcotest.test_case "full grid, zero divergence" `Slow
+            test_rules_clean;
+          Alcotest.test_case "seeded wrong rule convicted" `Slow
+            test_rules_catch_seeded_bug;
+          Alcotest.test_case "unencodable amendment convicted" `Slow
+            test_rules_catch_unencodable_amendment ] );
+      ( "seed kernels pass the gate",
+        [ Alcotest.test_case "image lint clean on all variants" `Quick
+            test_seed_variants_lint_clean;
+          Alcotest.test_case "abi clean on all variants" `Quick
+            test_seed_variants_abi_clean ] );
+      ( "crafted violations are caught",
+        [ Alcotest.test_case "unknown callee" `Quick
+            test_unknown_callee_convicted;
+          Alcotest.test_case "bl into function body" `Quick
+            test_bl_into_body_convicted;
+          Alcotest.test_case "untranslatable on hot path" `Quick
+            test_untranslatable_hot_flagged;
+          Alcotest.test_case "stack overrun" `Quick
+            test_stack_overrun_convicted ] );
+      ( "findings plumbing",
+        [ Alcotest.test_case "JSONL record shape" `Quick test_finding_json;
+          Alcotest.test_case "Kabi structurally well-formed" `Quick
+            test_abi_structural_clean ] ) ]
