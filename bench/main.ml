@@ -427,13 +427,21 @@ let services () =
        /. float_of_int a.Experiments.r_whole.Experiments.p_busy_cycles));
   Printf.printf "early interrupt stage: %d M3 cycles/interrupt (paper: 3.9K)\n"
     Transkernel.Ark.cost_early_irq;
-  Printf.printf "downcall/hook counts for one offloaded cycle:\n";
-  List.iter
-    (fun (k, v) ->
-      let p4 = String.length k > 4 && String.sub k 0 4 = "emu." in
-      let p5 = String.length k > 5 && String.sub k 0 5 = "hook." in
-      if v > 0 && (p4 || p5) then Printf.printf "  %-28s %d\n" k v)
-    (Counters.snapshot c)
+  let service_counter (k, _) =
+    let pre p =
+      let n = String.length p in
+      String.length k > n && String.sub k 0 n = p
+    in
+    pre "emu." || pre "hook."
+  in
+  Report.counters "downcall/hook counts for one offloaded cycle"
+    (List.filter service_counter (Counters.to_assoc c));
+  (* second warm cycle, rendered as a delta: translations are cached by
+     now, so only the steady-state service traffic remains *)
+  let before = Counters.snapshot c in
+  ignore (Ark_run.suspend_resume_cycle ark_run);
+  Report.counter_deltas "second (warm) cycle delta"
+    (List.filter service_counter (Counters.diff before (Counters.snapshot c)))
 
 (* ----------------------------- fallback ------------------------------ *)
 
@@ -742,9 +750,10 @@ let bechamel () =
    second, measured separately for the native-A9 arm (Interp) and the
    DBT-M3 arm (Engine + native freeze/thaw around it). This is the
    metric host-side perf PRs move; the simulated cycle counters they
-   must NOT move are pinned by test/test_neutrality.ml. Writes
-   BENCH_1.json so the perf trajectory is tracked across PRs. *)
-let throughput ~smoke () =
+   must NOT move are pinned by test/test_neutrality.ml. Records a
+   BENCH_N.json (schema documented in README "Telemetry") so the perf
+   trajectory is tracked across PRs and gated by `arksim report`. *)
+let throughput ~smoke ~record () =
   let cycles = if smoke then 1 else 8 in
   Printf.printf
     "\n== simulator throughput (%d warm suspend/resume cycles per arm%s) ==\n%!"
@@ -787,15 +796,24 @@ let throughput ~smoke () =
   Printf.printf "  DBT arm:    %9d sim instrs in %6.2f s -> %7.2f sim-MIPS\n%!"
     dbt_instrs dbt_wall mips_dbt;
   let wall = Unix.gettimeofday () -. t0 in
-  if not smoke then begin
-    let oc = open_out "BENCH_1.json" in
-    Printf.fprintf oc
-      "{\"sim_mips_native\": %.3f, \"sim_mips_dbt\": %.3f, \
-       \"suite_wall_s\": %.3f}\n"
-      mips_native mips_dbt wall;
-    close_out oc;
-    Printf.printf "  wrote BENCH_1.json\n%!"
-  end
+  let file = match record with Some f -> Some f | None when not smoke -> Some "BENCH_1.json" | None -> None in
+  match file with
+  | None -> ()
+  | Some f ->
+    (* BENCH schema: the three gate metrics stay at top level (report's
+       --only matches them bare), the deterministic instruction counts
+       ride along for context *)
+    let open Run_manifest in
+    write_file f
+      (Obj
+         [ ("schema", Str "arksim-bench-v1");
+           ( "meta",
+             Obj [ ("git_rev", Str (git_rev ())); ("cycles", Int cycles) ] );
+           ("sim_mips_native", Num mips_native);
+           ("sim_mips_dbt", Num mips_dbt); ("suite_wall_s", Num wall);
+           ("native_instrs", Int native_instrs);
+           ("dbt_instrs", Int dbt_instrs) ]);
+    Printf.printf "  wrote %s\n%!" f
 
 (* -------------------------------- trace ------------------------------ *)
 
@@ -867,6 +885,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let runs = ref 200 in
   let smoke = ref false in
+  let record = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--runs" :: n :: rest ->
@@ -874,6 +893,9 @@ let () =
       parse acc rest
     | "--smoke" :: rest ->
       smoke := true;
+      parse acc rest
+    | "--record" :: f :: rest ->
+      record := Some f;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in
@@ -900,7 +922,7 @@ let () =
       | "aarch64" -> aarch64 ()
       | "ablation" -> ablation ()
       | "trace" -> trace_bench ()
-      | "throughput" -> throughput ~smoke:!smoke ()
+      | "throughput" -> throughput ~smoke:!smoke ~record:!record ()
       | "bechamel" -> bechamel ()
       | other -> Printf.eprintf "unknown bench %s\n" other)
     selected;

@@ -2,7 +2,11 @@
 
      arksim run [--mode native|ark|mid|baseline] [--cycles N]
                 [--kernel v3.16|v4.4|v4.9|v4.20] [--sleep-ms N]
-                [--glitch-every N] [--resume-native] [--m3-cache KB] [-v]
+                [--glitch-every N] [--resume-native] [--m3-cache KB]
+                [--timeseries FILE] [--sample-every NS] [--manifest FILE]
+                [-v]
+     arksim report --baseline A --candidate B [--tolerance PCT]
+                [--only k1,k2]         diff two manifests / BENCH files
      arksim compare [--cycles N]       native vs ARK side by side
      arksim disasm SYMBOL              show a kernel function and its
                                        ARK translation
@@ -127,6 +131,167 @@ let print_profile (e : Tk_dbt.Engine.t) =
            string_of_int bp.Tk_dbt.Engine.bp_host_words ])
        top)
 
+(* ----------------------------- telemetry ----------------------------- *)
+
+module Ts = Tk_stats.Timeseries
+module Attribution = Tk_energy.Attribution
+module Manifest = Run_manifest
+
+(* phase 0 is everything sampled before the first phase mark *)
+let tel_phase_name devices code =
+  if code = 0 then "setup" else phase_name devices code
+
+(* The sampler is enabled when any telemetry output was requested; the
+   ledger and manifest are then derived from the sampled window itself
+   (first-to-last retained row), so a wrapped ring still reconciles. *)
+let telemetry_on ~ts_file ~manifest_file ~sample_every =
+  ts_file <> None || manifest_file <> None || sample_every <> None
+
+let telemetry_setup (soc : Soc.t) ~ts_file ~manifest_file ~sample_every =
+  if telemetry_on ~ts_file ~manifest_file ~sample_every then
+    Ts.enable ?period_ns:sample_every soc.Soc.sampler
+
+(* window activity of the active core, reconstructed from the sampler's
+   own first/last rows (the ledger integrates exactly this window) *)
+let window_delta ts ~active first last =
+  let g name r =
+    match Ts.col_index ts name with
+    | Some i -> r.(i)
+    | None -> 0
+  in
+  let d name = g (active ^ "_" ^ name) last - g (active ^ "_" ^ name) first in
+  ( { Tk_machine.Core.a_busy_cycles = d "busy_cy"; a_busy_ps = d "busy_ps";
+      a_idle_ps = d "idle_ps"; a_instructions = d "instrs";
+      a_cache_misses = d "miss"; a_rd_bytes = d "rd_bytes";
+      a_wr_bytes = d "wr_bytes" },
+    ( g "dma_rd_bytes" last - g "dma_rd_bytes" first,
+      g "dma_wr_bytes" last - g "dma_wr_bytes" first ) )
+
+let telemetry_finish (soc : Soc.t) ~active ~params ~devices ~variant ~kernel
+    ~cycles ~wall_s ~ts_file ~manifest_file =
+  let ts = soc.Soc.sampler in
+  (* close the window with a final forced row *)
+  Ts.sample_now ts;
+  let rows = Ts.rows ts in
+  let n = Array.length rows in
+  if n < 2 then begin
+    Printf.eprintf "telemetry: no samples recorded\n";
+    1
+  end
+  else begin
+    let first = rows.(0) and last = rows.(n - 1) in
+    let act, dma = window_delta ts ~active first last in
+    let model = Power.of_activity ~params ~act ~dma_bytes:dma () in
+    let ledger =
+      Attribution.integrate ts
+        ~cores:[ ("a9", Soc.a9_params); ("m3", Soc.m3_params) ]
+        ~active
+    in
+    (* per-phase energy table (active core), Figure-6-style *)
+    Tk_stats.Report.table
+      ~title:
+        (Printf.sprintf "energy attribution (%s core, %d epochs)" active
+           ledger.Attribution.l_epochs)
+      ~header:[ "phase"; "core_busy"; "core_idle"; "dram"; "io"; "total" ]
+      (List.map
+         (fun ph ->
+           let cells = Attribution.phase_breakdown ledger ph in
+           let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 cells in
+           tel_phase_name devices ph
+           :: List.map (fun (_, v) -> Tk_stats.Report.mj v) cells
+           @ [ Tk_stats.Report.mj total ])
+         (Attribution.phases ledger));
+    (* ledger vs the scalar model, the 0.1% reconciliation bar *)
+    let checks = Attribution.reconcile ledger model in
+    Tk_stats.Report.table ~title:"ledger vs power model"
+      ~header:[ "component"; "ledger"; "model"; "rel_err" ]
+      (List.map
+         (fun (k : Attribution.check) ->
+           [ k.Attribution.k_comp;
+             Tk_stats.Report.mj k.Attribution.k_ledger_uj;
+             Tk_stats.Report.mj k.Attribution.k_model_uj;
+             Printf.sprintf "%.5f%%" (k.Attribution.k_rel_err *. 100.) ])
+         checks);
+    let worst = Attribution.max_rel_err checks in
+    Printf.printf "reconciliation: worst component error %.5f%% (%s)\n"
+      (worst *. 100.)
+      (if worst <= 0.001 then "ok" else "EXCEEDS 0.1% BAR");
+    (* raw series export *)
+    (match ts_file with
+    | None -> ()
+    | Some f ->
+      let oc = open_out f in
+      if Filename.check_suffix f ".csv" then Ts.to_csv oc ts
+      else Ts.to_jsonl oc ts;
+      close_out oc;
+      Printf.printf "timeseries: %d rows (%d dropped) -> %s\n"
+        (Ts.retained ts) (Ts.dropped ts) f);
+    (* manifest *)
+    (match manifest_file with
+    | None -> ()
+    | Some f ->
+      let open Manifest in
+      let counters =
+        (* every wired gauge becomes a window-delta counter *)
+        let labels = Ts.labels ts in
+        Obj
+          (List.filter_map
+             (fun i ->
+               let name = labels.(i) in
+               if name = "t_ns" || name = "phase" then None
+               else Some (name, Int (last.(i) - first.(i))))
+             (List.init (Array.length labels) Fun.id))
+      in
+      let comp_obj =
+        Obj
+          (List.map
+             (fun c -> (c, Num (Attribution.component_total ledger c)))
+             Attribution.components
+          @ [ ("total", Num (Attribution.active_total ledger)) ])
+      in
+      let phase_obj =
+        Obj
+          (List.map
+             (fun ph ->
+               ( tel_phase_name devices ph,
+                 Obj
+                   (List.map
+                      (fun (c, v) -> (c, Num v))
+                      (Attribution.phase_breakdown ledger ph)) ))
+             (Attribution.phases ledger))
+      in
+      let metrics =
+        Obj
+          [ ("busy_ms", Num model.Power.busy_ms);
+            ("idle_ms", Num model.Power.idle_ms);
+            ("window_ns", Int (ledger.Attribution.l_t1_ns
+                               - ledger.Attribution.l_t0_ns));
+            ("energy_uj", comp_obj); ("phase_energy_uj", phase_obj);
+            ( "sampler",
+              Obj
+                [ ("rows", Int (Ts.retained ts));
+                  ("epochs", Int ledger.Attribution.l_epochs);
+                  ("dropped", Int (Ts.dropped ts));
+                  ("period_ns", Int ts.Ts.period_ns) ] ) ]
+      in
+      let host =
+        Obj
+          [ ("wall_s", Num wall_s);
+            ( "sim_mips",
+              Num
+                (if wall_s <= 0.0 then 0.0
+                 else
+                   float_of_int act.Tk_machine.Core.a_instructions
+                   /. wall_s /. 1e6) ) ]
+      in
+      let doc =
+        make ~variant ~kernel ~cycles ~metrics ~counters ~host ()
+      in
+      write_file f doc;
+      Printf.printf "manifest -> %s\n" f);
+    if worst <= 0.001 then 0 else 1
+  end
+
 let summarize label (core : Tk_machine.Core.t) params warns =
   let act = Tk_machine.Core.activity core in
   let e = Power.of_activity ~params ~act () in
@@ -141,30 +306,44 @@ let summarize label (core : Tk_machine.Core.t) params warns =
     warns
 
 let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
-    trace_file trace_filter trace_cap profile verbose =
-  (match mode with
+    trace_file trace_filter trace_cap profile ts_file sample_every
+    manifest_file verbose =
+  let kernel = layout.Tk_kernel.Layout.version in
+  let telemetry = telemetry_on ~ts_file ~manifest_file ~sample_every in
+  match mode with
   | `Native ->
     let nat = Native_run.create ~layout ~sleep_ms () in
+    let soc = nat.Native_run.plat.Tk_drivers.Platform.soc in
     let tr = Native_run.trace nat in
     let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
+    telemetry_setup soc ~ts_file ~manifest_file ~sample_every;
+    let wall0 = Unix.gettimeofday () in
     for i = 1 to cycles do
       ignore (Native_run.suspend_resume_cycle nat);
       if verbose then Printf.printf "cycle %d done\n%!" i
     done;
-    summarize "native"
-      nat.Native_run.plat.Tk_drivers.Platform.soc.Soc.cpu Soc.a9_params
+    let wall_s = Unix.gettimeofday () -. wall0 in
+    summarize "native" soc.Soc.cpu Soc.a9_params
       (List.length nat.Native_run.warns);
     if tracing then
-      trace_finish tr ~trace_file ~devices:nat.Native_run.devices
+      trace_finish tr ~trace_file ~devices:nat.Native_run.devices;
+    if telemetry then
+      telemetry_finish soc ~active:"a9" ~params:Soc.a9_params
+        ~devices:nat.Native_run.devices ~variant:"native" ~kernel ~cycles
+        ~wall_s ~ts_file ~manifest_file
+    else 0
   | `Dbt dbt_mode ->
     let ark =
       Ark_run.create ~layout ~mode:dbt_mode ~sleep_ms ?m3_cache_kb:m3_cache ()
     in
+    let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
     let tr = Ark_run.trace ark in
     let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
+    telemetry_setup soc ~ts_file ~manifest_file ~sample_every;
     let e = ark.Ark_run.ark.Transkernel.Ark.engine in
     if profile then e.Tk_dbt.Engine.profile <- true;
     let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
+    let wall0 = Unix.gettimeofday () in
     for i = 1 to cycles do
       if glitch_every > 0 && i mod glitch_every = 0 then
         wifi.Tk_drivers.Device.glitch_next_resume <- true;
@@ -173,8 +352,8 @@ let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
         Printf.printf "cycle %d: %s\n%!" i
           (match r with `Ok -> "ok" | `Fell_back r -> "fell back: " ^ r)
     done;
-    summarize "offloaded"
-      (Ark_run.plat ark).Tk_drivers.Platform.soc.Soc.m3 Soc.m3_params
+    let wall_s = Unix.gettimeofday () -. wall0 in
+    summarize "offloaded" soc.Soc.m3 Soc.m3_params
       (List.length ark.Ark_run.nat.Native_run.warns);
     Printf.printf
       "DBT: %d blocks, %d guest -> %d host instructions, %d engine exits, \
@@ -185,8 +364,71 @@ let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
     if tracing then
       trace_finish tr ~trace_file
         ~devices:ark.Ark_run.nat.Native_run.devices;
-    if profile then print_profile e);
-  0
+    if profile then print_profile e;
+    let variant =
+      match dbt_mode with
+      | Translator.Ark -> "ark"
+      | Translator.Mid -> "mid"
+      | Translator.Baseline -> "baseline"
+    in
+    if telemetry then
+      telemetry_finish soc ~active:"m3" ~params:Soc.m3_params
+        ~devices:ark.Ark_run.nat.Native_run.devices ~variant ~kernel ~cycles
+        ~wall_s ~ts_file ~manifest_file
+    else 0
+
+(* ------------------------------ report ------------------------------- *)
+
+(* exit codes: 0 within tolerance, 1 regression (or gated key missing),
+   2 parse/usage error *)
+let report_cmd baseline candidate tolerance only =
+  let only =
+    match only with
+    | None -> []
+    | Some s ->
+      List.filter (fun s -> s <> "") (String.split_on_char ',' s)
+  in
+  match
+    Manifest.compare_manifests ~baseline ~candidate ~only
+      ~tolerance_pct:tolerance
+  with
+  | exception Manifest.Parse_error msg ->
+    Printf.eprintf "report: parse error: %s\n" msg;
+    2
+  | exception Sys_error msg ->
+    Printf.eprintf "report: %s\n" msg;
+    2
+  | verdicts, missing ->
+    if verdicts = [] && missing = [] then begin
+      Printf.eprintf "report: no metrics selected\n";
+      2
+    end
+    else begin
+      Tk_stats.Report.table
+        ~title:
+          (Printf.sprintf "%s -> %s (tolerance %.1f%%)"
+             (Filename.basename baseline)
+             (Filename.basename candidate)
+             tolerance)
+        ~header:[ "metric"; "baseline"; "candidate"; "delta"; "verdict" ]
+        (List.map
+           (fun (v : Manifest.verdict) ->
+             [ v.Manifest.v_key;
+               Printf.sprintf "%.4g" v.Manifest.v_base;
+               Printf.sprintf "%.4g" v.Manifest.v_cand;
+               Printf.sprintf "%+.2f%%" v.Manifest.v_delta_pct;
+               (if v.Manifest.v_regressed then "REGRESSED" else "ok") ])
+           verdicts);
+      List.iter
+        (fun k -> Printf.printf "missing from candidate: %s\n" k)
+        missing;
+      let nreg =
+        List.length (List.filter (fun v -> v.Manifest.v_regressed) verdicts)
+      in
+      Printf.printf "report: %d metric(s), %d regression(s), %d missing\n"
+        (List.length verdicts) nreg (List.length missing);
+      if nreg > 0 || missing <> [] then 1 else 0
+    end
 
 (* ------------------------------ compare ------------------------------ *)
 
@@ -414,16 +656,58 @@ let profile_arg =
            ~doc:"DBT hot-block profile: per-block execution counts, \
                  dispatch entries and chain hit rate.")
 
+let timeseries_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeseries" ] ~docv:"FILE"
+           ~doc:"Sample cycle-domain telemetry and write the series to \
+                 $(docv) (CSV when it ends in .csv, JSONL otherwise).")
+
+let sample_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sample-every" ] ~docv:"NS"
+           ~doc:"Virtual-time sampling period in nanoseconds \
+                 (default 100000; implies telemetry).")
+
+let manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable run manifest (git rev, \
+                 counters, per-phase energy, throughput) to $(docv).")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 
 let run_t =
   Term.(
     const run_cmd $ mode_arg $ cycles_arg $ layout_arg $ sleep_arg
     $ glitch_arg $ resume_native_arg $ m3_cache_arg $ trace_arg
-    $ trace_filter_arg $ trace_cap_arg $ profile_arg $ verbose_arg)
+    $ trace_filter_arg $ trace_cap_arg $ profile_arg $ timeseries_arg
+    $ sample_every_arg $ manifest_arg $ verbose_arg)
+
+let report_t =
+  Term.(
+    const report_cmd
+    $ Arg.(required & opt (some string) None
+           & info [ "baseline" ] ~docv:"FILE"
+               ~doc:"Baseline manifest or BENCH json.")
+    $ Arg.(required & opt (some string) None
+           & info [ "candidate" ] ~docv:"FILE"
+               ~doc:"Candidate manifest or BENCH json.")
+    $ Arg.(value & opt float 15.0
+           & info [ "tolerance" ] ~docv:"PCT"
+               ~doc:"Allowed relative change per metric, percent.")
+    $ Arg.(value & opt (some string) None
+           & info [ "only" ] ~docv:"KEYS"
+               ~doc:"Comma-separated dotted metric paths to gate on \
+                     (suffix match); default: every shared numeric \
+                     metric."))
 
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run suspend/resume cycles.") run_t;
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Diff two run manifests (or BENCH files) with a tolerance \
+               band. Exits 1 on any regression, 2 on parse errors.")
+      report_t;
     Cmd.v
       (Cmd.info "compare" ~doc:"Native vs offloaded, side by side.")
       Term.(const compare_cmd $ cycles_arg);

@@ -225,6 +225,15 @@ let rec create ~(soc : Soc.t) ~mode () =
   t.env_traced <-
     { Exec.load = load_traced; store = store_traced; svc; wfi; irq_ret;
       undef };
+  (* telemetry gauges: translation-cache occupancy and engine work.
+     add_gauge replaces by name, so a second engine on the same SoC
+     re-binds these columns instead of duplicating them. *)
+  let gauge = Tk_stats.Timeseries.add_gauge soc.Soc.sampler in
+  gauge "dbt_blocks" (fun () -> t.blocks);
+  gauge "dbt_host_words" (fun () -> (t.cursor - Soc.code_cache_base) asr 2);
+  gauge "dbt_patches" (fun () -> t.patches);
+  gauge "dbt_exits" (fun () -> t.engine_exits);
+  gauge "dbt_host_retired" (fun () -> t.host_executed);
   t
 
 (* ------------------------- code emission ---------------------------- *)
@@ -433,11 +442,15 @@ let run t (cpu : Exec.cpu) ~fuel =
      register-resident bool and runs the seed's untraced environment *)
   let traced = tr.Tk_stats.Trace.enabled in
   let env = if traced then t.env_traced else t.env in
+  (* telemetry sampler: same hoisting discipline *)
+  let ts = t.soc.Soc.sampler in
+  let sampling = ts.Tk_stats.Timeseries.enabled in
   let r = cpu.Exec.r in
   let n = ref 0 in
   while true do
     if !n >= fuel then raise (Host_error "DBT fuel exhausted");
     incr n;
+    if sampling then Tk_stats.Timeseries.tick ts;
     let pcv = Array.unsafe_get r pc in
     if pcv = Layout.exit_magic then raise Context_exit;
     if not (in_cache t pcv) then

@@ -78,6 +78,14 @@ let create ?(layout = Layout.v4_4) ?m3_cache_kb () =
   in
   let built = build_image ~layout () in
   Tk_machine.Mem.load_image soc.Tk_machine.Soc.mem built.Image.image;
+  (* telemetry gauges: one power-rail state column per device (0/1), in
+     registration order so the series columns match Figure 6's labels *)
+  List.iter
+    (fun name ->
+      let d = List.assoc name devices in
+      Tk_stats.Timeseries.add_gauge soc.Tk_machine.Soc.sampler ("pw_" ^ name)
+        (fun () -> if d.Device.power_on then 1 else 0))
+    registration_order;
   { soc; built; devices }
 
 let device t name = List.assoc name t.devices

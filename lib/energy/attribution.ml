@@ -1,0 +1,202 @@
+(** Energy-attribution ledger: the §7.4 model, time-resolved.
+
+    {!Power_model.of_activity} turns one activity window into one
+    breakdown — a scalar per component. This module integrates the same
+    model over the epochs recorded by the cycle-domain sampler
+    ({!Tk_stats.Timeseries}) and charges every microjoule to a
+    [(phase, core, component)] cell, so the paper's 66%-of-native figure
+    decomposes into "which phase, on which core, spent what, where".
+
+    The attribution is {e exact} with respect to the aggregate model:
+    the core busy/idle and IO terms are linear in time, so per-epoch
+    charges telescope to the window totals; the DRAM traffic term is
+    not (it multiplies the window's bandwidth by its busy time), so
+    each epoch's traffic bytes are weighted by the {e window-global}
+    busy fraction — summing epochs then reproduces
+    [of_activity]'s e_dram identically, and {!reconcile} checks that
+    (the acceptance bar is 0.1%; the residual is pure float
+    rounding). DRAM and IO energy are charged to the [active] core —
+    the one the model runs on — while the other core's busy/idle cells
+    are additional decomposition the scalar model cannot see. *)
+
+open Tk_machine
+module Ts = Tk_stats.Timeseries
+
+let comp_core_busy = "core_busy"
+let comp_core_idle = "core_idle"
+let comp_dram = "dram"
+let comp_io = "io"
+
+(** Component names in canonical (reporting) order. *)
+let components = [ comp_core_busy; comp_core_idle; comp_dram; comp_io ]
+
+type cell = {
+  c_phase : int;  (** phase code in effect over the epoch *)
+  c_core : string;  (** gauge prefix, e.g. "a9" / "m3" *)
+  c_comp : string;  (** one of {!components} *)
+  c_uj : float;
+}
+
+type t = {
+  l_active : string;  (** the core DRAM/IO energy is charged to *)
+  l_epochs : int;  (** sampled epochs integrated *)
+  l_t0_ns : int;  (** window start (first retained row) *)
+  l_t1_ns : int;  (** window end (last row) *)
+  l_cells : cell list;  (** sorted by (phase, core, component) *)
+}
+
+let empty active =
+  { l_active = active; l_epochs = 0; l_t0_ns = 0; l_t1_ns = 0; l_cells = [] }
+
+(** [integrate ts ~cores ~active] walks the sampler's retained rows and
+    charges each epoch's energy. [cores] maps gauge prefixes (as wired
+    by [Soc.create]) to their power parameters; [active] names the core
+    whose window {!Power_model.of_activity} describes — DRAM and IO are
+    charged there. An epoch is attributed to the phase recorded with its
+    {e ending} row: [Ts.phase] forces a boundary row before switching,
+    so no epoch straddles a phase mark. *)
+let integrate (ts : Ts.t) ~(cores : (string * Core.params) list) ~active =
+  let rows = Ts.rows ts in
+  let n = Array.length rows in
+  if n < 2 then empty active
+  else begin
+    let idx name =
+      match Ts.col_index ts name with
+      | Some i -> i
+      | None -> invalid_arg ("Attribution.integrate: no gauge " ^ name)
+    in
+    let i_phase = idx "phase" in
+    let core_cols =
+      List.map
+        (fun (pfx, params) ->
+          (pfx, params, idx (pfx ^ "_busy_ps"), idx (pfx ^ "_idle_ps")))
+        cores
+    in
+    let i_ard = idx (active ^ "_rd_bytes") in
+    let i_awr = idx (active ^ "_wr_bytes") in
+    let i_abusy = idx (active ^ "_busy_ps") in
+    let i_aidle = idx (active ^ "_idle_ps") in
+    let i_dma_rd = idx "dma_rd_bytes" in
+    let i_dma_wr = idx "dma_wr_bytes" in
+    let first = rows.(0) and last = rows.(n - 1) in
+    (* window-global busy fraction of the active core: the DRAM traffic
+       term of the model is bandwidth x busy-time over the whole window,
+       so per-epoch byte charges carry this weight to telescope exactly *)
+    let tot_busy = last.(i_abusy) - first.(i_abusy) in
+    let tot_active = tot_busy + (last.(i_aidle) - first.(i_aidle)) in
+    let busy_frac =
+      if tot_active = 0 then 0.0
+      else float_of_int tot_busy /. float_of_int tot_active
+    in
+    let cells : (int * string * string, float ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let charge phase core comp uj =
+      if uj <> 0.0 then begin
+        let key = (phase, core, comp) in
+        match Hashtbl.find_opt cells key with
+        | Some r -> r := !r +. uj
+        | None -> Hashtbl.add cells key (ref uj)
+      end
+    in
+    for k = 0 to n - 2 do
+      let r0 = rows.(k) and r1 = rows.(k + 1) in
+      let ph = r1.(i_phase) in
+      List.iter
+        (fun (pfx, (params : Core.params), ib, ii) ->
+          let dbusy_ms = float_of_int (r1.(ib) - r0.(ib)) /. 1e9 in
+          let didle_ms = float_of_int (r1.(ii) - r0.(ii)) /. 1e9 in
+          charge ph pfx comp_core_busy (dbusy_ms *. params.Core.busy_mw);
+          charge ph pfx comp_core_idle (didle_ms *. params.Core.idle_mw);
+          if pfx = active then begin
+            let drd =
+              r1.(i_ard) - r0.(i_ard) + (r1.(i_dma_rd) - r0.(i_dma_rd))
+            and dwr =
+              r1.(i_awr) - r0.(i_awr) + (r1.(i_dma_wr) - r0.(i_dma_wr))
+            in
+            let e_traffic =
+              ((Power_model.p_mem_per_mbps_rd *. float_of_int drd)
+              +. (Power_model.p_mem_per_mbps_wr *. float_of_int dwr))
+              /. 1e3 *. busy_frac
+            in
+            charge ph pfx comp_dram
+              ((dbusy_ms *. Power_model.p_mem_active_base_mw)
+              +. (didle_ms *. Power_model.p_mem_sr_mw)
+              +. e_traffic);
+            charge ph pfx comp_io
+              ((dbusy_ms +. didle_ms) *. Power_model.p_io_mw)
+          end)
+        core_cols
+    done;
+    let l_cells =
+      Hashtbl.fold
+        (fun (ph, core, comp) r acc ->
+          { c_phase = ph; c_core = core; c_comp = comp; c_uj = !r } :: acc)
+        cells []
+      |> List.sort (fun a b ->
+             compare (a.c_phase, a.c_core, a.c_comp)
+               (b.c_phase, b.c_core, b.c_comp))
+    in
+    { l_active = active; l_epochs = n - 1; l_t0_ns = first.(0);
+      l_t1_ns = last.(0); l_cells }
+  end
+
+(* --------------------------- aggregation ----------------------------- *)
+
+let sum_if pred t =
+  List.fold_left
+    (fun acc c -> if pred c then acc +. c.c_uj else acc)
+    0.0 t.l_cells
+
+(** [component_total t comp] — microjoules charged to [comp] on the
+    active core (the slice {!reconcile} compares against the model). *)
+let component_total t comp =
+  sum_if (fun c -> c.c_core = t.l_active && c.c_comp = comp) t
+
+(** [active_total t] — total microjoules on the active core; equals
+    [Power_model.total] of the window breakdown up to rounding. *)
+let active_total t =
+  sum_if (fun c -> c.c_core = t.l_active) t
+
+(** [phases t] — the distinct phase codes, in ascending code order. *)
+let phases t =
+  List.sort_uniq compare (List.map (fun c -> c.c_phase) t.l_cells)
+
+(** [phase_breakdown t ph] — active-core microjoules per component for
+    phase [ph], in {!components} order. *)
+let phase_breakdown t ph =
+  List.map
+    (fun comp ->
+      ( comp,
+        sum_if
+          (fun c ->
+            c.c_phase = ph && c.c_core = t.l_active && c.c_comp = comp)
+          t ))
+    components
+
+(* -------------------------- reconciliation --------------------------- *)
+
+type check = {
+  k_comp : string;
+  k_ledger_uj : float;
+  k_model_uj : float;
+  k_rel_err : float;  (** |ledger - model| / max(|model|, 1e-9) *)
+}
+
+(** [reconcile t b] compares the ledger's per-component totals against
+    the scalar model's breakdown [b] for the same window. *)
+let reconcile t (b : Power_model.breakdown) =
+  let one comp model =
+    let ledger = component_total t comp in
+    { k_comp = comp; k_ledger_uj = ledger; k_model_uj = model;
+      k_rel_err =
+        abs_float (ledger -. model) /. Float.max (abs_float model) 1e-9 }
+  in
+  [ one comp_core_busy b.Power_model.e_core_busy;
+    one comp_core_idle b.Power_model.e_core_idle;
+    one comp_dram b.Power_model.e_dram;
+    one comp_io b.Power_model.e_io ]
+
+(** [max_rel_err checks] — the worst component divergence. *)
+let max_rel_err checks =
+  List.fold_left (fun acc k -> Float.max acc k.k_rel_err) 0.0 checks

@@ -78,7 +78,8 @@ let create ?layout ?devices ?(mode = Translator.Ark) ?sleep_ms ?m3_cache_kb
             ev_time_ns = plat.soc.Soc.clock.Clock.now;
             ev_m3 = Core.activity plat.soc.Soc.m3 }
           :: t.events;
-        Tk_stats.Trace.phase plat.soc.Soc.trace code
+        Tk_stats.Trace.phase plat.soc.Soc.trace code;
+        Tk_stats.Timeseries.phase plat.soc.Soc.sampler code
       end
       else if n = Hyper.warn_hit then
         t.nat.Native_run.warns <-
@@ -102,7 +103,8 @@ let record t code =
     { ev_code = code; ev_time_ns = (plat t).soc.Soc.clock.Clock.now;
       ev_m3 = Core.activity (plat t).soc.Soc.m3 }
     :: t.events;
-  Tk_stats.Trace.phase (plat t).soc.Soc.trace code
+  Tk_stats.Trace.phase (plat t).soc.Soc.trace code;
+  Tk_stats.Timeseries.phase (plat t).soc.Soc.sampler code
 
 (** [trace t] — the platform's flight recorder (enable/dump through
     {!Tk_stats.Trace}). *)

@@ -238,7 +238,9 @@ let step_env t traced env =
     first). *)
 let step t =
   let traced = t.tr.Tk_stats.Trace.enabled in
-  step_env t traced (if traced then t.env_traced else t.env)
+  step_env t traced (if traced then t.env_traced else t.env);
+  let ts = t.soc.Soc.sampler in
+  if ts.Tk_stats.Timeseries.enabled then Tk_stats.Timeseries.tick ts
 
 (** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
     instructions elapse, which raises {!Fault} — a runaway guest). *)
@@ -246,8 +248,13 @@ let run t ~fuel =
   let n = ref 0 in
   let traced = t.tr.Tk_stats.Trace.enabled in
   let env = if traced then t.env_traced else t.env in
+  (* telemetry sampler: same hoisting discipline as tracing — when
+     sampling is off the loop only tests an immutable bool *)
+  let ts = t.soc.Soc.sampler in
+  let sampling = ts.Tk_stats.Timeseries.enabled in
   while !n < fuel do
     incr n;
-    step_env t traced env
+    step_env t traced env;
+    if sampling then Tk_stats.Timeseries.tick ts
   done;
   raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel))

@@ -81,6 +81,10 @@ type t = {
   trace : Tk_stats.Trace.t;
       (** the platform's flight recorder (disabled by default); every
           component of this SoC emits into it *)
+  sampler : Tk_stats.Timeseries.t;
+      (** the cycle-domain telemetry sampler (disabled by default);
+          gauges over every counter of this SoC are wired here, and the
+          run loops tick it on the sampling period *)
 }
 
 (** [create ?m3_cache_kb ()] builds a fresh platform. [m3_cache_kb]
@@ -127,7 +131,27 @@ let create ?(m3_cache_kb = m3_cache_kb) () =
   fabric.Intc.gic.Intc.tr_core <- Tk_stats.Trace.core_cpu;
   fabric.Intc.nvic.Intc.tr <- trace;
   fabric.Intc.nvic.Intc.tr_core <- Tk_stats.Trace.core_m3;
-  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace }
+  (* cycle-domain sampler: shares the clock with the recorder; one gauge
+     per platform counter (core time/work, cache traffic, DMA). Higher
+     layers (DBT engine, device drivers) wire their own gauges on top. *)
+  let sampler = Tk_stats.Timeseries.create () in
+  sampler.Tk_stats.Timeseries.now <- (fun () -> clock.Clock.now);
+  let gauge = Tk_stats.Timeseries.add_gauge sampler in
+  let core_gauges prefix (c : Core.t) =
+    gauge (prefix ^ "_busy_ps") (fun () -> c.Core.busy_ps);
+    gauge (prefix ^ "_idle_ps") (fun () -> c.Core.idle_ps);
+    gauge (prefix ^ "_busy_cy") (fun () -> c.Core.busy_cycles);
+    gauge (prefix ^ "_instrs") (fun () -> c.Core.instructions);
+    gauge (prefix ^ "_hits") (fun () -> c.Core.cache.Cache.hits);
+    gauge (prefix ^ "_miss") (fun () -> c.Core.cache.Cache.misses);
+    gauge (prefix ^ "_rd_bytes") (fun () -> c.Core.cache.Cache.rd_bytes);
+    gauge (prefix ^ "_wr_bytes") (fun () -> c.Core.cache.Cache.wr_bytes)
+  in
+  core_gauges "a9" cpu;
+  core_gauges "m3" m3;
+  gauge "dma_rd_bytes" (fun () -> mem.Mem.dma_read_bytes);
+  gauge "dma_wr_bytes" (fun () -> mem.Mem.dma_write_bytes);
+  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace; sampler }
 
 (** [dev_base i] is the MMIO base address of device slot [i]. *)
 let dev_base i = dev_mmio_base + (i * dev_mmio_stride)

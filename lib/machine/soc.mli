@@ -68,6 +68,10 @@ type t = {
   trace : Tk_stats.Trace.t;
       (** the platform's flight recorder (disabled by default); every
           component of this SoC emits into it *)
+  sampler : Tk_stats.Timeseries.t;
+      (** the cycle-domain telemetry sampler (disabled by default);
+          gauges over every counter of this SoC are wired here, and the
+          run loops tick it on the sampling period *)
 }
 
 (** [create ?m3_cache_kb ()] builds a fresh platform. [m3_cache_kb]

@@ -39,6 +39,25 @@ let snapshot (t : t) =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(** [to_assoc t] — the canonical counter schema: name-sorted
+    [(name, value)] pairs. This is the one shape counters travel in
+    everywhere downstream — trace phase-marks, time-series gauges, run
+    manifests and {!Report.counters} all consume it — so a counter
+    renamed here renames consistently across every surface. (Alias of
+    {!snapshot}; the two names document intent: [snapshot] for a
+    later {!diff}, [to_assoc] for export.) *)
+let to_assoc = snapshot
+
+(** [to_json t] renders {!to_assoc} as one flat JSON object (sorted
+    keys, stable across runs — manifest digests rely on this). *)
+let to_json (t : t) =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v)
+         (to_assoc t))
+  ^ "}"
+
 (** [diff before after] is the per-name difference [after - before];
     names absent on one side count as 0 there. *)
 let diff before after =

@@ -46,6 +46,29 @@ let kv title pairs =
   let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
   List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" w k v) pairs
 
+(** [counters title assoc] renders a counter snapshot ({!Counters.to_assoc})
+    as a two-column table, dropping zero rows. *)
+let counters title assoc =
+  let rows =
+    List.filter_map
+      (fun (k, v) -> if v = 0 then None else Some [ k; string_of_int v ])
+      assoc
+  in
+  if rows <> [] then table ~title ~header:[ "counter"; "value" ] rows
+
+(** [counter_deltas title deltas] renders a {!Counters.diff} result,
+    dropping zero rows and sign-marking growth, so per-phase counter
+    tables all share one schema instead of ad-hoc fields. *)
+let counter_deltas title deltas =
+  let rows =
+    List.filter_map
+      (fun (k, d) ->
+        if d = 0 then None
+        else Some [ k; Printf.sprintf "%+d" d ])
+      deltas
+  in
+  if rows <> [] then table ~title ~header:[ "counter"; "delta" ] rows
+
 (** Format helpers used throughout the bench output. *)
 let fx f = Printf.sprintf "%.1fx" f
 

@@ -1,0 +1,36 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The benches print the same rows/series the paper reports; this
+    module keeps the formatting in one place so every table looks
+    alike. *)
+
+type align = L | R
+
+(** [table ~title ~header rows] prints an aligned ASCII table. The first
+    column is left-aligned, the rest right-aligned unless [aligns] says
+    otherwise. *)
+val table :
+  ?aligns:align list ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  unit
+
+(** [kv title pairs] prints a key/value block. *)
+val kv : string -> (string * string) list -> unit
+
+(** [counters title assoc] renders a counter snapshot
+    ({!Counters.to_assoc}) as a two-column table, dropping zero rows. *)
+val counters : string -> (string * int) list -> unit
+
+(** [counter_deltas title deltas] renders a {!Counters.diff} result,
+    dropping zero rows and sign-marking growth. *)
+val counter_deltas : string -> (string * int) list -> unit
+
+(** Format helpers used throughout the bench output. *)
+
+val fx : float -> string
+val pct : float -> string
+val ms : int -> string
+val mj : float -> string
+val f2 : float -> string
