@@ -815,6 +815,70 @@ let throughput ~smoke ~record () =
            ("dbt_instrs", Int dbt_instrs) ]);
     Printf.printf "  wrote %s\n%!" f
 
+(* -------------------------------- sweep ------------------------------ *)
+
+(* Campaign-runner scaling: the same stress campaign at increasing
+   worker counts, with the digest pinned equal across all of them (the
+   determinism invariant `arksim sweep` advertises). Speedup is
+   host-dependent — on a single-core host the extra domains just
+   time-slice — so the digest check is the hard gate and the timing
+   table is telemetry. *)
+let sweep_bench ~smoke ~record () =
+  let module Campaign = Tk_campaign.Campaign in
+  let tasks = if smoke then 2 else 8 in
+  let cores = Domain.recommended_domain_count () in
+  let job_points =
+    List.sort_uniq compare (1 :: 2 :: 4 :: [ max 1 (cores - 2) ])
+  in
+  Printf.printf
+    "\n== campaign scaling (stress, %d tasks; host has %d core(s)) ==\n%!"
+    tasks cores;
+  let runs =
+    List.map
+      (fun jobs ->
+        let cfg =
+          { (Campaign.default_config Campaign.Stress) with
+            Campaign.tasks; jobs; seed = 1 }
+        in
+        let t = Campaign.run cfg in
+        (jobs, t))
+      job_points
+  in
+  let _, t1 = List.hd runs in
+  let digests_agree =
+    List.for_all (fun (_, t) -> t.Campaign.digest = t1.Campaign.digest) runs
+  in
+  Report.table ~title:"campaign wall time by worker count"
+    ~header:[ "jobs"; "wall (s)"; "speedup vs -j1"; "digest" ]
+    (List.map
+       (fun (jobs, t) ->
+         [ string_of_int jobs;
+           f2 t.Campaign.wall_s;
+           fx (t1.Campaign.wall_s /. max 1e-9 t.Campaign.wall_s);
+           t.Campaign.digest ])
+       runs);
+  Printf.printf "digest invariant across -j: %s\n%!"
+    (if digests_agree then "holds" else "VIOLATED");
+  (match record with
+  | None -> ()
+  | Some f ->
+    let open Run_manifest in
+    write_file f
+      (Obj
+         ([ ("schema", Str "arksim-sweep-bench-v1");
+            ( "meta",
+              Obj
+                [ ("git_rev", Str (git_rev ())); ("tasks", Int tasks);
+                  ("host_cores", Int cores) ] );
+            ("digest", Str t1.Campaign.digest);
+            ("digests_agree", Int (if digests_agree then 1 else 0)) ]
+         @ List.map
+             (fun (jobs, t) ->
+               (Printf.sprintf "wall_s_j%d" jobs, Num t.Campaign.wall_s))
+             runs));
+    Printf.printf "  wrote %s\n%!" f);
+  if not digests_agree then exit 1
+
 (* -------------------------------- trace ------------------------------ *)
 
 (* Flight-recorder showcase: one traced + profiled offloaded cycle with
@@ -879,7 +943,7 @@ let trace_bench () =
 let all_names =
   [ "table3"; "table4"; "table5"; "table6"; "fig3"; "fig5"; "fig6"; "fig7";
     "abi"; "services"; "fallback"; "dram"; "biglittle"; "battery"; "aarch64";
-    "ablation"; "trace"; "throughput" ]
+    "ablation"; "trace"; "throughput"; "sweep" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -923,6 +987,7 @@ let () =
       | "ablation" -> ablation ()
       | "trace" -> trace_bench ()
       | "throughput" -> throughput ~smoke:!smoke ~record:!record ()
+      | "sweep" -> sweep_bench ~smoke:!smoke ~record:!record ()
       | "bechamel" -> bechamel ()
       | other -> Printf.eprintf "unknown bench %s\n" other)
     selected;

@@ -7,6 +7,9 @@
                 [-v]
      arksim report --baseline A --candidate B [--tolerance PCT]
                 [--only k1,k2]         diff two manifests / BENCH files
+     arksim sweep --kind stress|fuzz|whatif [--tasks N] [--jobs J]
+                [--seed S] [--out FILE]  parallel campaign; same --seed
+                                       gives the same digest at any -j
      arksim compare [--cycles N]       native vs ARK side by side
      arksim disasm SYMBOL              show a kernel function and its
                                        ARK translation
@@ -430,6 +433,24 @@ let report_cmd baseline candidate tolerance only =
       if nreg > 0 || missing <> [] then 1 else 0
     end
 
+(* ------------------------------- sweep ------------------------------- *)
+
+module Campaign = Tk_campaign.Campaign
+
+(* exit codes: 0 clean, 1 any task error or fuzz divergence *)
+let sweep_cmd kind tasks jobs seed out =
+  let cfg =
+    { (Campaign.default_config kind) with Campaign.tasks; jobs; seed }
+  in
+  let t = Campaign.run cfg in
+  Campaign.print_summary t;
+  (match out with
+  | None -> ()
+  | Some f ->
+    Campaign.write_file f t;
+    Printf.printf "campaign -> %s\n" f);
+  if Campaign.failed t then 1 else 0
+
 (* ------------------------------ compare ------------------------------ *)
 
 let compare_cmd cycles =
@@ -708,6 +729,39 @@ let cmds =
          ~doc:"Diff two run manifests (or BENCH files) with a tolerance \
                band. Exits 1 on any regression, 2 on parse errors.")
       report_t;
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:"Run a campaign of independent simulations on a pool of \
+               domains. The campaign digest depends only on \
+               (kind, seed, tasks) — never on $(b,--jobs). Exits 1 on \
+               any task error or fuzz divergence.")
+      Term.(
+        const sweep_cmd
+        $ Arg.(
+            required
+            & opt
+                (some
+                   (conv
+                      ( (fun s ->
+                          match Campaign.kind_of_string s with
+                          | Some k -> Ok k
+                          | None -> Error (`Msg ("unknown kind " ^ s))),
+                        fun ppf k ->
+                          Format.pp_print_string ppf (Campaign.kind_name k)
+                      )))
+                None
+            & info [ "kind" ] ~docv:"KIND"
+                ~doc:"Campaign kind: stress, fuzz or whatif.")
+        $ Arg.(value & opt int 8
+               & info [ "tasks" ] ~docv:"N" ~doc:"Independent tasks to run.")
+        $ Arg.(value & opt int 1
+               & info [ "jobs"; "j" ] ~docv:"J"
+                   ~doc:"Worker domains (affects wall time only).")
+        $ Arg.(value & opt int 1
+               & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.")
+        $ Arg.(value & opt (some string) None
+               & info [ "out" ] ~docv:"FILE"
+                   ~doc:"Write the campaign JSON document to $(docv)."));
     Cmd.v
       (Cmd.info "compare" ~doc:"Native vs offloaded, side by side.")
       Term.(const compare_cmd $ cycles_arg);

@@ -31,19 +31,7 @@ let warnings fs = List.filter (fun f -> f.severity = Warning) fs
 
 (* JSON string escaping: the details embed disassembly, which is plain
    ASCII, but quotes/backslashes must survive a jq round-trip *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Tk_stats.Json.escape
 
 (** [to_json ?extra f] — one JSONL record:
     [{"pass":..,"severity":..,"code":..,"where":..,"detail":..}], with

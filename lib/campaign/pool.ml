@@ -1,0 +1,62 @@
+(** Fixed fleet of [Domain.spawn] workers over an indexed task list.
+
+    The campaign runner's concurrency primitive: [run ~jobs ~tasks f]
+    evaluates [f 0 .. f (tasks-1)] on at most [jobs] domains and returns
+    the outcomes {e in task order}, whatever order the workers finished
+    in. Tasks are claimed from a mutex-protected cursor (dynamic
+    scheduling — long tasks don't convoy short ones behind a static
+    partition), and every outcome lands in its own slot of a results
+    array, also under the mutex, so the final read after [Domain.join]
+    is well-defined under the OCaml memory model.
+
+    A task that raises does {e not} wedge the queue or kill its worker:
+    the exception is captured as that task's [Error] outcome and the
+    worker moves on to the next index. [f] must be self-contained per
+    call (the simulator is shared-nothing per [Soc]) and must not
+    print — ordered, aggregated output is the collector's job. *)
+
+type 'a outcome = ('a, string) result
+
+(** [run ~jobs ~tasks f] — evaluate [f i] for [i] in [0..tasks-1] on
+    [min jobs tasks] workers (at least 1); [jobs <= 1] runs inline on
+    the calling domain. The result array is indexed by task. *)
+let run ~jobs ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  let results : 'a outcome option array = Array.make tasks None in
+  let m = Mutex.create () in
+  let next = ref 0 in
+  let take () =
+    Mutex.lock m;
+    let i = !next in
+    if i < tasks then incr next;
+    Mutex.unlock m;
+    if i < tasks then Some i else None
+  in
+  let put i r =
+    Mutex.lock m;
+    results.(i) <- Some r;
+    Mutex.unlock m
+  in
+  let worker () =
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        let r =
+          try Ok (f i)
+          with e -> Error (Printexc.to_string e)
+        in
+        put i r;
+        loop ()
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs tasks) in
+  if jobs <= 1 then worker ()
+  else begin
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains
+  end;
+  Array.map
+    (function Some r -> r | None -> Error "task never scheduled")
+    results

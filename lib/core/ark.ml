@@ -182,13 +182,12 @@ let hook t name (cpu : Exec.cpu) =
 
 (* ----------------------------- contexts ----------------------------- *)
 
-(* DBT-context stack slots live above the kernel threads' slots *)
-let ctx_stack_slot = ref 8
-
-let fresh_stack () =
-  let s = !ctx_stack_slot in
-  incr ctx_stack_slot;
-  Soc.stack_top s
+(* DBT-context stack slots live above the kernel threads' slots. The
+   slot cursor is per-create local state: a module-level ref here would
+   be shared mutable state across every ARK instance — a data race (and
+   a determinism leak) once the campaign runner builds worlds on
+   concurrent domains. *)
+let ctx_slot_first = 8
 
 let classify_of_man (man : Manifest.t) addr =
   match man.abi_name_of addr with
@@ -209,7 +208,12 @@ let rec create ~(soc : Soc.t) ?(mode = Translator.Ark) ~(man : Manifest.t) () =
       on_hypercall = (fun _ _ -> ()); counters = Counters.create ();
       emu_cycles = 0; fell_back = None }
   in
-  ctx_stack_slot := 8;
+  let ctx_stack_slot = ref ctx_slot_first in
+  let fresh_stack () =
+    let s = !ctx_stack_slot in
+    incr ctx_stack_slot;
+    Soc.stack_top s
+  in
   let mk kind =
     let id = List.length t.contexts in
     let c = Context.create ~id ~kind ~stack_top:(fresh_stack ()) in

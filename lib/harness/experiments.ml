@@ -166,17 +166,28 @@ let overhead ~(native : phase) ~(offloaded : phase) =
   if native.p_busy_cycles = 0 then 0.0
   else float_of_int offloaded.p_busy_cycles /. float_of_int native.p_busy_cycles
 
-(** [stress ~runs ~glitch_every ()] — the §7.3 fallback stress test: many
-    offloaded cycles with the WiFi firmware glitch injected in a few.
-    Returns (total runs, fallback count, fallback reasons). *)
-let stress ?(runs = 200) ?(glitch_every = 50) () =
+(** [stress_run ~runs ~glitch_every ?rng ()] — the §7.3 fallback stress
+    test: many offloaded cycles with the WiFi firmware glitch injected
+    in a few. Without [rng] the glitch lands on a fixed stride (every
+    [glitch_every]-th cycle, the historical behaviour); with [rng] each
+    cycle glitches with probability [1/glitch_every] drawn from that
+    state, so a campaign task's glitch schedule is a pure function of
+    its task seed. Returns (total runs, fallback count, fallback
+    reasons, the run). *)
+let stress_run ?(runs = 200) ?(glitch_every = 50) ?rng () =
   let ark = Ark_run.create () in
   let wifi = Platform.device (Ark_run.plat ark) "wifi" in
+  let glitch_now i =
+    glitch_every > 0
+    &&
+    match rng with
+    | None -> i mod glitch_every = 0
+    | Some st -> Random.State.int st glitch_every = 0
+  in
   let fell = ref 0 in
   let reasons = ref [] in
   for i = 1 to runs do
-    if glitch_every > 0 && i mod glitch_every = 0 then
-      wifi.Device.glitch_next_resume <- true;
+    if glitch_now i then wifi.Device.glitch_next_resume <- true;
     match Ark_run.suspend_resume_cycle ark with
     | `Ok -> ()
     | `Fell_back r ->
@@ -184,3 +195,6 @@ let stress ?(runs = 200) ?(glitch_every = 50) () =
       reasons := r :: !reasons
   done;
   (runs, !fell, !reasons, ark)
+
+(** [stress] — {!stress_run} with the fixed-stride glitch schedule. *)
+let stress ?runs ?glitch_every () = stress_run ?runs ?glitch_every ()

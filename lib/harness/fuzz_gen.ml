@@ -1,0 +1,281 @@
+(** Random guest-program generation and differential execution.
+
+    The §7.3 side-by-side methodology at fuzzing scale, as a library:
+    random guest programs — straight-line and with forward conditional
+    branches — must leave identical architectural state (r0..r10, NZCV,
+    data-buffer contents) whether executed by the native interpreter on
+    the simulated A9 or translated and run by the DBT engine on the
+    simulated M3, in every translator mode.
+
+    Two consumers share this module: the seeded soak in
+    test/test_differential.ml and the parallel campaign runner's [fuzz]
+    sweep ({!Tk_campaign.Campaign}). Both demand the same discipline:
+    {e every} random draw comes from an explicit [Random.State.t]
+    threaded through the generators — no ambient [Random] calls, no
+    state captured by closure at module level. That is what makes a
+    program reproducible from [(seed, task)] alone and race-free when
+    many campaign tasks generate concurrently on separate domains. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_machine
+open Tk_dbt
+
+let buf_base = 0x10500000
+let buf_size = 16384
+let buf_mid = buf_base + (buf_size / 2)
+
+(* -------------------------- generators ------------------------------ *)
+
+let rnd = Random.State.int
+let flip = Random.State.bool
+
+(* destination registers never include the memory base r8 / index r9 *)
+let dst_regs = [| 0; 1; 2; 3; 4; 5; 6; 7; 10 |]
+let src_regs = [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |]
+let gdst st = dst_regs.(rnd st (Array.length dst_regs))
+let gsrc st = src_regs.(rnd st (Array.length src_regs))
+let gcond st = cond_of_int (rnd st 15)
+let gskind st = shift_kind_of_int (rnd st 4)
+
+let gimm st =
+  let b = rnd st 256 in
+  match rnd st 4 with
+  | 0 -> b
+  | 1 -> Bits.ror32 b 2
+  | 2 -> Bits.ror32 b 8
+  | _ -> Bits.ror32 b 30
+
+let gop2 st =
+  match rnd st 4 with
+  | 0 -> Imm (gimm st)
+  | 1 -> Reg (gsrc st)
+  | 2 -> Sreg (gsrc st, gskind st, rnd st 32)
+  | _ -> Sregreg (gsrc st, gskind st, gsrc st)
+
+let gdp st = Dp (dp_op_of_int (rnd st 16), flip st, gdst st, gsrc st, gop2 st)
+
+let gmem st =
+  let idx = match rnd st 4 with 0 | 1 -> Offset | 2 -> Pre | _ -> Post in
+  let off =
+    if flip st then
+      let o = rnd st 129 - 64 in
+      Oimm (if idx = Offset then o * 8 else o)
+    else
+      (* r9 holds a small index set up by the harness *)
+      Oreg (9, (if rnd st 3 = 2 then LSR else LSL), rnd st 3)
+  in
+  Mem
+    { ld = flip st; size = mem_size_of_int (rnd st 3); rt = rnd st 8; rn = 8;
+      off; idx }
+
+let greglist st =
+  let n = 1 + rnd st 4 in
+  List.sort_uniq compare (List.init n (fun _ -> rnd st 8))
+
+let gmisc st =
+  match rnd st 11 with
+  | 0 -> Movw (gdst st, rnd st 0x10000)
+  | 1 -> Movt (gdst st, rnd st 0x10000)
+  | 2 -> Mul (flip st, gdst st, gsrc st, gsrc st)
+  | 3 -> Udiv (gdst st, gsrc st, gsrc st)
+  | 4 -> Clz (gdst st, gsrc st)
+  | 5 -> Rev (gdst st, gsrc st)
+  | 6 -> Sxt (Byte, gdst st, gsrc st)
+  | 7 -> Uxt (Half, gdst st, gsrc st)
+  | 8 -> Swp (gdst st, rnd st 8, 8)
+  | 9 -> Stm (8, true, greglist st)
+  | _ -> Ldm (8, true, greglist st)
+
+let ginst st =
+  let op =
+    let k = rnd st 10 in
+    if k < 5 then gdp st else if k < 8 then gmem st else gmisc st
+  in
+  { cond = gcond st; op }
+
+(* a program is a sequence of slots; [Br] is a conditional forward
+   branch to a later slot (index len = the terminating [Bx lr]), so
+   every generated program terminates by construction *)
+type slot = I of inst | Br of cond * int
+
+(* explicit fill loops: generation order is part of the seed contract *)
+let gen_straight st =
+  let n = 4 + rnd st 21 in
+  let a = Array.make n (I (at Nop)) in
+  for i = 0 to n - 1 do
+    a.(i) <- I (ginst st)
+  done;
+  a
+
+let gen_branchy st =
+  let n = 8 + rnd st 13 in
+  let a = Array.make n (I (at Nop)) in
+  for i = 0 to n - 1 do
+    a.(i) <-
+      (if i < n - 1 && rnd st 4 = 0 then Br (gcond st, i + 1 + rnd st (n - i))
+       else I (ginst st))
+  done;
+  a
+
+let slot_str = function
+  | I i -> to_string i
+  | Br (c, j) -> Printf.sprintf "b<%d> -> .L%d" (int_of_cond c) j
+
+let program_str slots =
+  String.concat "\n"
+    (List.mapi (fun i s -> Printf.sprintf ".L%d: %s" i (slot_str s))
+       (Array.to_list slots))
+
+(* filter shapes each mode's translator legitimately rejects *)
+let translatable mode slots =
+  Array.for_all
+    (function
+      | Br _ -> true
+      | I i -> (
+        (match i.op with
+        | Mem { ld = true; rt; rn; idx = Pre | Post; _ } -> rt <> rn
+        | _ -> true)
+        &&
+        match mode with
+        | Translator.Mid ->
+          (* Mid reserves r10 (scratch) and r11 (env base) *)
+          (not (List.mem 10 (regs_read i)))
+          && not (List.mem 10 (regs_written i))
+        | Translator.Ark | Translator.Baseline -> true))
+    slots
+
+(* --------------------------- harnesses ------------------------------ *)
+
+let build_image slots =
+  let lbl j = Printf.sprintf ".L%d" j in
+  let body =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           Asm.Label (lbl i)
+           ::
+           (match s with
+           | I ins -> [ Asm.Ins ins ]
+           | Br (c, j) -> [ Asm.Bcc (c, lbl j) ]))
+         (Array.to_list slots))
+  in
+  let items =
+    body @ [ Asm.Label (lbl (Array.length slots)); Asm.Ins (at (Bx lr)) ]
+  in
+  Asm.link ~base:Soc.kernel_base [ { Asm.name = "fuzzfn"; items } ] []
+
+let fill_buffer soc =
+  for i = 0 to (buf_size / 4) - 1 do
+    Mem.ram_write soc.Soc.mem (buf_base + (4 * i)) 4
+      ((i * 2654435761) land 0xFFFFFFFF)
+  done
+
+let seed_regs set =
+  set 0 0x12345678;
+  set 1 0xFFFFFFF0;
+  set 2 17;
+  set 3 0x80000000;
+  set 4 3;
+  set 5 0xCAFEBABE;
+  set 6 0;
+  set 7 0x7FFFFFFF;
+  set 8 buf_mid;
+  set 9 6;
+  set 10 0x0BADF00D
+
+type arch = { regs : int array; flags : int; digest : int }
+
+(** A harness failure (runaway program, decode crash, engine
+    exception) — distinct from a {e divergence}, which is data. *)
+exception Harness_error of string
+
+let harness_fail arm e =
+  raise (Harness_error (Printf.sprintf "%s: %s" arm (Printexc.to_string e)))
+
+let run_native slots =
+  let soc = Soc.create () in
+  let image = build_image slots in
+  Mem.load_image soc.Soc.mem image;
+  fill_buffer soc;
+  let interp = Interp.create ~soc () in
+  let stop = ref false in
+  interp.Interp.on_svc <- (fun _ _ _ -> stop := true);
+  let cpu = interp.Interp.cpu in
+  seed_regs (fun i v -> cpu.Exec.r.(i) <- Bits.mask32 v);
+  let stub = Soc.kernel_base + (4 * Array.length image.Asm.words) + 64 in
+  Mem.ram_write soc.Soc.mem stub 4 (V7a.encode_exn (at (Svc 0)));
+  cpu.Exec.r.(Types.lr) <- stub;
+  Interp.set_pc interp (Asm.symbol image "fuzzfn");
+  let steps = ref 0 in
+  (try
+     while not !stop do
+       incr steps;
+       if !steps > 1_000_000 then failwith "native runaway";
+       Interp.step interp
+     done
+   with e -> harness_fail "native" e);
+  { regs = Array.copy cpu.Exec.r;
+    flags = Exec.flags_word cpu;
+    digest = Mem.digest soc.Soc.mem ~lo:buf_base ~hi:(buf_base + buf_size) }
+
+let run_dbt mode slots =
+  let soc = Soc.create () in
+  let image = build_image slots in
+  Mem.load_image soc.Soc.mem image;
+  fill_buffer soc;
+  let engine = Engine.create ~soc ~mode () in
+  let cpu = Exec.make_cpu () in
+  (match mode with
+  | Translator.Ark ->
+    seed_regs (fun i v ->
+        if i = 10 then Engine.set_guest_reg engine cpu 10 v
+        else cpu.Exec.r.(i) <- Bits.mask32 v);
+    cpu.Exec.r.(Types.lr) <- Layout.exit_magic
+  | Translator.Mid | Translator.Baseline ->
+    cpu.Exec.r.(11) <- Layout.env_base;
+    seed_regs (fun i v -> Engine.set_guest_reg engine cpu i v);
+    Engine.set_guest_reg engine cpu Types.lr Layout.exit_magic);
+  cpu.Exec.r.(Types.pc) <- Engine.entry_host engine (Asm.symbol image "fuzzfn");
+  (try Engine.run engine cpu ~fuel:5_000_000 with
+  | Engine.Context_exit -> ()
+  | e -> harness_fail "dbt" e);
+  let regs = Array.init 16 (fun i -> Engine.guest_reg engine cpu i) in
+  { regs;
+    flags =
+      (match mode with
+      | Translator.Baseline ->
+        Mem.ram_read soc.Soc.mem Layout.env_guest_flags 4
+      | _ -> Exec.flags_word cpu);
+    digest = Mem.digest soc.Soc.mem ~lo:buf_base ~hi:(buf_base + buf_size) }
+
+let compare_arms mode slots =
+  let n = run_native slots in
+  let d = run_dbt mode slots in
+  let mismatch = ref [] in
+  for i = 0 to 10 do
+    (* r11 is mode-reserved, r12 the documented dead register,
+       r13/r14/r15 control state *)
+    if n.regs.(i) <> d.regs.(i) then
+      mismatch :=
+        Printf.sprintf "r%d: native=0x%x dbt=0x%x" i n.regs.(i) d.regs.(i)
+        :: !mismatch
+  done;
+  if n.flags <> d.flags then
+    mismatch :=
+      Printf.sprintf "flags: 0x%x vs 0x%x" n.flags d.flags :: !mismatch;
+  if n.digest <> d.digest then
+    mismatch := "memory digest differs" :: !mismatch;
+  if !mismatch = [] then Ok () else Error (String.concat "\n" !mismatch)
+
+(** [program_fnv slots] — FNV-1a over the rendered program text; the
+    campaign folds these into its task digests so a generator whose
+    draws drift (or race) shows up as a digest change, not silence. *)
+let program_fnv slots =
+  let h = ref 0x1bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    (program_str slots);
+  !h

@@ -1,0 +1,49 @@
+(** Random guest-program generation + native-vs-DBT differential
+    execution (the §7.3 methodology as a library).
+
+    Every generator takes the [Random.State.t] it draws from as an
+    explicit argument — no ambient [Random] calls anywhere in this
+    module — so a program is reproducible from its seed alone and
+    generation is race-free when campaign tasks run on concurrent
+    domains (each task derives its own state from [(campaign seed,
+    task index)]). *)
+
+(** One program slot: a concrete instruction, or a conditional forward
+    branch to a later slot index (the index one past the end is the
+    terminating [Bx lr], so every program terminates by construction). *)
+type slot = I of Tk_isa.Types.inst | Br of Tk_isa.Types.cond * int
+
+val gen_straight : Random.State.t -> slot array
+(** 4..24 random straight-line instructions *)
+
+val gen_branchy : Random.State.t -> slot array
+(** 8..20 slots, ~1/4 of them conditional forward branches *)
+
+val program_str : slot array -> string
+(** printable listing, one [.Ln:] line per slot *)
+
+val translatable : Tk_dbt.Translator.mode -> slot array -> bool
+(** filter shapes [mode]'s translator legitimately rejects *)
+
+val program_fnv : slot array -> int
+(** FNV-1a over {!program_str} — the campaign's generator-determinism
+    witness *)
+
+(** Architectural result of one arm: r0..r15, NZCV word, and an FNV
+    digest of the data buffer both arms hammer. *)
+type arch = { regs : int array; flags : int; digest : int }
+
+exception Harness_error of string
+(** harness failure (runaway, decode crash, engine exception) — distinct
+    from a divergence, which {!compare_arms} returns as data *)
+
+val run_native : slot array -> arch
+(** execute on a fresh simulated A9 through the interpreter *)
+
+val run_dbt : Tk_dbt.Translator.mode -> slot array -> arch
+(** translate and execute on a fresh simulated M3 through the engine *)
+
+val compare_arms :
+  Tk_dbt.Translator.mode -> slot array -> (unit, string) result
+(** run both arms and diff r0..r10, flags and buffer digest;
+    [Error report] describes the divergence *)

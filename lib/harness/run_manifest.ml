@@ -21,20 +21,11 @@ type json =
   | Num of float
   | Str of string
   | Obj of (string * json) list
+  | Arr of json list
 
-let esc s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* every interpolated string goes through the shared escaper so the
+   document stays valid JSON whatever the model data contains *)
+let esc = Tk_stats.Json.escape
 
 (** Canonical rendering: fixed float precision, insertion order
     preserved — two runs of the same code produce byte-identical
@@ -51,6 +42,7 @@ let rec to_string = function
     ^ String.concat ","
         (List.map (fun (k, v) -> "\"" ^ esc k ^ "\":" ^ to_string v) kvs)
     ^ "}"
+  | Arr vs -> "[" ^ String.concat "," (List.map to_string vs) ^ "]"
 
 let rec pretty ?(indent = 0) j =
   match j with
@@ -63,6 +55,12 @@ let rec pretty ?(indent = 0) j =
              pad ^ "\"" ^ esc k ^ "\": " ^ pretty ~indent:(indent + 2) v)
            kvs)
     ^ "\n" ^ String.make indent ' ' ^ "}"
+  | Arr vs when vs <> [] ->
+    let pad = String.make (indent + 2) ' ' in
+    "[\n"
+    ^ String.concat ",\n"
+        (List.map (fun v -> pad ^ pretty ~indent:(indent + 2) v) vs)
+    ^ "\n" ^ String.make indent ' ' ^ "]"
   | j -> to_string j
 
 (* ------------------------------ git rev ------------------------------ *)
@@ -272,7 +270,14 @@ type direction = Higher_better | Lower_better | Neutral
 
 (** Metric polarity by naming convention, so manifests stay plain data:
     throughput-like names regress downward, cost-like names regress
-    upward, anything else is gated on |delta|. *)
+    upward, anything else is gated on |delta|.
+
+    Cost-like substrings are checked {e first}: a key like [miss_rate]
+    or [fallback_rate] is a cost expressed as a rate, and classifying it
+    by its [rate] suffix would gate it in the wrong direction (a
+    worsened miss rate would pass CI). Benefit-rates without a cost
+    marker ([chain_hit_rate]) still land on [Higher_better]. Pinned by
+    test/test_timeseries.ml. *)
 let direction_of key =
   let k = String.lowercase_ascii key in
   let has sub =
@@ -280,11 +285,13 @@ let direction_of key =
     let rec go i = i + n <= m && (String.sub k i n = sub || go (i + 1)) in
     go 0
   in
-  if has "mips" || has "throughput" || has "rate" then Higher_better
-  else if
+  if
     has "wall" || has "cycles" || has "_uj" || has "_ms" || has "bytes"
-    || has "miss" || has "exits" || has "fallback"
+    || has "miss" || has "exits" || has "fallback" || has "divergen"
+    || has "dropped" || has "stall" || has "error"
   then Lower_better
+  else if has "mips" || has "throughput" || has "rate" || has "speedup" then
+    Higher_better
   else Neutral
 
 type verdict = {

@@ -54,7 +54,7 @@ let to_json (t : t) =
   "{"
   ^ String.concat ","
       (List.map
-         (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v)
+         (fun (k, v) -> Printf.sprintf {|%s:%d|} (Json.quote k) v)
          (to_assoc t))
   ^ "}"
 

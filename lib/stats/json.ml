@@ -1,0 +1,41 @@
+(** The one JSON string escaper.
+
+    Several emitters in this tree hand-render JSON (no JSON library
+    ships in the toolchain): run manifests, the flight recorder's JSONL
+    dump, the time-series export, counters, analysis findings, campaign
+    summaries. Any of them may interpolate strings that originate in
+    model data — fallback {e reason} strings, device names, kernel
+    symbol names — and a single stray quote or backslash in one of those
+    would silently corrupt every downstream [jq] pipeline. All string
+    interpolation therefore funnels through this module so every emitter
+    produces valid JSON by construction. *)
+
+(** [escape s] — [s] with the JSON string escapes applied (quote,
+    backslash, and C0 controls; [\n]/[\t] use the short forms). The
+    result is what goes {e between} the quotes. *)
+let escape s =
+  (* fast path: the overwhelmingly common case is a clean identifier *)
+  let clean = ref true in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' || Char.code c < 0x20 then clean := false)
+    s;
+  if !clean then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+(** [quote s] — [s] escaped and wrapped in double quotes: a complete
+    JSON string literal. *)
+let quote s = "\"" ^ escape s ^ "\""

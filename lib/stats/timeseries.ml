@@ -166,12 +166,14 @@ let to_csv oc t =
 (** [to_jsonl oc t] writes one JSON object per retained row, keyed by
     column label (directly queryable with jq; see README). *)
 let to_jsonl oc t =
-  let names = t.names in
+  (* labels can carry model-supplied names (device power rails); quote
+     them once through the shared escaper, not per row *)
+  let qnames = Array.map Json.quote t.names in
   iter_rows t (fun row ->
       output_char oc '{';
       Array.iteri
         (fun i v ->
           if i > 0 then output_char oc ',';
-          output_string oc (Printf.sprintf {|"%s":%d|} names.(i) v))
+          output_string oc (Printf.sprintf {|%s:%d|} qnames.(i) v))
         row;
       output_string oc "}\n")

@@ -259,8 +259,10 @@ let jsonl_line ~time ~core ~kind ~a ~b =
     | 9 -> Printf.sprintf {|"code":%d|} a
     | _ -> Printf.sprintf {|"a":%d,"b":%d|} a b
   in
-  Printf.sprintf {|{"t":%d,"core":"%s","ev":"%s",%s}|} time (core_name core)
-    (kind_name kind) payload
+  Printf.sprintf {|{"t":%d,"core":%s,"ev":%s,%s}|} time
+    (Json.quote (core_name core))
+    (Json.quote (kind_name kind))
+    payload
 
 (** [dump_jsonl oc t] writes the retained events, oldest first, one JSON
     object per line. *)

@@ -346,6 +346,51 @@ let test_compare_gate () =
             true
             (List.for_all (fun v -> v.Manifest.v_regressed) verdicts)))
 
+(* cost-expressed-as-a-rate keys must gate as costs: before the polarity
+   fix, the "rate" suffix classified miss_rate/fallback_rate as
+   Higher_better and a worsened miss rate sailed through CI *)
+let test_direction_polarity () =
+  let dir =
+    Alcotest.testable
+      (fun ppf d ->
+        Format.pp_print_string ppf
+          (match d with
+          | Manifest.Higher_better -> "Higher_better"
+          | Manifest.Lower_better -> "Lower_better"
+          | Manifest.Neutral -> "Neutral"))
+      ( = )
+  in
+  let check key want =
+    Alcotest.check dir key want (Manifest.direction_of key)
+  in
+  check "miss_rate" Manifest.Lower_better;
+  check "fallback_rate" Manifest.Lower_better;
+  check "chain_hit_rate" Manifest.Higher_better;
+  check "metrics.cache.miss_rate" Manifest.Lower_better;
+  check "sim_mips" Manifest.Higher_better;
+  check "suite_wall_s" Manifest.Lower_better;
+  check "blocks" Manifest.Neutral
+
+let test_gate_miss_rate () =
+  let base = write_tmp {|{"metrics": {"miss_rate": 0.02}}|} in
+  let worse = write_tmp {|{"metrics": {"miss_rate": 0.05}}|} in
+  let better = write_tmp {|{"metrics": {"miss_rate": 0.01}}|} in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ base; worse; better ])
+    (fun () ->
+      let verdicts, _ =
+        Manifest.compare_manifests ~baseline:base ~candidate:worse ~only:[]
+          ~tolerance_pct:15.0
+      in
+      Alcotest.(check bool) "worsened miss_rate regresses" true
+        (List.for_all (fun v -> v.Manifest.v_regressed) verdicts);
+      let verdicts, _ =
+        Manifest.compare_manifests ~baseline:base ~candidate:better ~only:[]
+          ~tolerance_pct:15.0
+      in
+      Alcotest.(check bool) "improved miss_rate passes" false
+        (List.exists (fun v -> v.Manifest.v_regressed) verdicts))
+
 let test_load_flat_roundtrip () =
   let doc =
     Manifest.Obj
@@ -399,5 +444,9 @@ let () =
             test_manifest_digest;
           Alcotest.test_case "tolerance gate and directions" `Quick
             test_compare_gate;
+          Alcotest.test_case "cost-rate polarity (miss_rate et al.)" `Quick
+            test_direction_polarity;
+          Alcotest.test_case "worsened miss_rate fails the gate" `Quick
+            test_gate_miss_rate;
           Alcotest.test_case "flat JSON reader round-trip" `Quick
             test_load_flat_roundtrip ] ) ]
