@@ -1,6 +1,7 @@
 (* arksim — drive the transkernel simulation from the command line.
 
-     arksim run [--mode native|ark|mid|baseline] [--cycles N]
+     arksim run [--mode native|ark|mid|baseline] [--tier ark|superblock]
+                [--cache-dir DIR] [--cycles N]
                 [--kernel v3.16|v4.4|v4.9|v4.20] [--sleep-ms N]
                 [--glitch-every N] [--resume-native] [--m3-cache KB]
                 [--timeseries FILE] [--sample-every NS] [--manifest FILE]
@@ -308,11 +309,17 @@ let summarize label (core : Tk_machine.Core.t) params warns =
     (Power.total e /. 1000.)
     warns
 
-let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
-    trace_file trace_filter trace_cap profile ts_file sample_every
-    manifest_file verbose =
+let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
+    resume_native m3_cache trace_file trace_filter trace_cap profile ts_file
+    sample_every manifest_file verbose =
   let kernel = layout.Tk_kernel.Layout.version in
   let telemetry = telemetry_on ~ts_file ~manifest_file ~sample_every in
+  let superblock = tier = `Superblock in
+  if (superblock || cache_dir <> None) && mode <> `Dbt Translator.Ark then begin
+    Printf.eprintf
+      "run: --tier superblock and --cache-dir require --mode ark\n";
+    exit 2
+  end;
   match mode with
   | `Native ->
     let nat = Native_run.create ~layout ~sleep_ms () in
@@ -337,7 +344,8 @@ let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
     else 0
   | `Dbt dbt_mode ->
     let ark =
-      Ark_run.create ~layout ~mode:dbt_mode ~sleep_ms ?m3_cache_kb:m3_cache ()
+      Ark_run.create ~layout ~mode:dbt_mode ~superblock ?cache_dir ~sleep_ms
+        ?m3_cache_kb:m3_cache ()
     in
     let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
     let tr = Ark_run.trace ark in
@@ -364,15 +372,25 @@ let run_cmd mode cycles layout sleep_ms glitch_every resume_native m3_cache
       e.Tk_dbt.Engine.blocks e.Tk_dbt.Engine.guest_translated
       e.Tk_dbt.Engine.host_emitted e.Tk_dbt.Engine.engine_exits
       (List.length ark.Ark_run.fallbacks);
+    if superblock then
+      Printf.printf
+        "superblock: %d traces, %d fusions, %d warm hits, \
+         %d invalidations, %d flushes\n"
+        e.Tk_dbt.Engine.traces_formed e.Tk_dbt.Engine.fusions_applied
+        e.Tk_dbt.Engine.cache_warm_hits e.Tk_dbt.Engine.invalidations
+        e.Tk_dbt.Engine.flushes;
+    if cache_dir <> None then Ark_run.save_cache ark;
     if tracing then
       trace_finish tr ~trace_file
         ~devices:ark.Ark_run.nat.Native_run.devices;
     if profile then print_profile e;
     let variant =
-      match dbt_mode with
-      | Translator.Ark -> "ark"
-      | Translator.Mid -> "mid"
-      | Translator.Baseline -> "baseline"
+      if superblock then "superblock"
+      else
+        match dbt_mode with
+        | Translator.Ark -> "ark"
+        | Translator.Mid -> "mid"
+        | Translator.Baseline -> "baseline"
     in
     if telemetry then
       telemetry_finish soc ~active:"m3" ~params:Soc.m3_params
@@ -627,6 +645,21 @@ let mode_arg =
   Arg.(value & opt mode_conv (`Dbt Translator.Ark)
        & info [ "mode" ] ~docv:"MODE" ~doc:"native, ark, mid or baseline.")
 
+let tier_arg =
+  Arg.(value
+       & opt (enum [ ("ark", `Ark); ("superblock", `Superblock) ]) `Ark
+       & info [ "tier" ] ~docv:"TIER"
+           ~doc:"DBT optimization tier: ark (block-at-a-time, default) or \
+                 superblock (hot-chain trace formation with macro-op \
+                 fusion; requires --mode ark).")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent translation cache directory, keyed by the \
+                 kernel image digest: load it before the run (warm \
+                 start) and save it after. Requires --mode ark.")
+
 let cycles_arg =
   Arg.(value & opt int 1 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to run.")
 
@@ -664,7 +697,7 @@ let trace_filter_arg =
        & info [ "trace-filter" ] ~docv:"KINDS"
            ~doc:"Comma-separated event kinds to record (retire, read, \
                  write, irq-raise, irq-deliver, power, translate, chain, \
-                 invalidate, phase; groups: mem, irq, dbt, all).")
+                 invalidate, form, phase; groups: mem, irq, dbt, all).")
 
 let trace_cap_arg =
   Arg.(value & opt (some int) None
@@ -699,10 +732,10 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 
 let run_t =
   Term.(
-    const run_cmd $ mode_arg $ cycles_arg $ layout_arg $ sleep_arg
-    $ glitch_arg $ resume_native_arg $ m3_cache_arg $ trace_arg
-    $ trace_filter_arg $ trace_cap_arg $ profile_arg $ timeseries_arg
-    $ sample_every_arg $ manifest_arg $ verbose_arg)
+    const run_cmd $ mode_arg $ tier_arg $ cache_dir_arg $ cycles_arg
+    $ layout_arg $ sleep_arg $ glitch_arg $ resume_native_arg $ m3_cache_arg
+    $ trace_arg $ trace_filter_arg $ trace_cap_arg $ profile_arg
+    $ timeseries_arg $ sample_every_arg $ manifest_arg $ verbose_arg)
 
 let report_t =
   Term.(

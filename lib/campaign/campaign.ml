@@ -86,15 +86,19 @@ let stress_task ~runs ~glitch_every rng =
 
 (* --- fuzz: the differential battery, a chunk per task --- *)
 
-let fuzz_modes = [| Translator.Ark; Translator.Mid; Translator.Baseline |]
-
-let fuzz_mode_name = function
-  | Translator.Ark -> "ark"
-  | Translator.Mid -> "mid"
-  | Translator.Baseline -> "baseline"
+(* the four fuzz arms: the three translator modes plus the superblock
+   trace tier, which stacks on Ark mode (its translatability filter) *)
+let fuzz_arms =
+  [| ("ark", Translator.Ark, Fuzz_gen.compare_arms Translator.Ark);
+     ("mid", Translator.Mid, Fuzz_gen.compare_arms Translator.Mid);
+     ( "baseline", Translator.Baseline,
+       Fuzz_gen.compare_arms Translator.Baseline );
+     ("superblock", Translator.Ark, Fuzz_gen.compare_superblock) |]
 
 let fuzz_task ~programs index rng =
-  let mode = fuzz_modes.(index mod Array.length fuzz_modes) in
+  let arm_name, mode, compare_fn =
+    fuzz_arms.(index mod Array.length fuzz_arms)
+  in
   let compared = ref 0
   and generated = ref 0
   and divergences = ref 0 in
@@ -111,7 +115,7 @@ let fuzz_task ~programs index rng =
       gen_digest :=
         (!gen_digest lxor Fuzz_gen.program_fnv slots)
         * 0x100000001b3 land max_int;
-      (match Fuzz_gen.compare_arms mode slots with
+      (match compare_fn slots with
       | Ok () -> ()
       | Error report ->
         incr divergences;
@@ -123,7 +127,7 @@ let fuzz_task ~programs index rng =
   done;
   { t_metrics =
       J.Obj
-        ([ ("mode", J.Str (fuzz_mode_name mode));
+        ([ ("mode", J.Str arm_name);
            ("programs", J.Int !compared); ("generated", J.Int !generated);
            ("divergences", J.Int !divergences);
            ("gen_digest", J.Str (Printf.sprintf "%016x" !gen_digest)) ]

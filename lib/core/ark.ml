@@ -198,9 +198,20 @@ let classify_of_man (man : Manifest.t) addr =
   | Some _ | None -> Translator.T_normal
 
 (** [create ~soc ~mode ~manifest ()] prepares ARK on the peripheral core.
-    [mode] selects the DBT optimization level (the Figure 6 bars). *)
-let rec create ~(soc : Soc.t) ?(mode = Translator.Ark) ~(man : Manifest.t) () =
+    [mode] selects the DBT optimization level (the Figure 6 bars);
+    [superblock] stacks the trace-formation tier on top of [Ark]. *)
+let rec create ~(soc : Soc.t) ?(mode = Translator.Ark) ?(superblock = false)
+    ~(man : Manifest.t) () =
   let engine = Engine.create ~soc ~mode () in
+  (* the superblock tier is an optimization level above Ark: it relies
+     on Ark's register/flag passthrough and r10 slot discipline (guest
+     r10 in env_r10, host r12 dead between blocks), neither of which
+     holds for Mid/Baseline *)
+  if superblock then begin
+    if mode <> Translator.Ark then
+      raise (Ark_error "superblock tier requires the Ark mode");
+    engine.Engine.superblock <- true
+  end;
   engine.Engine.classify_target <- classify_of_man man;
   let t =
     { soc; engine; man; contexts = []; current = None; in_irq = false;

@@ -81,13 +81,18 @@ type t = {
 val create :
   soc:Tk_machine.Soc.t ->
   ?mode:Tk_dbt.Translator.mode ->
+  ?superblock:bool ->
   man:Manifest.t ->
   unit ->
   t
 (** [create ~soc ~man ()] prepares ARK on the platform's peripheral
     core. [mode] selects the DBT optimization level (default
     {!Tk_dbt.Translator.Ark}; [Mid]/[Baseline] are the Figure 6
-    comparison engines). *)
+    comparison engines). [superblock] (default false) stacks the
+    trace-formation tier on top of [Ark] — it requires [mode = Ark]
+    ({!Ark_error} otherwise) and is cycle-{e accounted} rather than
+    cycle-neutral: it gates through the differential fuzz battery and
+    [arksim report], not the seed goldens. *)
 
 val run_phase : t -> [ `Suspend | `Resume ] -> outcome
 (** [run_phase t which] executes one offloaded device phase to

@@ -1,0 +1,118 @@
+(** Persistent translation cache: serializes translated blocks and
+    superblock plans keyed by a digest of the pristine guest image, so a
+    second run of the same image warm-starts — every translation and
+    formation the engine would perform is replayed from the store
+    instead of re-deriving it from the guest stream.
+
+    Replay is {e lazy}: the engine consults the store at the very same
+    instants it would otherwise translate or form, and charges the same
+    simulated translation cost, so a warm run's simulated timeline — and
+    therefore its run-manifest digest — is byte-identical to the cold
+    run's. What the store eliminates is the host-side translation work
+    (decode, legalize, plan), which is where the wall-clock translation
+    stalls live.
+
+    Robustness discipline: [load] never lets a bad file poison a run —
+    wrong magic, wrong version, wrong key, truncation or any unmarshal
+    failure all degrade to [None], i.e. an ordinary cold start. The
+    image key is embedded in both the filename and the payload, so a
+    stale cache directory for a rebuilt image simply misses. *)
+
+type t = {
+  key : string;  (** image digest this cache is valid for *)
+  blocks : (int, Translator.block) Hashtbl.t;  (** guest start -> block *)
+  traces : (int, Superblock.plan) Hashtbl.t;  (** chain head -> plan *)
+}
+
+(* bump on any change to Translator.block / Superblock.plan layout *)
+let version = 2
+let magic = "TKDBTCACHE\n"
+
+(* ----------------------------- keying -------------------------------- *)
+
+let fnv32 h b = ((h lxor b) * 0x01000193) land 0xFFFFFFFF
+
+(** [key_of_image ~base ~words] — FNV-1a over the link base and the
+    pristine image words (the linker output, before any guest store). *)
+let key_of_image ~base ~words =
+  let h = ref 0x811C9DC5 in
+  let word w =
+    h := fnv32 !h (w land 0xFF);
+    h := fnv32 !h ((w lsr 8) land 0xFF);
+    h := fnv32 !h ((w lsr 16) land 0xFF);
+    h := fnv32 !h ((w lsr 24) land 0xFF)
+  in
+  word base;
+  word (Array.length words);
+  Array.iter word words;
+  Printf.sprintf "%08x" !h
+
+(* ---------------------------- accessors ------------------------------ *)
+
+let create ~key = { key; blocks = Hashtbl.create 64; traces = Hashtbl.create 8 }
+let find_block t gpc = Hashtbl.find_opt t.blocks gpc
+
+let record_block t gpc b =
+  if not (Hashtbl.mem t.blocks gpc) then Hashtbl.add t.blocks gpc b
+
+let find_trace t head = Hashtbl.find_opt t.traces head
+
+let record_trace t (p : Superblock.plan) =
+  if not (Hashtbl.mem t.traces p.Superblock.p_head) then
+    Hashtbl.add t.traces p.Superblock.p_head p
+
+(* --------------------------- persistence ----------------------------- *)
+
+let path ~dir ~key = Filename.concat dir (Printf.sprintf "tkdbt-%s.cache" key)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let file = path ~dir ~key:t.key in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      (* sorted bindings: the file bytes are a function of the cache
+         contents, not hash-table iteration order *)
+      Marshal.to_channel oc
+        (version, t.key, sorted_bindings t.blocks, sorted_bindings t.traces)
+        []);
+  Sys.rename tmp file
+
+let load ~dir ~key =
+  let file = path ~dir ~key in
+  match
+    if not (Sys.file_exists file) then None
+    else begin
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then None
+          else begin
+            let v, k, bl, tl =
+              (Marshal.from_channel ic
+                : int
+                  * string
+                  * (int * Translator.block) list
+                  * (int * Superblock.plan) list)
+            in
+            if v <> version || k <> key then None
+            else begin
+              let t = create ~key in
+              List.iter (fun (g, b) -> Hashtbl.replace t.blocks g b) bl;
+              List.iter (fun (h, p) -> Hashtbl.replace t.traces h p) tl;
+              Some t
+            end
+          end)
+    end
+  with
+  | exception _ -> None
+  | r -> r

@@ -33,6 +33,10 @@ type callbacks = {
 exception Context_exit
 exception Host_error of string
 
+(** Distinguished not-yet-decoded marker for [host_decode] slots,
+    compared by physical equality ([==]) and never executed. *)
+let undecoded : inst = { cond = AL; op = Udf (-1) }
+
 type t = {
   soc : Soc.t;
   mode : Translator.mode;
@@ -49,12 +53,15 @@ type t = {
           in a saved context or on the stack (call return sites, svc
           resume points, block starts) — the map fallback migration uses
           to rewrite code-cache addresses (§5.3) *)
-  host_decode : inst option array;
+  host_decode : inst array;
       (** dense pre-decoded code cache, indexed by
           [(addr - Soc.code_cache_base) / 4]: populated at [write_host]
           time (so patching a site re-decodes it in place), read by the
-          hot loop as one array load. Host-side speed only — the
-          simulated charges are unchanged. *)
+          hot loop as one array load. Empty slots hold the physically
+          distinguished {!undecoded} sentinel rather than an option, so
+          the per-instruction fetch is a pointer compare with no [Some]
+          indirection. Host-side speed only — the simulated charges are
+          unchanged. *)
   block_start : bool array;
       (** dense membership set mirroring [block_starts], same indexing
           as [host_decode] — the hot loop's IRQ-window probe *)
@@ -88,6 +95,39 @@ type t = {
           (i.e. not via a chained direct branch) *)
   block_size : (int, int * int) Hashtbl.t;
       (** host block start -> (guest instruction count, host words) *)
+  (* superblock tier (above Ark; cycle-accounted, not cycle-neutral) *)
+  mutable superblock : bool;
+      (** select the superblock run loop: trace formation over hot block
+          chains, macro-op fused execution, whole-trace invalidation.
+          Only meaningful with [mode = Ark]. *)
+  mutable sb_threshold : int;
+      (** block executions before its chain is considered for formation *)
+  mutable sb_max_blocks : int;  (** max constituent blocks per trace *)
+  block_succ : (int, int) Hashtbl.t;
+      (** guest block start -> always-taken successor (AL tail/jump
+          terminal) — the chain statistics trace formation walks *)
+  formed : (int, unit) Hashtbl.t;
+      (** guest heads already considered for formation (one-shot) *)
+  fuse_next : bool array;
+      (** same dense indexing as [host_decode]: host word at [i] issues
+          fused with the word at [i+1] (Table 4 macro-op idioms) *)
+  guest_cover : Bytes.t;
+      (** per guest kernel-image word ([Soc.in_kernel_image] span):
+          non-zero if some translation consumed it — the multi-block
+          store-invalidation map *)
+  mutable pending_flush : bool;
+      (** a guest store hit covered code; the whole cache is evicted at
+          the next block/trace boundary *)
+  mutable store : Cache_store.t option;
+      (** persistent translation cache (lazy warm replay) *)
+  mutable traces_formed : int;
+  mutable fusions_applied : int;
+  mutable cache_warm_hits : int;
+      (** deliberately {e not} a telemetry gauge: warm and cold runs must
+          produce byte-identical manifests, and this is the one counter
+          that differs between them *)
+  mutable invalidations : int;  (** covered words hit by guest stores *)
+  mutable flushes : int;  (** whole-cache evictions performed *)
 }
 
 (* cost knobs, in M3 cycles *)
@@ -127,7 +167,7 @@ let rec create ~(soc : Soc.t) ~mode () =
       cb = dummy_cb (); cursor = Soc.code_cache_base;
       block_map = Hashtbl.create 1024; block_starts = Hashtbl.create 1024;
       sites = Hashtbl.create 1024; host_points = Hashtbl.create 4096;
-      host_decode = Array.make (Soc.code_cache_size / 4) None;
+      host_decode = Array.make (Soc.code_cache_size / 4) undecoded;
       block_start = Array.make (Soc.code_cache_size / 4) false;
       cur_pc = 0; pc_overridden = false;
       chain = true; block_limit = Translator.default_block_limit;
@@ -137,7 +177,15 @@ let rec create ~(soc : Soc.t) ~mode () =
       host_executed = 0; profile = false;
       block_exec = Array.make (Soc.code_cache_size / 4) 0;
       block_dispatch = Hashtbl.create 1024;
-      block_size = Hashtbl.create 1024 }
+      block_size = Hashtbl.create 1024;
+      superblock = false; sb_threshold = 16; sb_max_blocks = 8;
+      block_succ = Hashtbl.create 1024; formed = Hashtbl.create 64;
+      fuse_next = Array.make (Soc.code_cache_size / 4) false;
+      guest_cover =
+        Bytes.make ((Soc.page_pool_base - Soc.kernel_base) / 4) '\000';
+      pending_flush = false; store = None;
+      traces_formed = 0; fusions_applied = 0; cache_warm_hits = 0;
+      invalidations = 0; flushes = 0 }
   in
   let m3 = soc.Soc.m3 in
   let mem = soc.Soc.mem in
@@ -167,7 +215,18 @@ let rec create ~(soc : Soc.t) ~mode () =
     else if Mem.in_ram mem addr then begin
       Core.charge_stall m3 (Cache.access m3.Core.cache ~write:true addr);
       if nbytes = 4 then Mem.ram_write32 mem addr v
-      else Mem.ram_write mem addr nbytes v
+      else Mem.ram_write mem addr nbytes v;
+      (* superblock store-invalidation probe: host-only (no simulated
+         charges), so the seed tiers' timelines are untouched. The
+         image-span gate is inline so the overwhelmingly common
+         data-region store pays two compares, not a call; the widened
+         lower bound covers a store whose tail word straddles into the
+         image. *)
+      if
+        t.superblock
+        && addr + nbytes > Soc.kernel_base
+        && addr < Soc.page_pool_base
+      then sb_store_check t addr nbytes
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -206,7 +265,12 @@ let rec create ~(soc : Soc.t) ~mode () =
       Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
         Tk_stats.Trace.ev_write addr stall;
       if nbytes = 4 then Mem.ram_write32 mem addr v
-      else Mem.ram_write mem addr nbytes v
+      else Mem.ram_write mem addr nbytes v;
+      if
+        t.superblock
+        && addr + nbytes > Soc.kernel_base
+        && addr < Soc.page_pool_base
+      then sb_store_check t addr nbytes
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -234,7 +298,36 @@ let rec create ~(soc : Soc.t) ~mode () =
   gauge "dbt_patches" (fun () -> t.patches);
   gauge "dbt_exits" (fun () -> t.engine_exits);
   gauge "dbt_host_retired" (fun () -> t.host_executed);
+  (* superblock counters (warm hits intentionally absent: warm and cold
+     manifests must stay byte-identical) *)
+  gauge "dbt_traces" (fun () -> t.traces_formed);
+  gauge "dbt_fusions" (fun () -> t.fusions_applied);
   t
+
+(* --------------------- superblock store probe ------------------------ *)
+
+(* A guest store into code some translation consumed: a single store can
+   straddle two words, and the consumed span can belong to the middle of
+   a formed trace, so the probe checks both words against the dense
+   cover map and schedules a whole-cache eviction (consumed at the next
+   block/trace boundary — the translated-code analogue of the
+   interpreter's invalidate-on-store / take-effect-on-next-fetch). *)
+and sb_check_word t w =
+  if Soc.in_kernel_image w
+     && Bytes.unsafe_get t.guest_cover ((w - Soc.kernel_base) asr 2) <> '\000'
+  then begin
+    t.pending_flush <- true;
+    t.invalidations <- t.invalidations + 1;
+    if t.tr.Tk_stats.Trace.enabled then
+      Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_invalidate w 0
+  end
+
+and sb_store_check t addr nbytes =
+  let w0 = addr land lnot 3 in
+  sb_check_word t w0;
+  let w1 = (addr + nbytes - 1) land lnot 3 in
+  if w1 <> w0 then sb_check_word t w1
 
 (* ------------------------- code emission ---------------------------- *)
 
@@ -248,7 +341,7 @@ and write_host t addr (i : inst) =
      (impossible for encode_exn output, but kept equivalent to the lazy
      seed path) is left for decode_host to report at execution time *)
   t.host_decode.((addr - Soc.code_cache_base) asr 2) <-
-    (match V7m.decode w with i -> Some i | exception _ -> None)
+    (match V7m.decode w with i -> i | exception _ -> undecoded)
 
 and emit_block t (b : Translator.block) =
   let host_start = t.cursor in
@@ -277,20 +370,41 @@ and emit_block t (b : Translator.block) =
     raise (Host_error "code cache full");
   host_start
 
+and read_guest t a =
+  if not (Mem.in_ram t.soc.Soc.mem a) then
+    raise (Host_error (Printf.sprintf "guest fetch outside RAM: 0x%x" a));
+  V7a.decode (Mem.ram_read t.soc.Soc.mem a 4)
+
 and translate_block t gpc =
   match Hashtbl.find_opt t.block_map gpc with
   | Some h -> h
   | None ->
-    let ctx =
-      { Translator.mode = t.mode; classify_target = t.classify_target;
-        block_limit = t.block_limit;
-        read_guest =
-          (fun a ->
-            if not (Mem.in_ram t.soc.Soc.mem a) then
-              raise (Host_error (Printf.sprintf "guest fetch outside RAM: 0x%x" a));
-            V7a.decode (Mem.ram_read t.soc.Soc.mem a 4)) }
+    (* lazy warm replay: the store is consulted at the very instant a
+       cold run would translate, and the simulated translation cost is
+       still charged, so the warm timeline (and manifest digest) is
+       byte-identical — only the host-side translation work is skipped *)
+    let warm =
+      match t.store with
+      | None -> None
+      | Some st -> Cache_store.find_block st gpc
     in
-    let b = Translator.translate ctx ~gpc in
+    let b =
+      match warm with
+      | Some b ->
+        t.cache_warm_hits <- t.cache_warm_hits + 1;
+        b
+      | None ->
+        let ctx =
+          { Translator.mode = t.mode; classify_target = t.classify_target;
+            block_limit = t.block_limit; read_guest = read_guest t;
+            legalize = Translator.default_legalize }
+        in
+        let b = Translator.translate ctx ~gpc in
+        (match t.store with
+        | Some st -> Cache_store.record_block st gpc b
+        | None -> ());
+        b
+    in
     charge t (cost_translate_per_guest * b.Translator.b_guest_count);
     let h = emit_block t b in
     Hashtbl.replace t.block_map gpc h;
@@ -301,10 +415,200 @@ and translate_block t gpc =
     t.guest_translated <- t.guest_translated + b.Translator.b_guest_count;
     Hashtbl.replace t.block_size h
       (b.Translator.b_guest_count, (t.cursor - h) asr 2);
+    if t.superblock then begin
+      sb_mark_cover t gpc b.Translator.b_guest_count;
+      sb_record_succ t b;
+      sb_mark_fusions t h t.cursor
+    end;
     if t.tr.Tk_stats.Trace.enabled then
       Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
         Tk_stats.Trace.ev_translate gpc b.Translator.b_guest_count;
     h
+
+(* --------------------- superblock bookkeeping ----------------------- *)
+
+and sb_mark_cover t gpc count =
+  for k = 0 to count - 1 do
+    let a = gpc + (4 * k) in
+    if Soc.in_kernel_image a then
+      Bytes.unsafe_set t.guest_cover ((a - Soc.kernel_base) asr 2) '\001'
+  done
+
+(* chain statistics: a block whose terminal is an always-taken direct
+   transfer has a statically-known successor *)
+and sb_record_succ t (b : Translator.block) =
+  match List.rev b.Translator.b_emits with
+  | Translator.E_site
+      (AL, (Translator.S_tail { target } | Translator.S_jump { target }), _)
+    :: _ ->
+    Hashtbl.replace t.block_succ b.Translator.b_guest_start target
+  | _ -> ()
+
+(* Table 4 macro-op idioms over the emitted host stream: compare +
+   conditional control, load + dependent ALU, movw + movt. The second
+   element of a marked pair executes in the same issue slot as the
+   first: it keeps its instruction count and cache traffic but the base
+   CPI is waived (see the superblock run loop). Pair shapes survive
+   patching — the first element is never a site, and a patched site only
+   turns an SVC into a branch, which stays in the control class. *)
+and sb_pair_fusable (a : inst) (b : inst) =
+  match a.op, b.op with
+  | Dp ((CMP | CMN | TST | TEQ), _, _, _, _), (B _ | Bl _ | Svc _) -> true
+  | Mem { ld = true; rt; _ }, Dp (_, _, rd, rn, op2) when rt <> pc && rd <> pc
+    ->
+    rn = rt
+    || (match op2 with
+       | Reg r | Sreg (r, _, _) -> r = rt
+       | Sregreg (r, _, rs) -> r = rt || rs = rt
+       | Imm _ -> false)
+  | Movw (rd, _), Movt (rd', _) -> rd = rd' && rd <> pc
+  | _ -> false
+
+and sb_mark_fusions t lo hi =
+  let i0 = (lo - Soc.code_cache_base) asr 2 in
+  let i1 = (hi - Soc.code_cache_base) asr 2 in
+  let k = ref i0 in
+  (* greedy non-overlapping pairing, left to right *)
+  while !k < i1 - 1 do
+    let fusable =
+      let a = Array.unsafe_get t.host_decode !k in
+      let b = Array.unsafe_get t.host_decode (!k + 1) in
+      a != undecoded && b != undecoded && sb_pair_fusable a b
+    in
+    if fusable then begin
+      Array.unsafe_set t.fuse_next !k true;
+      t.fusions_applied <- t.fusions_applied + 1;
+      k := !k + 2
+    end
+    else incr k
+  done
+
+(* whole-cache eviction: the translated-code invalidation granularity.
+   Blocks, traces, chain links, fusion marks and the cover map all go;
+   counters survive. The persistent store is dropped too — a
+   self-modified image no longer matches its on-disk key. *)
+and flush_cache t =
+  t.cursor <- Soc.code_cache_base;
+  Hashtbl.reset t.block_map;
+  Hashtbl.reset t.block_starts;
+  Hashtbl.reset t.sites;
+  Hashtbl.reset t.host_points;
+  Hashtbl.reset t.block_dispatch;
+  Hashtbl.reset t.block_size;
+  Hashtbl.reset t.block_succ;
+  Hashtbl.reset t.formed;
+  Array.fill t.host_decode 0 (Array.length t.host_decode) undecoded;
+  Array.fill t.block_start 0 (Array.length t.block_start) false;
+  Array.fill t.block_exec 0 (Array.length t.block_exec) 0;
+  Array.fill t.fuse_next 0 (Array.length t.fuse_next) false;
+  Bytes.fill t.guest_cover 0 (Bytes.length t.guest_cover) '\000';
+  t.pending_flush <- false;
+  t.flushes <- t.flushes + 1;
+  t.store <- None
+
+(* ----------------------- superblock formation ----------------------- *)
+
+(* walk the always-taken chain from [head] through already-translated,
+   distinct blocks *)
+and sb_chain_of t head =
+  let chain = ref [ head ] and len = ref 1 in
+  let cur = ref head in
+  (try
+     while !len < t.sb_max_blocks do
+       match Hashtbl.find_opt t.block_succ !cur with
+       | Some next
+         when Hashtbl.mem t.block_map next && not (List.mem next !chain) ->
+         chain := next :: !chain;
+         incr len;
+         cur := next
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  List.rev !chain
+
+and sb_try_form t head =
+  let chain = sb_chain_of t head in
+  if List.length chain >= 2 then begin
+    match
+      let warm =
+        match t.store with
+        | None -> None
+        | Some st -> Cache_store.find_trace st head
+      in
+      match warm with
+      | Some p when List.map fst p.Superblock.p_blocks = chain ->
+        t.cache_warm_hits <- t.cache_warm_hits + 1;
+        p
+      | _ ->
+        let p =
+          Superblock.plan ~read_guest:(read_guest t)
+            ~classify_target:t.classify_target ~block_limit:t.block_limit
+            ~chain
+        in
+        (match t.store with
+        | Some st -> Cache_store.record_trace st p
+        | None -> ());
+        p
+    with
+    | exception Superblock.Abort _ -> ()
+    | p ->
+      (* forming re-derives every constituent's translation *)
+      charge t (cost_translate_per_guest * p.Superblock.p_guest_count);
+      let b =
+        { Translator.b_guest_start = head;
+          b_guest_count = p.Superblock.p_guest_count;
+          b_emits = p.Superblock.p_emits }
+      in
+      let old_h = Hashtbl.find t.block_map head in
+      let h = emit_block t b in
+      Hashtbl.replace t.block_map head h;
+      Hashtbl.replace t.block_starts h head;
+      t.block_start.((h - Soc.code_cache_base) asr 2) <- true;
+      Hashtbl.replace t.host_points h head;
+      Hashtbl.replace t.block_size h
+        (p.Superblock.p_guest_count, (t.cursor - h) asr 2);
+      t.traces_formed <- t.traces_formed + 1;
+      sb_mark_fusions t h t.cursor;
+      (* redirect the old head into the trace: its first word becomes a
+         branch, so chained predecessors and saved resume points all
+         land in the trace from now on *)
+      patch t old_h (at (B (h - old_h)));
+      if t.tr.Tk_stats.Trace.enabled then
+        Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
+          Tk_stats.Trace.ev_form head p.Superblock.p_guest_count
+  end
+
+(* Block-boundary work for the superblock run loop, out of line so the
+   loop body stays register-tight: consume a pending whole-cache flush
+   (landing on the retranslated head — itself a block start, hence the
+   self-recursion), bump the execution count that feeds the formation
+   trigger, fire one-shot trace formation at the threshold, and open
+   the IRQ window. Returns the host pc to execute at (different from
+   [pcv] only after a flush redirect). *)
+and sb_boundary t (cpu : Exec.cpu) pcv idx =
+  if t.pending_flush then begin
+    (* read the guest mapping before the flush wipes it *)
+    let gpc = Hashtbl.find t.block_starts pcv in
+    flush_cache t;
+    let h = translate_block t gpc in
+    cpu.Exec.r.(pc) <- h;
+    sb_boundary t cpu h ((h - Soc.code_cache_base) asr 2)
+  end
+  else begin
+    let c = Array.unsafe_get t.block_exec idx + 1 in
+    Array.unsafe_set t.block_exec idx c;
+    if c = t.sb_threshold then begin
+      let gpc = Hashtbl.find t.block_starts pcv in
+      if not (Hashtbl.mem t.formed gpc) then begin
+        Hashtbl.replace t.formed gpc ();
+        sb_try_form t gpc
+        (* no manual redirect: the old head's first word is now a
+           branch into the trace, picked up by this very fetch *)
+      end
+    end;
+    if t.irq_dispatch then t.cb.on_irq_window cpu;
+    pcv
+  end
 
 (* patch a resolved direct branch/call site *)
 and patch t site_addr (i : inst) =
@@ -389,17 +693,18 @@ and dispatch t cpu _code =
       t.cb.on_fallback reason ~guest_pc:gpc ~skippable cpu)
 
 and decode_host t addr =
-  match t.host_decode.((addr - Soc.code_cache_base) asr 2) with
-  | Some i -> i
-  | None ->
+  let cached = t.host_decode.((addr - Soc.code_cache_base) asr 2) in
+  if cached != undecoded then cached
+  else begin
     let w = Mem.ram_read32 t.soc.Soc.mem addr in
     let i =
       try V7m.decode w
       with V7m.Decode_error _ | Invalid_argument _ ->
         raise (Host_error (Printf.sprintf "bad host fetch at 0x%x (0x%x)" addr w))
     in
-    t.host_decode.((addr - Soc.code_cache_base) asr 2) <- Some i;
+    t.host_decode.((addr - Soc.code_cache_base) asr 2) <- i;
     i
+  end
 
 (* -------------------- guest-state accessors ------------------------- *)
 
@@ -434,7 +739,7 @@ let set_guest_reg t (cpu : Exec.cpu) i v =
     to {!Layout.exit_magic} (raising {!Context_exit}) or a callback
     raises. The [cpu] is mutated in place; callbacks observe a host pc
     that is always a valid resume point. *)
-let run t (cpu : Exec.cpu) ~fuel =
+let run_plain t (cpu : Exec.cpu) ~fuel =
   let m3 = t.soc.Soc.m3 in
   let tr = t.tr in
   (* tracing never toggles while translated code is executing, so the
@@ -464,9 +769,8 @@ let run t (cpu : Exec.cpu) ~fuel =
       if t.irq_dispatch then t.cb.on_irq_window cpu
     end;
     let i =
-      match Array.unsafe_get t.host_decode idx with
-      | Some i -> i
-      | None -> decode_host t pcv
+      let c = Array.unsafe_get t.host_decode idx in
+      if c != undecoded then c else decode_host t pcv
     in
     t.cur_pc <- pcv;
     t.pc_overridden <- false;
@@ -479,6 +783,195 @@ let run t (cpu : Exec.cpu) ~fuel =
     | Exec.Next -> if not t.pc_overridden then Array.unsafe_set r pc (pcv + 4)
     | Exec.Branched -> Core.charge m3 cost_taken_branch
   done
+
+(* The superblock tier's run loop. Differences from [run_plain]:
+
+   - the block-boundary probe counts executions unconditionally (the
+     formation trigger needs chain statistics even without the
+     profiler) and fires one-shot trace formation when a block's count
+     reaches [sb_threshold];
+   - a pending whole-cache flush (self-modifying guest) is consumed at
+     the probe, before this block's fetch — the next-boundary semantics
+     matching the interpreter's next-fetch granularity;
+   - a host word marked in [fuse_next] executes its successor in the
+     same iteration as a fused macro-op: the partner keeps its
+     instruction count and its cache traffic, but its base CPI charge
+     is waived;
+   - the boundary work lives out of line in {!sb_boundary} and the
+     per-instruction retire accounting ([Core.retire] and its
+     [charge]/[Clock.advance] call chain) is inlined, keeping the loop
+     body allocation-free and register-tight;
+   - the loop-head probes (exit sentinel, cache bounds, block start)
+     only run after a control transfer or a callback pc override:
+     translated blocks always end in an unconditional terminal, so
+     straight-line fall-through can never reach the exit sentinel,
+     leave the cache, or cross into another block's head.
+
+   Inside a formed trace there are no block starts, so interior
+   boundaries pay no probe, no dispatch and no IRQ window — interrupt
+   latency is bounded by the trace length (sb_max_blocks * block_limit
+   guest instructions). *)
+let run_superblock t (cpu : Exec.cpu) ~fuel =
+  let m3 = t.soc.Soc.m3 in
+  let cache = m3.Core.cache in
+  let tags = cache.Cache.tags in
+  let line_bits = cache.Cache.line_bits in
+  let set_mask = cache.Cache.set_mask in
+  let clock = m3.Core.clock in
+  let cpi_num = m3.Core.p.Core.cpi_num in
+  let cpi_den = m3.Core.p.Core.cpi_den in
+  let tr = t.tr in
+  let traced = tr.Tk_stats.Trace.enabled in
+  let env = if traced then t.env_traced else t.env in
+  let ts = t.soc.Soc.sampler in
+  let sampling = ts.Tk_stats.Timeseries.enabled in
+  let r = cpu.Exec.r in
+  let n = ref 0 in
+  let cur = ref 0 in
+  let cur_idx = ref 0 in
+  let probe = ref true in
+  while true do
+    if !n >= fuel then raise (Host_error "DBT fuel exhausted");
+    incr n;
+    if sampling then Tk_stats.Timeseries.tick ts;
+    if !probe then begin
+      let v = Array.unsafe_get r pc in
+      if v = Layout.exit_magic then raise Context_exit;
+      if not (in_cache t v) then
+        raise
+          (Host_error (Printf.sprintf "host pc outside code cache: 0x%x" v));
+      let i0 = (v - Soc.code_cache_base) asr 2 in
+      let v' =
+        if Array.unsafe_get t.block_start i0 then sb_boundary t cpu v i0
+        else v
+      in
+      cur := v';
+      cur_idx := (if v' = v then i0 else (v' - Soc.code_cache_base) asr 2);
+      probe := false
+    end;
+    let pcv = !cur and idx = !cur_idx in
+    let i =
+      let c = Array.unsafe_get t.host_decode idx in
+      if c != undecoded then c else decode_host t pcv
+    in
+    t.cur_pc <- pcv;
+    t.pc_overridden <- false;
+    t.host_executed <- t.host_executed + 1;
+    (* [Core.retire m3 pcv], inlined with its charge/advance call chain
+       and the CPI carry resolution — side effects and cycle arithmetic
+       identical (count, I-fetch through the cache, then base CPI +
+       stall booked to the clock) *)
+    m3.Core.instructions <- m3.Core.instructions + 1;
+    (* I-fetch hit fast path of [Cache.access ~write:false], inlined; a
+       tag mismatch falls back to the full call, which re-runs the
+       (still-missing) lookup and books the miss identically *)
+    let stall =
+      let line = pcv lsr line_bits in
+      let set =
+        if set_mask >= 0 then line land set_mask
+        else line mod cache.Cache.nsets
+      in
+      if Array.unsafe_get tags set = line then begin
+        cache.Cache.hits <- cache.Cache.hits + 1;
+        0
+      end
+      else Cache.access cache ~write:false pcv
+    in
+    let base =
+      if cpi_num = 0 then 1
+      else begin
+        let acc = m3.Core.cpi_acc + cpi_num in
+        if acc < cpi_den then begin m3.Core.cpi_acc <- acc; 1 end
+        else if acc < 2 * cpi_den then begin
+          m3.Core.cpi_acc <- acc - cpi_den; 2
+        end
+        else if acc < 3 * cpi_den then begin
+          m3.Core.cpi_acc <- acc - (2 * cpi_den); 3
+        end
+        else begin
+          m3.Core.cpi_acc <- acc mod cpi_den;
+          1 + (acc / cpi_den)
+        end
+      end
+    in
+    let cycles = base + stall in
+    m3.Core.busy_cycles <- m3.Core.busy_cycles + cycles;
+    let dps = cycles * m3.Core.ps_per_cycle in
+    let ps = dps + m3.Core.frac_ps in
+    m3.Core.busy_ps <- m3.Core.busy_ps + dps;
+    let q =
+      if ps < 0x1_0000_0000 then (ps * 274877907) asr 38 else ps / 1000
+    in
+    m3.Core.frac_ps <- ps - (q * 1000);
+    clock.Clock.now <- clock.Clock.now + q;
+    (match clock.Clock.events with
+    | e :: _ when e.Clock.at <= clock.Clock.now -> Clock.run_due clock
+    | _ -> ());
+    if traced then
+      Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Trace.ev_retire pcv 0;
+    match Exec.step cpu env ~addr:pcv i with
+    | Exec.Next ->
+      if t.pc_overridden then probe := true
+      else if Array.unsafe_get t.fuse_next idx then begin
+        (* fused macro-op slot: the partner issues with its
+           predecessor — count it and its cache traffic, waive its
+           base CPI ([Core.charge_stall] of [Core.fetch_cost],
+           inlined) *)
+        let pcv2 = pcv + 4 in
+        Array.unsafe_set r pc pcv2;
+        let i2 =
+          let c = Array.unsafe_get t.host_decode (idx + 1) in
+          if c != undecoded then c else decode_host t pcv2
+        in
+        t.cur_pc <- pcv2;
+        t.host_executed <- t.host_executed + 1;
+        m3.Core.instructions <- m3.Core.instructions + 1;
+        let stall2 =
+          let line = pcv2 lsr line_bits in
+          let set =
+            if set_mask >= 0 then line land set_mask
+            else line mod cache.Cache.nsets
+          in
+          if Array.unsafe_get tags set = line then begin
+            cache.Cache.hits <- cache.Cache.hits + 1;
+            0
+          end
+          else Cache.access cache ~write:false pcv2
+        in
+        if stall2 <> 0 then Core.charge m3 stall2
+        else (
+          match clock.Clock.events with
+          | e :: _ when e.Clock.at <= clock.Clock.now ->
+            Clock.run_due clock
+          | _ -> ());
+        if traced then
+          Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
+            Tk_stats.Trace.ev_retire pcv2 0;
+        match Exec.step cpu env ~addr:pcv2 i2 with
+        | Exec.Next ->
+          if t.pc_overridden then probe := true
+          else begin
+            Array.unsafe_set r pc (pcv2 + 4);
+            cur := pcv2 + 4;
+            cur_idx := idx + 2
+          end
+        | Exec.Branched ->
+          Core.charge m3 cost_taken_branch;
+          probe := true
+      end
+      else begin
+        Array.unsafe_set r pc (pcv + 4);
+        cur := pcv + 4;
+        cur_idx := idx + 1
+      end
+    | Exec.Branched ->
+      Core.charge m3 cost_taken_branch;
+      probe := true
+  done
+
+let run t cpu ~fuel =
+  if t.superblock then run_superblock t cpu ~fuel else run_plain t cpu ~fuel
 
 (** [entry_host t gpc] — host address for guest entry [gpc], translating
     on demand (used by ARK to start contexts). *)

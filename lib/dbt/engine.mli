@@ -33,6 +33,10 @@ exception Context_exit
 exception Host_error of string
 (** engine invariant violation (bad host fetch, cache overflow, ...) *)
 
+val undecoded : Types.inst
+(** distinguished not-yet-decoded marker filling empty [host_decode]
+    slots; compared by physical equality, never executed *)
+
 type t = {
   soc : Soc.t;
   mode : Translator.mode;
@@ -46,10 +50,11 @@ type t = {
   host_points : (int, int) Hashtbl.t;
       (** host addr -> guest addr for every point that can appear in a
           saved context or on the stack — fallback's rewrite map (§5.3) *)
-  host_decode : Types.inst option array;
+  host_decode : Types.inst array;
       (** dense pre-decoded code cache, indexed by
           [(addr - Soc.code_cache_base) / 4]; populated at emission and
-          patch time, read by the hot loop as one array load *)
+          patch time, read by the hot loop as one array load; empty
+          slots hold the physically distinguished {!undecoded} sentinel *)
   block_start : bool array;
       (** dense membership set mirroring [block_starts] (same indexing),
           probed per instruction for the IRQ window *)
@@ -74,6 +79,36 @@ type t = {
   block_exec : int array;
   block_dispatch : (int, int) Hashtbl.t;
   block_size : (int, int * int) Hashtbl.t;
+  (* superblock tier (above Ark; cycle-accounted, not cycle-neutral) *)
+  mutable superblock : bool;
+      (** select the superblock run loop: trace formation over hot block
+          chains, macro-op fused execution, whole-trace invalidation.
+          Only meaningful with [mode = Ark]. *)
+  mutable sb_threshold : int;
+      (** block executions before its chain is considered for formation *)
+  mutable sb_max_blocks : int;  (** max constituent blocks per trace *)
+  block_succ : (int, int) Hashtbl.t;
+      (** guest block start -> always-taken successor *)
+  formed : (int, unit) Hashtbl.t;
+      (** guest heads already considered for formation (one-shot) *)
+  fuse_next : bool array;
+      (** same dense indexing as [host_decode]: word [i] issues fused
+          with word [i+1] (Table 4 macro-op idioms) *)
+  guest_cover : Bytes.t;
+      (** per kernel-image word: non-zero if some translation consumed
+          it — the multi-block store-invalidation map *)
+  mutable pending_flush : bool;
+      (** a guest store hit covered code; the cache is evicted at the
+          next block/trace boundary *)
+  mutable store : Cache_store.t option;
+      (** persistent translation cache (lazy warm replay) *)
+  mutable traces_formed : int;
+  mutable fusions_applied : int;
+  mutable cache_warm_hits : int;
+      (** deliberately not a telemetry gauge: warm and cold manifests
+          must stay byte-identical and this counter differs *)
+  mutable invalidations : int;  (** covered words hit by guest stores *)
+  mutable flushes : int;  (** whole-cache evictions performed *)
 }
 
 val cost_taken_branch : int

@@ -266,6 +266,53 @@ let subst_all ~old ~rep { cond; op } =
   in
   { cond; op }
 
+(** [subst_wide ~old ~rep i] substitutes register [old] with [rep] in
+    every register position of any register-bearing shape — destination,
+    sources, shift amounts, LDM/STM lists, swap operands. Control-flow
+    and register-free shapes pass through unchanged. Unlike
+    {!subst_all} (whose narrow domain the Mid engine's sp-substitution
+    relies on to reject shapes it cannot re-emulate), this never raises:
+    the superblock planner uses it to re-home guest r10 into the host
+    r12 slot across a whole trace, where any shape the ARK rules accept
+    is fair game. *)
+let subst_wide ~old ~rep { cond; op } =
+  let s r = if r = old then rep else r in
+  let s2 = function
+    | Imm v -> Imm v
+    | Reg r -> Reg (s r)
+    | Sreg (r, k, a) -> Sreg (s r, k, a)
+    | Sregreg (r, k, rs) -> Sregreg (s r, k, s rs)
+  in
+  let op =
+    match op with
+    | Dp (o, fl, rd, rn, op2) -> Dp (o, fl, s rd, s rn, s2 op2)
+    | Movw (rd, v) -> Movw (s rd, v)
+    | Movt (rd, v) -> Movt (s rd, v)
+    | Mul (fl, rd, rn, rm) -> Mul (fl, s rd, s rn, s rm)
+    | Mla (rd, rn, rm, ra) -> Mla (s rd, s rn, s rm, s ra)
+    | Udiv (rd, rn, rm) -> Udiv (s rd, s rn, s rm)
+    | Mem m ->
+      let off =
+        match m.off with
+        | Oimm _ as x -> x
+        | Oreg (r, k, a) -> Oreg (s r, k, a)
+      in
+      Mem { m with rt = s m.rt; rn = s m.rn; off }
+    | Ldm (rn, wb, regs) -> Ldm (s rn, wb, List.map s regs)
+    | Stm (rn, wb, regs) -> Stm (s rn, wb, List.map s regs)
+    | Clz (rd, rm) -> Clz (s rd, s rm)
+    | Sxt (sz, rd, rm) -> Sxt (sz, s rd, s rm)
+    | Uxt (sz, rd, rm) -> Uxt (sz, s rd, s rm)
+    | Rev (rd, rm) -> Rev (s rd, s rm)
+    | Mrs rd -> Mrs (s rd)
+    | Msr rs -> Msr (s rs)
+    | Swp (rd, rm, rn) -> Swp (s rd, s rm, s rn)
+    | ( B _ | Bl _ | Bx _ | Blx_r _ | Svc _ | Wfi | Cps _ | Irq_ret | Nop
+      | Udf _ ) as other ->
+      other
+  in
+  { cond; op }
+
 (** [classify i] — Table 3 view: category and host-instruction count for
     one guest instruction (at a nominal address). *)
 let classify i =

@@ -40,6 +40,12 @@ val subst_all : old:int -> rep:int -> Types.inst -> Types.inst
     engine's sp replacement).
     @raise Untranslatable on non data-processing/memory shapes *)
 
+val subst_wide : old:int -> rep:int -> Types.inst -> Types.inst
+(** substitute a register in every register position of any
+    register-bearing shape (LDM/STM lists and swap operands included);
+    control-flow and register-free shapes pass through. Never raises —
+    the superblock planner's r10-to-r12 re-homing transform *)
+
 val wrap_cond : Types.cond -> Types.inst list -> Types.inst list
 (** conditional multi-instruction sequences evaluate the guest condition
     exactly once: a skip branch with the inverse condition around an

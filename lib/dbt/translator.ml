@@ -64,9 +64,15 @@ type ctx = {
   classify_target : int -> target_class;
   block_limit : int;  (** guest instructions per translation block *)
   read_guest : int -> inst;  (** decode guest word at address *)
+  legalize : gpc:int -> inst -> inst list;
+      (** ARK-mode legalization hook; the superblock planner overrides
+          it to re-home the emulated guest r10 into host r12 across a
+          trace. Must raise {!Rules.Untranslatable} for fallback
+          instructions, like the default [Rules.legalize]. *)
 }
 
 let default_block_limit = 16
+let default_legalize ~gpc gi = snd (Rules.legalize ~gpc gi)
 
 (* ---------------------- baseline/mid helpers ------------------------ *)
 
@@ -136,8 +142,8 @@ let translate_inst_ark ctx gpc (gi : inst) (push : emit -> unit) =
   | Svc n ->
     push (E_site (c, S_guest_svc { n; resume_guest = gpc + 4 }, Layout.svc_guest))
   | _ -> (
-    match Rules.legalize ~gpc gi with
-    | _, hosts -> List.iter (fun h -> push (E_inst h)) hosts
+    match ctx.legalize ~gpc gi with
+    | hosts -> List.iter (fun h -> push (E_inst h)) hosts
     | exception Rules.Untranslatable reason ->
       push (E_site (AL, S_fallback { reason; gpc; skippable = false }, Layout.svc_fallback));
       raise Stop)

@@ -58,9 +58,17 @@ type ctx = {
   classify_target : int -> target_class;
   block_limit : int;  (** guest instructions per translation block *)
   read_guest : int -> Types.inst;  (** decode the guest word at address *)
+  legalize : gpc:int -> Types.inst -> Types.inst list;
+      (** ARK-mode legalization hook (normally {!default_legalize}); the
+          superblock planner overrides it to re-home guest r10 into host
+          r12 across a trace. Must raise {!Rules.Untranslatable} for
+          fallback instructions. *)
 }
 
 val default_block_limit : int
+
+val default_legalize : gpc:int -> Types.inst -> Types.inst list
+(** [snd (Rules.legalize ~gpc i)] — the standard ARK legalization *)
 
 val translate : ctx -> gpc:int -> block
 (** [translate ctx ~gpc] builds one translation block starting at guest

@@ -28,6 +28,8 @@ type t = {
   ark : Ark.t;
   mutable events : phase_event list;
   mutable fallbacks : (string * int) list;  (** reason, time *)
+  cache_dir : string option;
+      (** persistent translation cache directory, when warm-starting *)
 }
 
 let plat t = t.nat.Native_run.plat
@@ -61,14 +63,30 @@ let build_manifest (plat : Platform.t) : Manifest.t =
     exit_to = Asm.symbol image "call_exit_stub" }
 
 (** [create ?layout ?mode ?sleep_ms ()] boots the platform natively and
-    prepares ARK. [mode] picks the DBT optimization level. *)
-let create ?layout ?devices ?(mode = Translator.Ark) ?sleep_ms ?m3_cache_kb
-    () =
+    prepares ARK. [mode] picks the DBT optimization level; [superblock]
+    stacks the trace tier on top of [Ark]; [cache_dir] attaches a
+    persistent translation cache keyed by the pristine image digest (a
+    stale or missing file is an ordinary cold start). *)
+let create ?layout ?devices ?(mode = Translator.Ark) ?(superblock = false)
+    ?cache_dir ?sleep_ms ?m3_cache_kb () =
   let plat = Platform.create ?layout ?m3_cache_kb () in
   let nat = Native_run.create ?devices ?sleep_ms ~plat () in
   let man = build_manifest plat in
-  let ark = Ark.create ~soc:plat.soc ~mode ~man () in
-  let t = { nat; ark; events = []; fallbacks = [] } in
+  let ark = Ark.create ~soc:plat.soc ~mode ~superblock ~man () in
+  (match cache_dir with
+  | Some dir when mode = Translator.Ark ->
+    let image = plat.built.Image.image in
+    let key =
+      Tk_dbt.Cache_store.key_of_image ~base:image.Asm.base
+        ~words:image.Asm.words
+    in
+    ark.Ark.engine.Tk_dbt.Engine.store <-
+      Some
+        (match Tk_dbt.Cache_store.load ~dir ~key with
+        | Some st -> st
+        | None -> Tk_dbt.Cache_store.create ~key)
+  | Some _ | None -> ());
+  let t = { nat; ark; events = []; fallbacks = []; cache_dir } in
   ark.Ark.on_hypercall <-
     (fun n cpu ->
       if n = Hyper.phase_mark then begin
@@ -86,6 +104,14 @@ let create ?layout ?devices ?(mode = Translator.Ark) ?sleep_ms ?m3_cache_kb
           Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0
           :: t.nat.Native_run.warns);
   t
+
+(** [save_cache t] persists the engine's translation cache to the
+    directory given at [create] time (no-op otherwise, or when the
+    image self-modified and the store was dropped). *)
+let save_cache t =
+  match (t.cache_dir, t.ark.Ark.engine.Tk_dbt.Engine.store) with
+  | Some dir, Some st -> Tk_dbt.Cache_store.save ~dir st
+  | _ -> ()
 
 (* resume a migrated context natively: the receiver-thread step of §6 *)
 let receive_fallback t (st : Ark.guest_state) =

@@ -14,6 +14,8 @@ type t = {
   ark : Transkernel.Ark.t;
   mutable events : phase_event list;  (** newest first *)
   mutable fallbacks : (string * int) list;  (** (reason, time) *)
+  cache_dir : string option;
+      (** persistent translation cache directory, when warm-starting *)
 }
 
 val plat : t -> Tk_drivers.Platform.t
@@ -27,12 +29,22 @@ val create :
   ?layout:Tk_kernel.Layout.t ->
   ?devices:string list ->
   ?mode:Tk_dbt.Translator.mode ->
+  ?superblock:bool ->
+  ?cache_dir:string ->
   ?sleep_ms:int ->
   ?m3_cache_kb:int ->
   unit ->
   t
 (** boot the platform natively and prepare ARK; [mode] picks the DBT
-    optimization level (the Figure 6 bars) *)
+    optimization level (the Figure 6 bars). [superblock] stacks the
+    trace-formation tier on top of [Ark] mode. [cache_dir] attaches a
+    persistent translation cache keyed by the pristine image digest — a
+    missing or stale cache file is an ordinary cold start. *)
+
+val save_cache : t -> unit
+(** persist the engine's translation cache to the [cache_dir] given at
+    [create] time (no-op without one, or after the store was dropped by
+    a self-modifying-code flush) *)
 
 val receive_fallback : t -> Transkernel.Ark.guest_state -> int
 (** resume a migrated context natively on the CPU (the receiver step of

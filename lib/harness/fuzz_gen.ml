@@ -249,24 +249,72 @@ let run_dbt mode slots =
       | _ -> Exec.flags_word cpu);
     digest = Mem.digest soc.Soc.mem ~lo:buf_base ~hi:(buf_base + buf_size) }
 
-let compare_arms mode slots =
-  let n = run_native slots in
-  let d = run_dbt mode slots in
+let diff_archs label n d =
   let mismatch = ref [] in
   for i = 0 to 10 do
     (* r11 is mode-reserved, r12 the documented dead register,
        r13/r14/r15 control state *)
     if n.regs.(i) <> d.regs.(i) then
       mismatch :=
-        Printf.sprintf "r%d: native=0x%x dbt=0x%x" i n.regs.(i) d.regs.(i)
+        Printf.sprintf "%s r%d: native=0x%x dbt=0x%x" label i n.regs.(i)
+          d.regs.(i)
         :: !mismatch
   done;
   if n.flags <> d.flags then
     mismatch :=
-      Printf.sprintf "flags: 0x%x vs 0x%x" n.flags d.flags :: !mismatch;
+      Printf.sprintf "%s flags: 0x%x vs 0x%x" label n.flags d.flags
+      :: !mismatch;
   if n.digest <> d.digest then
-    mismatch := "memory digest differs" :: !mismatch;
-  if !mismatch = [] then Ok () else Error (String.concat "\n" !mismatch)
+    mismatch := Printf.sprintf "%s memory digest differs" label :: !mismatch;
+  List.rev !mismatch
+
+let compare_arms mode slots =
+  let n = run_native slots in
+  let d = run_dbt mode slots in
+  match diff_archs "arm" n d with
+  | [] -> Ok ()
+  | ms -> Error (String.concat "\n" ms)
+
+(* The superblock arm runs the same program twice through one engine
+   with a formation threshold of 2: the cold pass exercises fused
+   macro-ops in freshly translated blocks, and — blocks now hot — the
+   second pass forms and executes superblock traces. Architectural
+   state is fully re-seeded between passes (native execution is
+   deterministic, so one native run serves as the oracle for both). *)
+let run_superblock slots =
+  let soc = Soc.create () in
+  let image = build_image slots in
+  Mem.load_image soc.Soc.mem image;
+  let engine = Engine.create ~soc ~mode:Translator.Ark () in
+  engine.Engine.superblock <- true;
+  engine.Engine.sb_threshold <- 2;
+  let cpu = Exec.make_cpu () in
+  let pass () =
+    fill_buffer soc;
+    seed_regs (fun i v ->
+        if i = 10 then Engine.set_guest_reg engine cpu 10 v
+        else cpu.Exec.r.(i) <- Bits.mask32 v);
+    Exec.set_flags_word cpu 0;
+    cpu.Exec.r.(Types.lr) <- Layout.exit_magic;
+    cpu.Exec.r.(Types.pc) <-
+      Engine.entry_host engine (Asm.symbol image "fuzzfn");
+    (try Engine.run engine cpu ~fuel:5_000_000 with
+    | Engine.Context_exit -> ()
+    | e -> harness_fail "superblock" e);
+    { regs = Array.init 16 (fun i -> Engine.guest_reg engine cpu i);
+      flags = Exec.flags_word cpu;
+      digest = Mem.digest soc.Soc.mem ~lo:buf_base ~hi:(buf_base + buf_size) }
+  in
+  let cold = pass () in
+  let hot = pass () in
+  (cold, hot)
+
+let compare_superblock slots =
+  let n = run_native slots in
+  let cold, hot = run_superblock slots in
+  match diff_archs "cold" n cold @ diff_archs "hot" n hot with
+  | [] -> Ok ()
+  | ms -> Error (String.concat "\n" ms)
 
 (** [program_fnv slots] — FNV-1a over the rendered program text; the
     campaign folds these into its task digests so a generator whose

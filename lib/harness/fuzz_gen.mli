@@ -47,3 +47,12 @@ val compare_arms :
   Tk_dbt.Translator.mode -> slot array -> (unit, string) result
 (** run both arms and diff r0..r10, flags and buffer digest;
     [Error report] describes the divergence *)
+
+val run_superblock : slot array -> arch * arch
+(** execute twice through one superblock-tier engine (formation
+    threshold 2): the cold pass exercises macro-op fusion, the hot pass
+    forms and runs superblock traces. State is fully re-seeded between
+    passes; returns [(cold, hot)]. *)
+
+val compare_superblock : slot array -> (unit, string) result
+(** diff both superblock passes against one native oracle run *)

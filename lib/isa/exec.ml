@@ -115,16 +115,18 @@ type outcome = Next | Branched
 (* Register access for [step]. Top-level (rather than closures inside
    [step]) so that the non-flambda compiler emits zero allocations per
    executed instruction — this loop is the simulator's hottest path.
-   [rset] records a PC write in [cpu.branched]. *)
+   Register numbers are 4-bit decode fields (both decoders mask them to
+   0..15), so the accesses skip the bounds check. [rset] records a PC
+   write in [cpu.branched]. *)
 let rget cpu addr r =
-  if r = pc then Bits.mask32 (addr + 8) else cpu.r.(r)
+  if r = pc then Bits.mask32 (addr + 8) else Array.unsafe_get cpu.r r
 
 let rset cpu r v =
   if r = pc then begin
-    cpu.r.(pc) <- Bits.mask32 v land lnot 1;
+    Array.unsafe_set cpu.r pc (Bits.mask32 v land lnot 1);
     cpu.branched <- true
   end
-  else cpu.r.(r) <- Bits.mask32 v
+  else Array.unsafe_set cpu.r r (Bits.mask32 v)
 
 let dp_logical cpu s shc res =
   if s then begin

@@ -44,10 +44,18 @@ let create ~clock ~cache p =
     platform clock (firing any due events). *)
 let charge t cycles =
   t.busy_cycles <- t.busy_cycles + cycles;
-  let ps = (cycles * t.ps_per_cycle) + t.frac_ps in
-  t.busy_ps <- t.busy_ps + (cycles * t.ps_per_cycle);
-  t.frac_ps <- ps mod 1000;
-  Clock.advance t.clock (ps / 1000)
+  let dps = cycles * t.ps_per_cycle in
+  let ps = dps + t.frac_ps in
+  t.busy_ps <- t.busy_ps + dps;
+  (* ps/1000 by reciprocal multiplication — exact for 0 <= ps < 2^32
+     (the 56-ulp error of 274877907 ~= 2^38/1000 stays below 1/1000
+     there); this runs once per retired instruction, where the idiv
+     pair it replaces was a measurable share of the accounting cost *)
+  let q =
+    if ps < 0x1_0000_0000 then (ps * 274877907) asr 38 else ps / 1000
+  in
+  t.frac_ps <- ps - (q * 1000);
+  Clock.advance t.clock q
 
 (** [charge_stall t stall] — fast path for charging a cache-access
     result: on a hit ([stall = 0]) it skips the zero-cycle bookkeeping
@@ -80,10 +88,18 @@ let count_instruction t = t.instructions <- t.instructions + 1
 let instr_cycles t =
   if t.p.cpi_num = 0 then 1
   else begin
-    t.cpi_acc <- t.cpi_acc + t.p.cpi_num;
-    let extra = t.cpi_acc / t.p.cpi_den in
-    t.cpi_acc <- t.cpi_acc mod t.p.cpi_den;
-    1 + extra
+    (* the accumulator stays below cpi_den, so after adding cpi_num it
+       is below cpi_den + cpi_num — for the small num/den ratios cores
+       use, the carry resolves with compares instead of an idiv *)
+    let acc = t.cpi_acc + t.p.cpi_num in
+    let den = t.p.cpi_den in
+    if acc < den then begin t.cpi_acc <- acc; 1 end
+    else if acc < 2 * den then begin t.cpi_acc <- acc - den; 2 end
+    else if acc < 3 * den then begin t.cpi_acc <- acc - (2 * den); 3 end
+    else begin
+      t.cpi_acc <- acc mod den;
+      1 + (acc / den)
+    end
   end
 
 (** [retire t addr] — fused per-instruction accounting for the hot

@@ -54,7 +54,7 @@ let dummy_env : Exec.env =
     svc = (fun _ _ -> ()); wfi = (fun _ -> ()); irq_ret = (fun _ -> ());
     undef = (fun _ _ -> ()) }
 
-let in_dense addr = addr >= dense_base && addr < dense_top
+let in_dense = Soc.in_kernel_image
 
 let create ~(soc : Soc.t) () =
   let core = soc.cpu in

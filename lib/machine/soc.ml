@@ -44,6 +44,11 @@ let dev_mmio_stride = 0x10000
     does not map (currently the GIC register file). *)
 let is_cpu_private addr = addr >= gic_base && addr < gic_base + gic_size
 
+(** [in_kernel_image addr] — inside the span where guest kernel code can
+    live: the region the interpreter pre-decodes densely and the DBT's
+    superblock tier covers with its store-invalidation map. *)
+let in_kernel_image addr = addr >= kernel_base && addr < page_pool_base
+
 (* ------------------------- IRQ lines -------------------------------- *)
 
 let nlines = 102

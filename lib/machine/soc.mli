@@ -41,6 +41,11 @@ val cpu_timer_base : int
     does not map (currently the GIC register file). *)
 val is_cpu_private : int -> bool
 
+(** [in_kernel_image addr] — inside the span where guest kernel code can
+    live ([kernel_base, page_pool_base)): the interpreter's dense-decode
+    span and the superblock tier's store-invalidation cover. *)
+val in_kernel_image : int -> bool
+
 (* ------------------------- IRQ lines -------------------------------- *)
 
 val nlines : int

@@ -31,8 +31,9 @@ let ev_translate = 6 (* a = guest block pc, b = guest instructions *)
 let ev_chain = 7 (* a = patched host site *)
 let ev_invalidate = 8 (* a = invalidated decode word address *)
 let ev_phase = 9 (* a = phase marker code *)
+let ev_form = 10 (* a = superblock head gpc, b = guest instructions *)
 
-let nkinds = 10
+let nkinds = 11
 
 let kind_name = function
   | 0 -> "retire"
@@ -45,6 +46,7 @@ let kind_name = function
   | 7 -> "chain"
   | 8 -> "invalidate"
   | 9 -> "phase"
+  | 10 -> "form"
   | _ -> "?"
 
 let kind_of_name = function
@@ -58,6 +60,7 @@ let kind_of_name = function
   | "chain" -> Some ev_chain
   | "invalidate" -> Some ev_invalidate
   | "phase" -> Some ev_phase
+  | "form" -> Some ev_form
   | _ -> None
 
 let all_kinds = (1 lsl nkinds) - 1
@@ -77,7 +80,7 @@ let filter_of_names names =
         | "dbt" ->
           Ok
             (m lor (1 lsl ev_translate) lor (1 lsl ev_chain)
-            lor (1 lsl ev_invalidate))
+            lor (1 lsl ev_invalidate) lor (1 lsl ev_form))
         | "all" -> Ok all_kinds
         | _ -> (
           match kind_of_name n with
@@ -257,6 +260,7 @@ let jsonl_line ~time ~core ~kind ~a ~b =
     | 7 -> Printf.sprintf {|"site":"0x%x"|} a
     | 8 -> Printf.sprintf {|"addr":"0x%x"|} a
     | 9 -> Printf.sprintf {|"code":%d|} a
+    | 10 -> Printf.sprintf {|"gpc":"0x%x","ninstr":%d|} a b
     | _ -> Printf.sprintf {|"a":%d,"b":%d|} a b
   in
   Printf.sprintf {|{"t":%d,"core":%s,"ev":%s,%s}|} time

@@ -37,6 +37,9 @@ val ev_invalidate : int  (** a = invalidated decode word address *)
 
 val ev_phase : int  (** a = phase marker code *)
 
+val ev_form : int
+(** superblock trace formed: a = head gpc, b = guest instructions *)
+
 val kind_name : int -> string
 
 (** Bitmask accepting every event kind. *)
@@ -44,8 +47,8 @@ val all_kinds : int
 
 (** [filter_of_names names] parses a comma-list vocabulary into a kind
     bitmask. Accepts the group aliases [mem] (read+write), [irq]
-    (raise+deliver) and [dbt] (translate+chain+invalidate); [Error n]
-    names the first unknown kind. *)
+    (raise+deliver) and [dbt] (translate+chain+invalidate+form);
+    [Error n] names the first unknown kind. *)
 val filter_of_names : string list -> (int, string) result
 
 (** Emitting cores (who was executing when the event fired). *)

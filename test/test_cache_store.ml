@@ -1,0 +1,202 @@
+(* The persistent translation cache: serialization round-trip, key
+   hygiene (a digest mismatch or corrupt file is an ordinary cold
+   start), and the warm-start contract — a warm run replays cached
+   blocks and traces at exactly the instants cold translation would
+   produce them, with the same simulated charges, so every simulated
+   counter is identical to the cold run's. Only host-side translation
+   work is skipped. *)
+
+open Tk_isa
+open Tk_isa.Types
+open Tk_machine
+open Tk_dbt
+module Ark_run = Tk_harness.Ark_run
+module Native_run = Tk_harness.Native_run
+
+let rep n i = List.init n (fun _ -> Asm.Ins i)
+
+(* the same two-block hot loop shape the superblock suite uses *)
+let hot_image () =
+  let items =
+    [ Asm.Ins (at (Movw (0, 0))); Asm.Ins (at (Movw (1, 200)));
+      Asm.Label ".top" ]
+    @ rep 18 (at (Dp (ADD, false, 0, 0, Imm 1)))
+    @ [ Asm.Ins (at (Dp (SUB, false, 1, 1, Imm 1)));
+        Asm.Ins (at (Dp (CMP, true, 0, 1, Imm 0)));
+        Asm.Bcc (NE, ".top");
+        Asm.Ins (at (Bx Types.lr)) ]
+  in
+  Asm.link ~base:Soc.kernel_base [ { Asm.name = "hotfn"; items } ] []
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tkcache-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+(* one superblock-tier run of the hot loop; [store] attaches a
+   persistent cache *)
+let run_hot ?store image =
+  let soc = Soc.create () in
+  Mem.load_image soc.Soc.mem image;
+  let engine = Engine.create ~soc ~mode:Translator.Ark () in
+  engine.Engine.superblock <- true;
+  engine.Engine.sb_threshold <- 4;
+  engine.Engine.store <- store;
+  let cpu = Exec.make_cpu () in
+  cpu.Exec.r.(Types.lr) <- Layout.exit_magic;
+  cpu.Exec.r.(Types.pc) <-
+    Engine.entry_host engine (Asm.symbol image "hotfn");
+  (try Engine.run engine cpu ~fuel:5_000_000 with
+  | Engine.Context_exit -> ()
+  | e -> Alcotest.failf "engine: %s" (Printexc.to_string e));
+  let act = Core.activity soc.Soc.m3 in
+  let regs = Array.init 16 (fun i -> Engine.guest_reg engine cpu i) in
+  (regs, Exec.flags_word cpu, act, engine)
+
+(* ------------------------------ tests -------------------------------- *)
+
+let test_roundtrip () =
+  let image = hot_image () in
+  let key =
+    Cache_store.key_of_image ~base:image.Asm.base ~words:image.Asm.words
+  in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let _, _, _, engine = run_hot ~store:(Cache_store.create ~key) image in
+      let st = Option.get engine.Engine.store in
+      Alcotest.(check bool) "cold run populated the store" true
+        (Hashtbl.length st.Cache_store.blocks > 0
+        && Hashtbl.length st.Cache_store.traces > 0);
+      Cache_store.save ~dir st;
+      match Cache_store.load ~dir ~key with
+      | None -> Alcotest.fail "saved cache failed to load"
+      | Some got ->
+        Alcotest.(check string) "key survives" key got.Cache_store.key;
+        Alcotest.(check int) "all blocks survive"
+          (Hashtbl.length st.Cache_store.blocks)
+          (Hashtbl.length got.Cache_store.blocks);
+        Alcotest.(check int) "all traces survive"
+          (Hashtbl.length st.Cache_store.traces)
+          (Hashtbl.length got.Cache_store.traces))
+
+let test_key_mismatch_cold () =
+  let image = hot_image () in
+  let key =
+    Cache_store.key_of_image ~base:image.Asm.base ~words:image.Asm.words
+  in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let _, _, _, engine = run_hot ~store:(Cache_store.create ~key) image in
+      Cache_store.save ~dir (Option.get engine.Engine.store);
+      (* absent key: no such file *)
+      Alcotest.(check bool) "unknown key misses" true
+        (Cache_store.load ~dir ~key:"00000000" = None);
+      (* stale key: pretend the image changed but the file name matched *)
+      Sys.rename
+        (Cache_store.path ~dir ~key)
+        (Cache_store.path ~dir ~key:"deadbeef");
+      Alcotest.(check bool) "digest-mismatched file rejected" true
+        (Cache_store.load ~dir ~key:"deadbeef" = None))
+
+let test_corrupt_cold () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let path = Cache_store.path ~dir ~key:"cafe1234" in
+      let oc = open_out_bin path in
+      output_string oc "not a translation cache at all";
+      close_out oc;
+      Alcotest.(check bool) "corrupt file is a cold start" true
+        (Cache_store.load ~dir ~key:"cafe1234" = None))
+
+(* warm replay must not move a single simulated counter: the cache
+   eliminates host-side translation work, never simulated cycles *)
+let test_warm_equals_cold () =
+  let image = hot_image () in
+  let key =
+    Cache_store.key_of_image ~base:image.Asm.base ~words:image.Asm.words
+  in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let regs_c, flags_c, act_c, engine_c =
+        run_hot ~store:(Cache_store.create ~key) image
+      in
+      Cache_store.save ~dir (Option.get engine_c.Engine.store);
+      let warm = Option.get (Cache_store.load ~dir ~key) in
+      let regs_w, flags_w, act_w, engine_w = run_hot ~store:warm image in
+      Alcotest.(check bool) "warm run replayed from the store" true
+        (engine_w.Engine.cache_warm_hits > 0);
+      Alcotest.(check int) "cold run had no warm hits" 0
+        engine_c.Engine.cache_warm_hits;
+      Alcotest.(check (array int)) "guest registers identical" regs_c regs_w;
+      Alcotest.(check int) "flags identical" flags_c flags_w;
+      Alcotest.(check int) "instructions identical"
+        act_c.Core.a_instructions act_w.Core.a_instructions;
+      Alcotest.(check int) "busy cycles identical" act_c.Core.a_busy_cycles
+        act_w.Core.a_busy_cycles;
+      Alcotest.(check int) "cache misses identical"
+        act_c.Core.a_cache_misses act_w.Core.a_cache_misses;
+      Alcotest.(check int) "traces re-formed at the same instants"
+        engine_c.Engine.traces_formed engine_w.Engine.traces_formed;
+      Alcotest.(check int) "fusions identical" engine_c.Engine.fusions_applied
+        engine_w.Engine.fusions_applied)
+
+(* the harness plumbing: a full offloaded cycle cold with --cache-dir,
+   then warm — byte-identical simulated outcome, warm hits observed *)
+let test_harness_warm_cycle () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cycle () =
+        let ark = Ark_run.create ~superblock:true ~cache_dir:dir () in
+        (match Ark_run.suspend_resume_cycle ark with
+        | `Ok -> ()
+        | `Fell_back r -> Alcotest.failf "unexpected fallback: %s" r);
+        Ark_run.save_cache ark;
+        let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
+        let act = Core.activity soc.Soc.m3 in
+        let e = ark.Ark_run.ark.Transkernel.Ark.engine in
+        ( act.Core.a_instructions, act.Core.a_busy_cycles,
+          act.Core.a_cache_misses, soc.Soc.clock.Clock.now,
+          e.Engine.cache_warm_hits )
+      in
+      let ic, bc, mc, tc, warm_c = cycle () in
+      let iw, bw, mw, tw, warm_w = cycle () in
+      Alcotest.(check int) "cold cycle starts cold" 0 warm_c;
+      Alcotest.(check bool) "second cycle warm-started" true (warm_w > 0);
+      Alcotest.(check int) "instructions identical" ic iw;
+      Alcotest.(check int) "busy cycles identical" bc bw;
+      Alcotest.(check int) "cache misses identical" mc mw;
+      Alcotest.(check int) "simulated time identical" tc tw)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "cache_store"
+    [ ( "persistence",
+        [ Alcotest.test_case "save/load round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "digest mismatch is a cold start" `Quick
+            test_key_mismatch_cold;
+          Alcotest.test_case "corrupt file is a cold start" `Quick
+            test_corrupt_cold ] );
+      ( "warm start",
+        [ Alcotest.test_case "warm counters = cold counters" `Quick
+            test_warm_equals_cold;
+          Alcotest.test_case "full cycle warm = cold" `Quick
+            test_harness_warm_cycle ] ) ]

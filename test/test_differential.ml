@@ -5,7 +5,8 @@
 
    Unlike the QCheck properties in test_dbt.ml (300 shrinkable cases
    per mode), this battery is a seeded-PRNG soak: > 1000 generated
-   programs across the three modes, each reproducible from the single
+   programs across four arms (the three translator modes plus the
+   superblock trace tier), each reproducible from the single
    seed integer printed on failure — every random draw comes from an
    explicit Random.State made from that seed and threaded through the
    generators. TK_FUZZ_SCALE multiplies the volume for local deep
@@ -21,14 +22,14 @@ let scale =
 
 (* ---------------------------- the soak ------------------------------- *)
 
-let fuzz name mode gen base_seed want () =
+let soak name mode compare gen base_seed want () =
   let compared = ref 0 and seed = ref base_seed in
   while !compared < want do
     incr seed;
     let st = Random.State.make [| !seed |] in
     let slots = gen st in
     if Fuzz_gen.translatable mode slots then begin
-      (match Fuzz_gen.compare_arms mode slots with
+      (match compare slots with
       | Ok () -> ()
       | Error msg ->
         Alcotest.failf "%s: divergence at seed %d:\n%s\nprogram:\n%s" name
@@ -42,6 +43,15 @@ let fuzz name mode gen base_seed want () =
     end
   done
 
+let fuzz name mode gen base_seed want () =
+  soak name mode (Fuzz_gen.compare_arms mode) gen base_seed want ()
+
+(* the fourth arm: superblock tier on top of Ark mode — each program
+   runs twice through one engine (cold = fusion, hot = formed traces),
+   both passes diffed against the native oracle *)
+let fuzz_superblock name gen base_seed want () =
+  soak name Translator.Ark Fuzz_gen.compare_superblock gen base_seed want ()
+
 let straight_n = 250 * scale
 let branchy_n = 100 * scale
 
@@ -51,6 +61,14 @@ let mode_tests tag mode seed_base =
          straight_n);
     Alcotest.test_case (tag ^ " branchy = native") `Quick
       (fuzz (tag ^ "/branchy") mode Fuzz_gen.gen_branchy
+         (seed_base + 0x100000) branchy_n) ]
+
+let superblock_tests seed_base =
+  [ Alcotest.test_case "superblock straight-line = native" `Quick
+      (fuzz_superblock "superblock/straight" Fuzz_gen.gen_straight seed_base
+         straight_n);
+    Alcotest.test_case "superblock branchy = native" `Quick
+      (fuzz_superblock "superblock/branchy" Fuzz_gen.gen_branchy
          (seed_base + 0x100000) branchy_n) ]
 
 (* generator determinism: the same state yields the same program — the
@@ -73,6 +91,7 @@ let () =
     [ ("ark", mode_tests "ark" Translator.Ark 0x10000);
       ("mid", mode_tests "mid" Translator.Mid 0x20000);
       ("baseline", mode_tests "baseline" Translator.Baseline 0x30000);
+      ("superblock", superblock_tests 0x40000);
       ( "generator",
         [ Alcotest.test_case "explicit-state generation reproduces" `Quick
             test_gen_deterministic ] ) ]

@@ -275,7 +275,7 @@ let ark_manifest_sections () =
   in
   (metrics, counters)
 
-let golden_manifest_digest = "10423f579f4470e1"
+let golden_manifest_digest = "1b8db7b8db6ad1bc"
 
 let test_manifest_digest () =
   let metrics, counters = ark_manifest_sections () in
