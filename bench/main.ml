@@ -918,6 +918,109 @@ let sweep_bench ~smoke ~record () =
     Printf.printf "  wrote %s\n%!" f);
   if not digests_agree then exit 1
 
+(* -------------------------------- fleet ------------------------------ *)
+
+(* Fleet-scale population throughput (devices·wakeups/sec): the sharded
+   snapshot runner versus the naive idiom it replaces — one fresh SoC
+   world per device-instance. Both arms run the same arrival traces
+   (same per-instance PRNG streams), so the simulated work is identical;
+   what differs is the host cost of putting an instance into its
+   defined starting state: the warmed DBT fixpoint (Fleet's contract —
+   cache-pressure histograms and latency percentiles are simulated
+   figures, and a cold world reports different ones: compulsory cache
+   misses, unformed traces). The fleet pays boot + warmup once per
+   shard and a sub-millisecond snapshot restore per instance; the naive
+   implementation of the same specification pays boot + warmup per
+   instance. The naive arm samples one instance per device
+   configuration rather than the whole population — its per-instance
+   cost is constant, and sampling keeps the bench wall time sane. *)
+let fleet_bench ~smoke ~record () =
+  let module Fleet = Tk_fleet.Fleet in
+  let devices = if smoke then 12 else 480 in
+  let jobs = 8 in
+  let cores = Domain.recommended_domain_count () in
+  let cfg =
+    { Fleet.default_config with
+      Fleet.devices; jobs;
+      (* fleet-shaped workload: a large population of mostly-idle
+         devices, each waking about once in the window — the regime the
+         snapshot machinery exists for *)
+      duration_ms = 10; mean_gap_ms = 40; shard_cap = 128 }
+  in
+  Printf.printf
+    "\n== fleet population throughput (%d devices, -j%d; host has %d \
+     core(s)) ==\n%!"
+    devices jobs cores;
+  (* naive arm: fresh world per instance, one instance per dconfig *)
+  let sample_ids =
+    List.init (min devices (4 * Array.length Fleet.dconfigs)) Fun.id
+  in
+  let lat = Sketch.create ()
+  and pressure = Sketch.create ()
+  and energy_sk = Sketch.create () in
+  let w0 = Unix.gettimeofday () in
+  let naive_wakeups =
+    List.fold_left
+      (fun acc id ->
+        let dc = Fleet.dconfigs.(Fleet.config_of_instance id) in
+        let ark =
+          Ark_run.create ~devices:dc.Fleet.dc_devices
+            ~superblock:dc.Fleet.dc_superblock ()
+        in
+        ignore (Fleet.warmup ark ~dc);
+        let row =
+          Fleet.run_instance cfg dc ark ~lat ~pressure ~energy_sk ~id
+        in
+        acc + row.Fleet.i_wakeups)
+      0 sample_ids
+  in
+  let naive_wall = Unix.gettimeofday () -. w0 in
+  let naive_wps = float_of_int naive_wakeups /. max 1e-9 naive_wall in
+  (* fleet arm: same population shape, sharded snapshot runner *)
+  let t = Fleet.run cfg in
+  if Fleet.failed t then (
+    (match Fleet.first_error t with
+    | Some (i, msg) -> Printf.eprintf "fleet bench: shard %d failed: %s\n" i msg
+    | None -> ());
+    exit 1);
+  let fleet_wakeups = Fleet.counter t "fleet.wakeups" in
+  let fleet_wps = float_of_int fleet_wakeups /. max 1e-9 t.Fleet.wall_s in
+  let speedup = fleet_wps /. max 1e-9 naive_wps in
+  Report.table ~title:"population throughput (devices·wakeups/sec)"
+    ~header:[ "arm"; "instances"; "wakeups"; "wall (s)"; "wakeups/s" ]
+    [ [ "naive (fresh world/instance)"; string_of_int (List.length sample_ids);
+        string_of_int naive_wakeups; f2 naive_wall; f2 naive_wps ];
+      [ "fleet (shared snapshots)"; string_of_int devices;
+        string_of_int fleet_wakeups; f2 t.Fleet.wall_s; f2 fleet_wps ] ];
+  Printf.printf "fleet speedup over naive: %s  (digest %s)\n%!" (fx speedup)
+    t.Fleet.digest;
+  let file =
+    match record with
+    | Some f -> Some f
+    | None when not smoke -> Some "BENCH_3.json"
+    | None -> None
+  in
+  match file with
+  | None -> ()
+  | Some f ->
+    let open Run_manifest in
+    write_file f
+      (Obj
+         [ ("schema", Str "arksim-fleet-bench-v1");
+           ( "meta",
+             Obj
+               [ ("git_rev", Str (git_rev ())); ("devices", Int devices);
+                 ("jobs", Int jobs); ("host_cores", Int cores);
+                 ("duration_ms", Int cfg.Fleet.duration_ms);
+                 ("naive_sample", Int (List.length sample_ids)) ] );
+           ("wakeups_per_s_fleet", Num fleet_wps);
+           ("wakeups_per_s_naive", Num naive_wps);
+           ("fleet_speedup", Num speedup);
+           ("fleet_wakeups", Int fleet_wakeups);
+           ("naive_wakeups", Int naive_wakeups);
+           ("digest", Str t.Fleet.digest) ]);
+    Printf.printf "  wrote %s\n%!" f
+
 (* -------------------------------- trace ------------------------------ *)
 
 (* Flight-recorder showcase: one traced + profiled offloaded cycle with
@@ -982,7 +1085,7 @@ let trace_bench () =
 let all_names =
   [ "table3"; "table4"; "table5"; "table6"; "fig3"; "fig5"; "fig6"; "fig7";
     "abi"; "services"; "fallback"; "dram"; "biglittle"; "battery"; "aarch64";
-    "ablation"; "trace"; "throughput"; "sweep" ]
+    "ablation"; "trace"; "throughput"; "sweep"; "fleet" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1027,6 +1130,7 @@ let () =
       | "trace" -> trace_bench ()
       | "throughput" -> throughput ~smoke:!smoke ~record:!record ()
       | "sweep" -> sweep_bench ~smoke:!smoke ~record:!record ()
+      | "fleet" -> fleet_bench ~smoke:!smoke ~record:!record ()
       | "bechamel" -> bechamel ()
       | other -> Printf.eprintf "unknown bench %s\n" other)
     selected;

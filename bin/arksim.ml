@@ -11,6 +11,12 @@
      arksim sweep --kind stress|fuzz|whatif [--tasks N] [--jobs J]
                 [--seed S] [--out FILE]  parallel campaign; same --seed
                                        gives the same digest at any -j
+     arksim fleet --devices N [--arrival poisson|bursty|diurnal]
+                [--jobs J] [--seed S] [--duration-ms D] [--gap-ms G]
+                [--shard-cap C] [--reversed] [--out FILE]
+                                       sharded device population over
+                                       snapshotable worlds; the fleet
+                                       digest is invariant under -j
      arksim compare [--cycles N]       native vs ARK side by side
      arksim disasm SYMBOL              show a kernel function and its
                                        ARK translation
@@ -467,7 +473,42 @@ let sweep_cmd kind tasks jobs seed out =
   | Some f ->
     Campaign.write_file f t;
     Printf.printf "campaign -> %s\n" f);
-  if Campaign.failed t then 1 else 0
+  if Campaign.failed t then begin
+    (match Campaign.first_error t with
+    | Some (i, msg) -> Printf.eprintf "sweep: task %d failed: %s\n" i msg
+    | None -> Printf.eprintf "sweep: fuzz divergence\n");
+    1
+  end
+  else 0
+
+(* ------------------------------- fleet ------------------------------- *)
+
+module Fleet = Tk_fleet.Fleet
+module Arrival = Tk_fleet.Arrival
+
+(* exit codes: 0 clean, 1 any shard error (first one is named) *)
+let fleet_cmd devices arrival jobs seed duration_ms gap_ms shard_cap reversed
+    out =
+  let cfg =
+    { Fleet.default_config with
+      Fleet.devices; arrival; jobs; seed; duration_ms;
+      mean_gap_ms = gap_ms; shard_cap;
+      schedule = (if reversed then Fleet.Reversed else Fleet.Chrono) }
+  in
+  let t = Fleet.run cfg in
+  Fleet.print_summary t;
+  (match out with
+  | None -> ()
+  | Some f ->
+    Fleet.write_file f t;
+    Printf.printf "fleet -> %s\n" f);
+  if Fleet.failed t then begin
+    (match Fleet.first_error t with
+    | Some (i, msg) -> Printf.eprintf "fleet: shard %d failed: %s\n" i msg
+    | None -> ());
+    1
+  end
+  else 0
 
 (* ------------------------------ compare ------------------------------ *)
 
@@ -795,6 +836,51 @@ let cmds =
         $ Arg.(value & opt (some string) None
                & info [ "out" ] ~docv:"FILE"
                    ~doc:"Write the campaign JSON document to $(docv)."));
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:"Simulate a sharded population of device instances over \
+               snapshotable SoC worlds, with percentile telemetry. The \
+               fleet digest depends only on (devices, arrival, seed and \
+               the simulation knobs) — never on $(b,--jobs) or instance \
+               execution order. Exits 1 on any shard error.")
+      Term.(
+        const fleet_cmd
+        $ Arg.(value & opt int Fleet.default_config.Fleet.devices
+               & info [ "devices" ] ~docv:"N"
+                   ~doc:"Population size (device instances).")
+        $ Arg.(
+            value
+            & opt
+                (conv
+                   ( (fun s ->
+                       match Arrival.kind_of_string s with
+                       | Some k -> Ok k
+                       | None -> Error (`Msg ("unknown arrival " ^ s))),
+                     fun ppf k ->
+                       Format.pp_print_string ppf (Arrival.kind_name k) ))
+                Arrival.Poisson
+            & info [ "arrival" ] ~docv:"KIND"
+                ~doc:"Arrival trace: poisson, bursty or diurnal.")
+        $ Arg.(value & opt int 1
+               & info [ "jobs"; "j" ] ~docv:"J"
+                   ~doc:"Worker domains (affects wall time only).")
+        $ Arg.(value & opt int 1
+               & info [ "seed" ] ~docv:"S" ~doc:"Fleet seed.")
+        $ Arg.(value & opt int Fleet.default_config.Fleet.duration_ms
+               & info [ "duration-ms" ] ~docv:"D"
+                   ~doc:"Simulated span per instance.")
+        $ Arg.(value & opt int Fleet.default_config.Fleet.mean_gap_ms
+               & info [ "gap-ms" ] ~docv:"G" ~doc:"Mean arrival gap.")
+        $ Arg.(value & opt int Fleet.default_config.Fleet.shard_cap
+               & info [ "shard-cap" ] ~docv:"C"
+                   ~doc:"Max instances per shard world.")
+        $ Arg.(value & flag
+               & info [ "reversed" ]
+                   ~doc:"Run each shard's instances in reverse order \
+                         (digest must not move; determinism check).")
+        $ Arg.(value & opt (some string) None
+               & info [ "out" ] ~docv:"FILE"
+                   ~doc:"Write the fleet JSON document to $(docv)."));
     Cmd.v
       (Cmd.info "compare" ~doc:"Native vs offloaded, side by side.")
       Term.(const compare_cmd $ cycles_arg);

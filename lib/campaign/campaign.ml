@@ -184,11 +184,16 @@ type config = {
   stress_runs : int;  (** suspend/resume cycles per stress task *)
   stress_glitch_every : int;  (** expected cycles between glitches *)
   fuzz_programs : int;  (** compared programs per fuzz task *)
+  chaos_fail : int option;
+      (** fault injection for the error-propagation path: the given
+          task index raises instead of running. Tests (and nothing
+          else) use this to pin how worker errors surface in the
+          document, the exit code and the CLI message. *)
 }
 
 let default_config kind =
   { kind; tasks = 8; jobs = 1; seed = 1; stress_runs = 10;
-    stress_glitch_every = 4; fuzz_programs = 8 }
+    stress_glitch_every = 4; fuzz_programs = 8; chaos_fail = None }
 
 type t = {
   config : config;
@@ -200,6 +205,11 @@ type t = {
 }
 
 let failed t = t.errors <> [] || t.divergences > 0
+
+(** [first_error t] — the lowest-task-index worker error, if any. The
+    CLI's non-zero exit path prints this (task index and message)
+    instead of a generic failure line. *)
+let first_error t = match t.errors with [] -> None | e :: _ -> Some e
 
 (* merge per-task counters by summing equal names *)
 let merge_counters outs =
@@ -220,6 +230,10 @@ let counters_obj kvs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) kvs)
 let run (cfg : config) =
   let { kind; tasks; jobs; seed; _ } = cfg in
   let task i =
+    (match cfg.chaos_fail with
+    | Some j when j = i ->
+      failwith (Printf.sprintf "chaos injection (task %d)" i)
+    | _ -> ());
     let rng = task_rng ~kind ~seed i in
     match kind with
     | Stress ->

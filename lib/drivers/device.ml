@@ -180,6 +180,65 @@ let create soc ~name ~index ~suspend_us ~resume_us ?(cfg_us = 25)
   Mem.add_region soc.Soc.mem (mmio_region t);
   t
 
+(* ----------------------- snapshot support --------------------------- *)
+
+(** Flat copy of a device's mutable state, for the world-snapshot
+    layer. Only valid at quiescence (no transition/DMA/firmware event
+    pending): an in-flight completion is a clock closure that a
+    snapshot could not re-create, and {!Tk_machine.World.fork} refuses
+    to capture while one is pending. *)
+type saved = {
+  v_power_on : bool;
+  v_busy : bool;
+  v_cmd_done : bool;
+  v_error : bool;
+  v_dma_busy : bool;
+  v_dma_done : bool;
+  v_fifo_busy : bool;
+  v_irq_en : bool;
+  v_dma_src : int;
+  v_dma_dst : int;
+  v_dma_len : int;
+  v_fifo_count : int;
+  v_fifo_sum : int;
+  v_scratch : int array;
+  v_glitch_next_resume : bool;
+  v_glitches_hit : int;
+  v_cmds : int;
+  v_irqs_raised : int;
+}
+
+let capture t =
+  { v_power_on = t.power_on; v_busy = t.busy; v_cmd_done = t.cmd_done;
+    v_error = t.error; v_dma_busy = t.dma_busy; v_dma_done = t.dma_done;
+    v_fifo_busy = t.fifo_busy; v_irq_en = t.irq_en; v_dma_src = t.dma_src;
+    v_dma_dst = t.dma_dst; v_dma_len = t.dma_len;
+    v_fifo_count = t.fifo_count; v_fifo_sum = t.fifo_sum;
+    v_scratch = Array.copy t.scratch;
+    v_glitch_next_resume = t.glitch_next_resume;
+    v_glitches_hit = t.glitches_hit; v_cmds = t.cmds;
+    v_irqs_raised = t.irqs_raised }
+
+let restore t s =
+  t.power_on <- s.v_power_on;
+  t.busy <- s.v_busy;
+  t.cmd_done <- s.v_cmd_done;
+  t.error <- s.v_error;
+  t.dma_busy <- s.v_dma_busy;
+  t.dma_done <- s.v_dma_done;
+  t.fifo_busy <- s.v_fifo_busy;
+  t.irq_en <- s.v_irq_en;
+  t.dma_src <- s.v_dma_src;
+  t.dma_dst <- s.v_dma_dst;
+  t.dma_len <- s.v_dma_len;
+  t.fifo_count <- s.v_fifo_count;
+  t.fifo_sum <- s.v_fifo_sum;
+  Array.blit s.v_scratch 0 t.scratch 0 (Array.length s.v_scratch);
+  t.glitch_next_resume <- s.v_glitch_next_resume;
+  t.glitches_hit <- s.v_glitches_hit;
+  t.cmds <- s.v_cmds;
+  t.irqs_raised <- s.v_irqs_raised
+
 (* Register offsets, shared with the guest drivers. *)
 let r_status = 0x00
 let r_cmd = 0x04

@@ -64,8 +64,12 @@ let build_image ?(layout = Layout.v4_4) () =
   Image.build ~layout ~extra_frags:(driver_frags layout)
     ~extra_data:(driver_data layout) ()
 
-(** [create ?layout ?m3_cache_kb ()] — SoC + devices + loaded image. *)
-let create ?(layout = Layout.v4_4) ?m3_cache_kb () =
+(** [create ?layout ?built ?m3_cache_kb ()] — SoC + devices + loaded
+    image. [built] reuses an already-compiled image (it is immutable
+    once built: the words are {e copied} into each platform's DRAM) —
+    the fleet layer builds one image and loads it into every shard
+    world instead of recompiling per instance. *)
+let create ?(layout = Layout.v4_4) ?built ?m3_cache_kb () =
   let soc = Tk_machine.Soc.create ?m3_cache_kb () in
   let devices =
     List.map
@@ -76,7 +80,9 @@ let create ?(layout = Layout.v4_4) ?m3_cache_kb () =
             ~fw_words:s.s_fw () ))
       specs
   in
-  let built = build_image ~layout () in
+  let built =
+    match built with Some b -> b | None -> build_image ~layout ()
+  in
   Tk_machine.Mem.load_image soc.Tk_machine.Soc.mem built.Image.image;
   (* telemetry gauges: one power-rail state column per device (0/1), in
      registration order so the series columns match Figure 6's labels *)

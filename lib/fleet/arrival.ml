@@ -1,0 +1,63 @@
+(** Arrival-rate traces: when the next ephemeral task wakes a device.
+
+    Each fleet instance draws its suspend-interval sequence from one of
+    three generators, all pure functions of the instance's private PRNG
+    (plus, for the diurnal shape, the instance's own simulated clock) —
+    never of the host, the shard, or a sibling instance. That keeps the
+    whole fleet digest a function of [(population, arrival, seed)]
+    alone, whatever [--jobs] or execution order did. *)
+
+type kind =
+  | Poisson  (** memoryless: exponential inter-arrival gaps *)
+  | Bursty
+      (** two-state mix: short intra-burst gaps, long inter-burst ones *)
+  | Diurnal
+      (** exponential gaps whose mean swings sinusoidally with the
+          instance's simulated time-of-day *)
+
+let kind_name = function
+  | Poisson -> "poisson"
+  | Bursty -> "bursty"
+  | Diurnal -> "diurnal"
+
+let kind_of_string = function
+  | "poisson" -> Some Poisson
+  | "bursty" -> Some Bursty
+  | "diurnal" -> Some Diurnal
+  | _ -> None
+
+let all = [ Poisson; Bursty; Diurnal ]
+
+(* exponential draw with the given mean; U clamped away from 0 so the
+   log is finite *)
+let exp_draw rng ~mean =
+  let u = max 1e-12 (Random.State.float rng 1.0) in
+  -.mean *. log u
+
+(* one simulated "day", scaled the way the rest of the simulator scales
+   hardware latencies: long enough that a run sees the rate swing,
+   short enough to fit a campaign *)
+let diurnal_period_ns = 2_000_000_000
+
+(** [gap_ns kind rng ~mean_gap_ms ~now_ns] — the next sleep interval in
+    nanoseconds (at least 1 ms, so a cycle always makes progress). *)
+let gap_ns kind rng ~mean_gap_ms ~now_ns =
+  let mean = float_of_int mean_gap_ms in
+  let ms =
+    match kind with
+    | Poisson -> exp_draw rng ~mean
+    | Bursty ->
+      (* 1-in-4 draws open a burst of tight wakeups; the rest are the
+         long quiet gaps between bursts (same overall mean) *)
+      if Random.State.int rng 4 = 0 then exp_draw rng ~mean:(mean /. 5.0)
+      else exp_draw rng ~mean:(mean *. 1.2)
+    | Diurnal ->
+      let phase =
+        2.0 *. Float.pi
+        *. (float_of_int (now_ns mod diurnal_period_ns)
+           /. float_of_int diurnal_period_ns)
+      in
+      (* mean swings x0.4 (busy hours) .. x1.6 (night) *)
+      exp_draw rng ~mean:(mean *. (1.0 +. (0.6 *. sin phase)))
+  in
+  max 1_000_000 (int_of_float (ms *. 1e6))

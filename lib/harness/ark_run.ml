@@ -67,9 +67,9 @@ let build_manifest (plat : Platform.t) : Manifest.t =
     stacks the trace tier on top of [Ark]; [cache_dir] attaches a
     persistent translation cache keyed by the pristine image digest (a
     stale or missing file is an ordinary cold start). *)
-let create ?layout ?devices ?(mode = Translator.Ark) ?(superblock = false)
-    ?cache_dir ?sleep_ms ?m3_cache_kb () =
-  let plat = Platform.create ?layout ?m3_cache_kb () in
+let create ?layout ?built ?devices ?(mode = Translator.Ark)
+    ?(superblock = false) ?cache_dir ?sleep_ms ?m3_cache_kb () =
+  let plat = Platform.create ?layout ?built ?m3_cache_kb () in
   let nat = Native_run.create ?devices ?sleep_ms ~plat () in
   let man = build_manifest plat in
   let ark = Ark.create ~soc:plat.soc ~mode ~superblock ~man () in

@@ -27,6 +27,7 @@ val build_manifest : Tk_drivers.Platform.t -> Transkernel.Manifest.t
 
 val create :
   ?layout:Tk_kernel.Layout.t ->
+  ?built:Tk_kernel.Image.built ->
   ?devices:string list ->
   ?mode:Tk_dbt.Translator.mode ->
   ?superblock:bool ->
@@ -39,7 +40,10 @@ val create :
     optimization level (the Figure 6 bars). [superblock] stacks the
     trace-formation tier on top of [Ark] mode. [cache_dir] attaches a
     persistent translation cache keyed by the pristine image digest — a
-    missing or stale cache file is an ordinary cold start. *)
+    missing or stale cache file is an ordinary cold start. [built]
+    reuses a pre-compiled kernel image (see
+    {!Tk_drivers.Platform.create}) — the fleet layer compiles once and
+    boots many shard worlds from the same immutable image. *)
 
 val save_cache : t -> unit
 (** persist the engine's translation cache to the [cache_dir] given at

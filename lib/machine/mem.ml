@@ -18,9 +18,19 @@ type region = {
   rwrite : int -> int -> int -> unit;  (** [rwrite offset nbytes value] *)
 }
 
+(* DRAM is tracked in 4 KiB pages for the world-snapshot layer: every
+   store marks its page in [page_touched], so a snapshot only has to
+   compare the touched pages against the baseline instead of all of
+   DRAM. The barrier is one unsafe byte store per write path — the
+   bitmap is a Bytes so marking is branch-free. *)
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
 type t = {
   ram_base : int;
   ram : Bytes.t;
+  page_touched : Bytes.t;  (** '\001' where the page may differ from
+                               the snapshot baseline *)
   mutable regions : region list;
   mutable dma_read_bytes : int;  (** device-initiated DRAM traffic *)
   mutable dma_write_bytes : int;
@@ -29,8 +39,41 @@ type t = {
 (** [create ~ram_base ~ram_size] makes a platform memory with zeroed
     DRAM. *)
 let create ~ram_base ~ram_size =
-  { ram_base; ram = Bytes.make ram_size '\000'; regions = [];
-    dma_read_bytes = 0; dma_write_bytes = 0 }
+  { ram_base; ram = Bytes.make ram_size '\000';
+    (* one slack byte past the end: the write barrier marks the page of
+       [off + nbytes - 1] before the Bytes primitive bounds-checks the
+       store, and a straddling write at the very top of RAM would index
+       one past the last page *)
+    page_touched =
+      Bytes.make (((ram_size + page_size - 1) lsr page_bits) + 1) '\000';
+    regions = []; dma_read_bytes = 0; dma_write_bytes = 0 }
+
+let npages t = Bytes.length t.page_touched - 1
+let page_touched t i = Bytes.unsafe_get t.page_touched i <> '\000'
+
+let set_page_touched t i v =
+  Bytes.unsafe_set t.page_touched i (if v then '\001' else '\000')
+
+(** [page_bounds t i] — the in-RAM byte offset and length of page [i]
+    (the last page may be partial). *)
+let page_bounds t i =
+  let off = i lsl page_bits in
+  (off, min page_size (Bytes.length t.ram - off))
+
+(** [page_copy t i] — a fresh copy of page [i]'s bytes. *)
+let page_copy t i =
+  let off, len = page_bounds t i in
+  Bytes.sub t.ram off len
+
+let page_equal t i buf =
+  let off, len = page_bounds t i in
+  len = Bytes.length buf && Bytes.sub t.ram off len = buf
+
+(** [page_load t i buf] — overwrite page [i] with [buf] (no dirty
+    marking: the snapshot layer maintains the bitmap itself). *)
+let page_load t i buf =
+  let off, len = page_bounds t i in
+  Bytes.blit buf 0 t.ram off len
 
 (** [add_region t r] registers an MMIO region (latest wins on overlap). *)
 let add_region t r = t.regions <- r :: t.regions
@@ -51,6 +94,8 @@ let ram_read t addr nbytes =
 
 let ram_write t addr nbytes v =
   let off = addr - t.ram_base in
+  Bytes.unsafe_set t.page_touched (off lsr page_bits) '\001';
+  Bytes.unsafe_set t.page_touched ((off + nbytes - 1) lsr page_bits) '\001';
   match nbytes with
   | 1 -> Bytes.set t.ram off (Char.chr (v land 0xFF))
   | 2 -> Bytes.set_uint16_le t.ram off (v land 0xFFFF)
@@ -66,8 +111,10 @@ let ram_read32 t addr =
   Int32.to_int (Bytes.get_int32_le t.ram (addr - t.ram_base)) land 0xFFFFFFFF
 
 let ram_write32 t addr v =
-  Bytes.set_int32_le t.ram (addr - t.ram_base)
-    (Int32.of_int (Tk_isa.Bits.s32 v))
+  let off = addr - t.ram_base in
+  Bytes.unsafe_set t.page_touched (off lsr page_bits) '\001';
+  Bytes.unsafe_set t.page_touched ((off + 3) lsr page_bits) '\001';
+  Bytes.set_int32_le t.ram off (Int32.of_int (Tk_isa.Bits.s32 v))
 
 (** [read t addr nbytes] — core- or DBT-initiated read; RAM or MMIO.
     @raise Bus_fault on unclaimed addresses. *)

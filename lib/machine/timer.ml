@@ -18,10 +18,14 @@ type t = {
   irq_line : int;
   mutable period : int;
   mutable cancel_tick : (unit -> unit) option;
+  mutable next_at : int;
+      (** absolute ns of the pending tick (meaningful while
+          [period > 0]) — lets the snapshot layer re-arm a restored
+          tick at the exact instant it was due, not [now + period] *)
 }
 
 let create ~clock ~fabric ~irq_line =
-  { clock; fabric; irq_line; period = 0; cancel_tick = None }
+  { clock; fabric; irq_line; period = 0; cancel_tick = None; next_at = 0 }
 
 (** [now_ns t] is the free-running counter value. *)
 let now_ns t = t.clock.Clock.now
@@ -37,6 +41,7 @@ let start_tick t ns =
   if ns > 0 then begin
     t.period <- ns;
     let rec arm () =
+      t.next_at <- t.clock.Clock.now + t.period;
       t.cancel_tick <-
         Some
           (Clock.after t.clock t.period (fun () ->
@@ -44,6 +49,38 @@ let start_tick t ns =
                if t.period > 0 then arm ()))
     in
     arm ()
+  end
+
+(** [pause_tick t] — cancel the pending tick event without forgetting
+    the tick: returns [Some (period, next_at)] to hand to
+    [resume_tick]. Used by the snapshot layer, which needs the clock's
+    event queue empty while it captures. [None] if no tick is armed. *)
+let pause_tick t =
+  if t.period = 0 then None
+  else begin
+    let saved = (t.period, t.next_at) in
+    (match t.cancel_tick with Some c -> c () | None -> ());
+    t.cancel_tick <- None;
+    t.period <- 0;
+    Some saved
+  end
+
+(** [resume_tick t (period, at)] — re-arm the periodic tick with its
+    first fire at absolute time [at] (clamped to now), then every
+    [period] ns: the exact phase a paused or restored tick had. *)
+let resume_tick t (period, at) =
+  stop_tick t;
+  if period > 0 then begin
+    t.period <- period;
+    let rec arm delay =
+      t.next_at <- t.clock.Clock.now + delay;
+      t.cancel_tick <-
+        Some
+          (Clock.after t.clock delay (fun () ->
+               Intc.raise_line t.fabric t.irq_line;
+               if t.period > 0 then arm t.period))
+    in
+    arm (max 0 (at - t.clock.Clock.now))
   end
 
 (** [oneshot t ns] raises the timer IRQ once, [ns] from now. Returns a

@@ -58,6 +58,16 @@ let to_json (t : t) =
          (to_assoc t))
   ^ "}"
 
+(** [load t saved] makes [t] hold exactly [saved]: names absent from
+    [saved] are {e removed}, not zeroed. The world-snapshot layer needs
+    that exactness — a zero-valued leftover name would still render in
+    {!to_assoc}/{!to_json}, so an instance restored after a sibling ran
+    would expose which names the sibling touched and break
+    schedule-order invariance of downstream digests. *)
+let load (t : t) saved =
+  Hashtbl.reset t;
+  List.iter (fun (k, v) -> Hashtbl.replace t k (ref v)) saved
+
 (** [diff before after] is the per-name difference [after - before];
     names absent on one side count as 0 there. *)
 let diff before after =

@@ -37,6 +37,12 @@ val to_assoc : t -> (string * int) list
     stable keys (manifest digests rely on this). *)
 val to_json : t -> string
 
+(** [load t saved] makes [t] hold exactly [saved]: names absent from
+    [saved] are {e removed}, not zeroed (a zero-valued leftover would
+    still render in {!to_assoc} and leak sibling-instance history into
+    restored-world output). Used by the world-snapshot layer. *)
+val load : t -> (string * int) list -> unit
+
 (** [diff before after] is the per-name difference [after - before];
     names absent on one side count as 0 there. *)
 val diff : (string * int) list -> (string * int) list -> (string * int) list

@@ -1,0 +1,150 @@
+(** Mergeable streaming-percentile sketch (log-linear histogram).
+
+    The fleet layer needs p50/p99/p999 wakeup latencies over millions of
+    samples, aggregated across worker domains that never share memory.
+    Sorting is out (unbounded memory, and per-shard sorts cannot be
+    combined into an exact global order without keeping every sample);
+    instead each shard feeds an HDR-style histogram whose buckets are
+    fixed by construction, so merging two sketches is a bucket-wise add
+    and is therefore associative and commutative — the aggregation order
+    cannot perturb the fleet digest.
+
+    Bucket layout (non-negative ints):
+    - values [0, 32) get one exact bucket each (zero error — most
+      counter-ish samples live here);
+    - values >= 32 go to a log-linear grid: the octave of the top bit,
+      split 16 ways by the next four bits. Bucket width is then at most
+      [1/16] of the bucket's lower bound, so any reported quantile is
+      within 6.25% (relative) of a sample holding that exact rank.
+
+    Ranks are exact: [quantile] walks cumulative counts to the requested
+    rank and quantizes only the {e value}, never the rank. *)
+
+(* exact buckets cover [0, 2^exact_bits); above that, 16 sub-buckets per
+   octave. 63-bit ints top out at octave 62, giving a fixed 960-slot
+   table — small enough to allocate eagerly and merge with a flat loop. *)
+let exact_bits = 5
+let exact = 1 lsl exact_bits (* 32 *)
+let sub_bits = 4
+let subs = 1 lsl sub_bits (* 16 *)
+let nbuckets = exact + ((63 - exact_bits) * subs) (* 960 *)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : int; (* running sum, for [mean] *)
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; total = 0;
+    min_v = max_int; max_v = min_int }
+
+(* position of the most significant set bit of [v >= 1] *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v >= 1 lsl 32 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v >= 1 lsl 16 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v >= 1 lsl 8 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v >= 1 lsl 4 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v >= 1 lsl 2 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v >= 1 lsl 1 then r := !r + 1;
+  !r
+
+let bucket_of v =
+  if v < exact then v
+  else
+    let e = msb v in
+    let sub = (v lsr (e - sub_bits)) land (subs - 1) in
+    exact + ((e - exact_bits) * subs) + sub
+
+(** [bounds idx] — inclusive [lo, hi] value range of bucket [idx]. *)
+let bounds idx =
+  if idx < exact then (idx, idx)
+  else begin
+    let e = exact_bits + ((idx - exact) / subs) in
+    let sub = (idx - exact) mod subs in
+    let lo = (subs + sub) lsl (e - sub_bits) in
+    (lo, lo + (1 lsl (e - sub_bits)) - 1)
+  end
+
+let add_n t v n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + n;
+    t.n <- t.n + n;
+    t.total <- t.total + (v * n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let add t v = add_n t v 1
+let count t = t.n
+let sum t = t.total
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = if t.n = 0 then 0 else t.max_v
+let mean t = if t.n = 0 then 0.0 else float_of_int t.total /. float_of_int t.n
+
+let merge_into dst ~src =
+  for i = 0 to nbuckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total + src.total;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+
+let merge a b =
+  let t = create () in
+  merge_into t ~src:a;
+  merge_into t ~src:b;
+  t
+
+(** [quantile t phi] — the value at exact rank
+    [max 1 (ceil (phi * n))], quantized to its bucket's midpoint and
+    clamped to the observed [min, max]. Returns 0 on an empty sketch. *)
+let quantile t phi =
+  if t.n = 0 then 0
+  else begin
+    let phi = if phi < 0.0 then 0.0 else if phi > 1.0 then 1.0 else phi in
+    let rank =
+      let r = int_of_float (ceil (phi *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let acc = ref 0 and idx = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin idx := i; raise Exit end
+       done
+     with Exit -> ());
+    let lo, hi = bounds !idx in
+    let mid = lo + ((hi - lo) / 2) in
+    let mid = if mid < t.min_v then t.min_v else mid in
+    if mid > t.max_v then t.max_v else mid
+  end
+
+(** Non-empty buckets in ascending value order, as [(lo, hi, count)]
+    rows. This is the canonical serialization: two sketches with equal
+    rows are observationally identical, so digests over the rows are
+    digests over the sketch. *)
+let rows t =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bounds i in
+      out := (lo, hi, t.counts.(i)) :: !out
+    end
+  done;
+  !out
+
+(** [load t rows] — replay serialized rows into [t] (used when merging
+    shard results that crossed a domain boundary as data). Each row adds
+    [count] samples at the bucket's lower bound; because [lo] is itself
+    a member of the bucket, re-sketching is bucket-stable: the merged
+    counts land in exactly the original buckets. Min/max/sum degrade to
+    bucket-lower-bound precision, which is inside the sketch's stated
+    error bound. *)
+let load t rows_list =
+  List.iter (fun (lo, _hi, c) -> add_n t lo c) rows_list

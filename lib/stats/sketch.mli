@@ -1,0 +1,53 @@
+(** Mergeable streaming-percentile sketch (log-linear histogram).
+
+    Fixed-bucket HDR-style histogram over non-negative ints: values
+    below 32 are exact, larger values land in a 16-way split of their
+    octave, bounding the relative value error of any reported quantile
+    at 6.25%. Merging is a bucket-wise add — associative and
+    commutative — so shard sketches can be combined in any order
+    without perturbing fleet digests. Ranks are always exact; only the
+    reported value is quantized. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t v] records one sample. Negative values clamp to 0. *)
+val add : t -> int -> unit
+
+(** [add_n t v n] records [n] identical samples ([n <= 0] is a no-op). *)
+val add_n : t -> int -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+
+(** Exact observed extrema; 0 on an empty sketch. *)
+val min_value : t -> int
+
+val max_value : t -> int
+val mean : t -> float
+
+(** [quantile t phi] — the value at exact rank [ceil (phi * n)]
+    (clamped to [1, n]), quantized to its bucket's midpoint and clamped
+    to the observed extrema. 0 on an empty sketch. *)
+val quantile : t -> float -> int
+
+(** [merge a b] — a fresh sketch holding every sample of [a] and [b]. *)
+val merge : t -> t -> t
+
+(** [merge_into dst ~src] — in-place accumulate [src] into [dst]. *)
+val merge_into : t -> src:t -> unit
+
+(** Non-empty buckets as [(lo, hi, count)] rows in ascending value
+    order — the canonical serialization. *)
+val rows : t -> (int * int * int) list
+
+(** [load t rows] — replay serialized rows (each row is [count] samples
+    at its bucket's lower bound; bucket-stable by construction). *)
+val load : t -> (int * int * int) list -> unit
+
+(** [bucket_of v] / [bounds idx] — exposed for the unit tests: the
+    bucket index of a value and a bucket's inclusive value range. *)
+val bucket_of : int -> int
+
+val bounds : int -> int * int

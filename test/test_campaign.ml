@@ -127,6 +127,27 @@ let test_campaign_error_capture () =
   Alcotest.(check int) "no task errors" 0 (List.length t.Campaign.errors);
   Alcotest.(check bool) "campaign is clean" false (Campaign.failed t)
 
+let test_first_error_propagation () =
+  (* regression for the CLI's non-zero exit path: a dead worker task
+     must surface as (task index, exception text) via first_error, the
+     way `arksim sweep`/`arksim fleet` report it — not as a generic
+     "something failed" *)
+  let t =
+    Campaign.run
+      { (small_config Campaign.Stress) with Campaign.chaos_fail = Some 2 }
+  in
+  Alcotest.(check bool) "campaign reports failure" true (Campaign.failed t);
+  match Campaign.first_error t with
+  | Some (i, msg) ->
+    Alcotest.(check int) "failing task index" 2 i;
+    Alcotest.(check bool) "message carries the exception text" true
+      (String.length msg > 0
+      && String.length msg >= 5
+      &&
+      (* Printexc renders Failure as 'Failure("...")' *)
+      String.sub msg 0 7 = "Failure")
+  | None -> Alcotest.fail "first_error empty on a failed campaign"
+
 let () =
   Alcotest.run "campaign"
     [ ( "pool",
@@ -148,4 +169,6 @@ let () =
             test_seed_sensitivity ] );
       ( "campaign",
         [ Alcotest.test_case "clean run reports no errors" `Quick
-            test_campaign_error_capture ] ) ]
+            test_campaign_error_capture;
+          Alcotest.test_case "dead task -> first_error (index, message)"
+            `Quick test_first_error_propagation ] ) ]

@@ -1,0 +1,219 @@
+(* Percentile-sketch battery — the fleet digest leans on the sketch
+   being exact-in-rank, bounded-in-value, and order-insensitive under
+   merge. Three groups:
+
+   - algebra: merging shard sketches is associative and commutative
+     (bucket rows and quantiles identical for every association /
+     permutation), with the empty sketch as identity;
+   - accuracy: against a sort-based oracle on 100k samples from three
+     shapes (uniform, heavy-tailed, constant), every reported quantile
+     is within the documented 6.25% relative value bound of the sample
+     holding that exact rank, and small values (< 32) are exact;
+   - edges: empty and single-sample sketches, negative clamping,
+     add_n, and row serialization round-trip (bucket stability). *)
+
+module Sketch = Tk_stats.Sketch
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* deterministic sample streams — fixed seeds, never Random.self_init *)
+let uniform_stream rng n bound =
+  Array.init n (fun _ -> Random.State.int rng bound)
+
+let heavy_stream rng n =
+  (* exponentiated uniform: many small values, a long tail into the
+     hundreds of millions — exercises many octaves *)
+  Array.init n (fun _ ->
+      let u = Random.State.float rng 1.0 in
+      int_of_float (exp (u *. 19.0)))
+
+let of_array a =
+  let t = Sketch.create () in
+  Array.iter (Sketch.add t) a;
+  t
+
+let quantiles = [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let same_sketch msg a b =
+  checkb (msg ^ ": rows equal") true (Sketch.rows a = Sketch.rows b);
+  check (msg ^ ": count") (Sketch.count a) (Sketch.count b);
+  List.iter
+    (fun q ->
+      check
+        (Printf.sprintf "%s: q%.3f" msg q)
+        (Sketch.quantile a q) (Sketch.quantile b q))
+    quantiles
+
+(* ------------------------------ algebra ------------------------------ *)
+
+let test_merge_commutative () =
+  let rng = Random.State.make [| 11 |] in
+  let a = of_array (uniform_stream rng 5_000 1_000_000) in
+  let b = of_array (heavy_stream rng 5_000) in
+  same_sketch "a+b = b+a" (Sketch.merge a b) (Sketch.merge b a)
+
+let test_merge_associative () =
+  let rng = Random.State.make [| 12 |] in
+  let a = of_array (uniform_stream rng 3_000 1_000) in
+  let b = of_array (heavy_stream rng 3_000) in
+  let c = of_array (uniform_stream rng 3_000 50) in
+  same_sketch "(a+b)+c = a+(b+c)"
+    (Sketch.merge (Sketch.merge a b) c)
+    (Sketch.merge a (Sketch.merge b c))
+
+let test_merge_identity () =
+  let rng = Random.State.make [| 13 |] in
+  let a = of_array (heavy_stream rng 2_000) in
+  same_sketch "a+0 = a" (Sketch.merge a (Sketch.create ())) a;
+  same_sketch "0+a = a" (Sketch.merge (Sketch.create ()) a) a
+
+let test_merge_equals_union () =
+  (* merging shard sketches must equal sketching the concatenated
+     stream — the property the fleet aggregation depends on *)
+  let rng = Random.State.make [| 14 |] in
+  let xs = uniform_stream rng 4_000 100_000 in
+  let ys = heavy_stream rng 4_000 in
+  let merged = Sketch.merge (of_array xs) (of_array ys) in
+  let whole = of_array (Array.append xs ys) in
+  same_sketch "merge = union" merged whole
+
+(* ------------------------------ accuracy ----------------------------- *)
+
+let oracle_rank sorted phi =
+  let n = Array.length sorted in
+  let r = int_of_float (ceil (phi *. float_of_int n)) in
+  let r = if r < 1 then 1 else if r > n then n else r in
+  sorted.(r - 1)
+
+let check_bound shape t sorted =
+  List.iter
+    (fun phi ->
+      let got = Sketch.quantile t phi in
+      let want = oracle_rank sorted phi in
+      let tol =
+        (* documented bound: exact below 32, 1/16 relative above *)
+        if want < 32 then 0 else (want + 15) / 16
+      in
+      if abs (got - want) > tol then
+        Alcotest.failf "%s q%.3f: got %d, oracle %d, tol %d" shape phi got
+          want tol)
+    quantiles
+
+let test_oracle_100k () =
+  let n = 100_000 in
+  let rng = Random.State.make [| 21 |] in
+  List.iter
+    (fun (shape, samples) ->
+      let t = of_array samples in
+      check (shape ^ ": count") n (Sketch.count t);
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      check_bound shape t sorted;
+      check (shape ^ ": min") sorted.(0) (Sketch.min_value t);
+      check (shape ^ ": max") sorted.(n - 1) (Sketch.max_value t))
+    [ ("uniform", uniform_stream rng n 10_000_000);
+      ("heavy", heavy_stream rng n);
+      ("constant", Array.make n 4217) ]
+
+let test_small_values_exact () =
+  (* everything below 32 has its own bucket: quantiles are exact *)
+  let rng = Random.State.make [| 22 |] in
+  let samples = uniform_stream rng 10_000 32 in
+  let t = of_array samples in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun phi ->
+      check
+        (Printf.sprintf "exact q%.3f" phi)
+        (oracle_rank sorted phi) (Sketch.quantile t phi))
+    quantiles
+
+(* ------------------------------- edges ------------------------------- *)
+
+let test_empty () =
+  let t = Sketch.create () in
+  check "count" 0 (Sketch.count t);
+  check "sum" 0 (Sketch.sum t);
+  check "min" 0 (Sketch.min_value t);
+  check "max" 0 (Sketch.max_value t);
+  check "q0.5" 0 (Sketch.quantile t 0.5);
+  checkb "rows" true (Sketch.rows t = []);
+  checkb "mean" true (Sketch.mean t = 0.0)
+
+let test_single () =
+  let t = Sketch.create () in
+  Sketch.add t 123_456;
+  List.iter
+    (fun phi ->
+      check (Printf.sprintf "single q%.3f" phi) 123_456
+        (Sketch.quantile t phi))
+    quantiles;
+  check "count" 1 (Sketch.count t);
+  check "min" 123_456 (Sketch.min_value t);
+  check "max" 123_456 (Sketch.max_value t)
+
+let test_negative_clamps () =
+  let t = Sketch.create () in
+  Sketch.add t (-5);
+  check "clamped to 0" 0 (Sketch.quantile t 0.5);
+  check "min" 0 (Sketch.min_value t)
+
+let test_add_n () =
+  let a = Sketch.create () and b = Sketch.create () in
+  Sketch.add_n a 777 1000;
+  for _ = 1 to 1000 do
+    Sketch.add b 777
+  done;
+  same_sketch "add_n = repeated add" a b;
+  Sketch.add_n a 9 0;
+  Sketch.add_n a 9 (-3);
+  check "n<=0 is a no-op" 1000 (Sketch.count a)
+
+let test_rows_roundtrip () =
+  let rng = Random.State.make [| 31 |] in
+  let t = of_array (heavy_stream rng 20_000) in
+  let u = Sketch.create () in
+  Sketch.load u (Sketch.rows t);
+  (* bucket-stable: reloaded rows land in exactly the same buckets *)
+  checkb "rows stable" true (Sketch.rows t = Sketch.rows u);
+  check "count stable" (Sketch.count t) (Sketch.count u)
+
+let test_bucket_bounds_cover () =
+  (* every value maps to a bucket whose [lo, hi] contains it, and
+     bucket widths respect the 1/16 relative bound *)
+  let rng = Random.State.make [| 32 |] in
+  for _ = 1 to 50_000 do
+    let v = Random.State.full_int rng max_int in
+    let idx = Sketch.bucket_of v in
+    let lo, hi = Sketch.bounds idx in
+    if not (lo <= v && v <= hi) then
+      Alcotest.failf "bucket %d [%d,%d] misses %d" idx lo hi v;
+    if lo >= 32 && (hi - lo) * 16 > lo then
+      Alcotest.failf "bucket %d [%d,%d] too wide" idx lo hi
+  done
+
+let () =
+  Alcotest.run "sketch"
+    [ ( "algebra",
+        [ Alcotest.test_case "merge commutative" `Quick
+            test_merge_commutative;
+          Alcotest.test_case "merge associative" `Quick
+            test_merge_associative;
+          Alcotest.test_case "merge identity" `Quick test_merge_identity;
+          Alcotest.test_case "merge equals union" `Quick
+            test_merge_equals_union ] );
+      ( "accuracy",
+        [ Alcotest.test_case "oracle 100k x3 shapes" `Quick
+            test_oracle_100k;
+          Alcotest.test_case "small values exact" `Quick
+            test_small_values_exact ] );
+      ( "edges",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single sample" `Quick test_single;
+          Alcotest.test_case "negative clamps" `Quick test_negative_clamps;
+          Alcotest.test_case "add_n" `Quick test_add_n;
+          Alcotest.test_case "rows roundtrip" `Quick test_rows_roundtrip;
+          Alcotest.test_case "bucket bounds cover" `Quick
+            test_bucket_bounds_cover ] ) ]
