@@ -854,6 +854,103 @@ let throughput ~smoke ~record () =
            ("superblock_warm_instrs", Int sbw_instrs) ]);
     Printf.printf "  wrote %s\n%!" f
 
+(* ------------------------ certifier / elision ------------------------ *)
+
+(* The static-analysis tier's two runtime handles: certification cost
+   (whole-image sweep over every formable superblock plan) and the
+   SMC-clean probe elision win. The headline gate is
+   [sim_mips_superblock] with the proven map installed — it must not
+   regress below BENCH_2's map-less superblock arm, since elision only
+   removes host-side probe work. Records BENCH_4.json. *)
+let certifier_bench ~smoke ~record () =
+  let cycles = if smoke then 1 else 8 in
+  Printf.printf
+    "\n== translation certifier + SMC-clean probe elision (%d warm \
+     cycles per arm%s) ==\n%!"
+    cycles
+    (if smoke then ", smoke" else "");
+  (* offline sweep: every plan the planner can form on the seed image *)
+  let built = Tk_drivers.Platform.build_image () in
+  let image = built.Tk_kernel.Image.image in
+  let abi = built.Tk_kernel.Image.abi in
+  let classify a =
+    match abi.Tk_kernel.Kabi.name_of_addr a with
+    | Some n when List.mem n Transkernel.Ark.emulated_services ->
+      Translator.T_emu n
+    | Some n when List.mem n Transkernel.Ark.hooked_services ->
+      Translator.T_hook n
+    | Some n when List.mem n Tk_kernel.Kabi.cold -> Translator.T_cold n
+    | Some _ | None -> Translator.T_normal
+  in
+  let w0 = Unix.gettimeofday () in
+  let cert = Tk_analysis.Certify.certify_image ~classify_target:classify image in
+  let certify_wall = Unix.gettimeofday () -. w0 in
+  Printf.printf
+    "  certifier:       %d plans over %d states in %5.2f s (%d divergent)\n%!"
+    cert.Tk_analysis.Certify.r_plans cert.Tk_analysis.Certify.r_states
+    certify_wall cert.Tk_analysis.Certify.r_divergent;
+  let w1 = Unix.gettimeofday () in
+  let absr = Tk_analysis.Absint.analyze (Tk_analysis.Cfg.build image) in
+  let absint_wall = Unix.gettimeofday () -. w1 in
+  Printf.printf "  absint:          %d clean ranges in %5.2f s\n%!"
+    (List.length absr.Tk_analysis.Absint.a_clean_ranges)
+    absint_wall;
+  (* runtime arms: superblock tier with and without the proven map *)
+  let arm ~elide label =
+    let ark = Ark_run.create ~superblock:true () in
+    let soc = (Ark_run.plat ark).Tk_drivers.Platform.soc in
+    let e = ark.Ark_run.ark.Transkernel.Ark.engine in
+    if elide then
+      Tk_dbt.Engine.set_smc_map e absr.Tk_analysis.Absint.a_clean_ranges;
+    let count () =
+      soc.Soc.m3.Tk_machine.Core.instructions
+      + soc.Soc.cpu.Tk_machine.Core.instructions
+    in
+    ignore (Ark_run.suspend_resume_cycle ark);
+    let j0 = count () in
+    let w = Unix.gettimeofday () in
+    for _ = 1 to cycles do
+      ignore (Ark_run.suspend_resume_cycle ark)
+    done;
+    let wall = Unix.gettimeofday () -. w in
+    let instrs = count () - j0 in
+    let mips = float_of_int instrs /. wall /. 1e6 in
+    Printf.printf
+      "  %-15s %9d sim instrs in %6.2f s -> %7.2f sim-MIPS (%d probes \
+       elided)\n%!"
+      label instrs wall mips e.Tk_dbt.Engine.probes_elided;
+    (mips, e.Tk_dbt.Engine.probes_elided)
+  in
+  let mips_off, _ = arm ~elide:false "sb probes:" in
+  let mips_on, elided = arm ~elide:true "sb elided:" in
+  let file =
+    match record with
+    | Some f -> Some f
+    | None when not smoke -> Some "BENCH_4.json"
+    | None -> None
+  in
+  match file with
+  | None -> ()
+  | Some f ->
+    let open Run_manifest in
+    write_file f
+      (Obj
+         [ ("schema", Str "arksim-certify-bench-v1");
+           ( "meta",
+             Obj [ ("git_rev", Str (git_rev ())); ("cycles", Int cycles) ] );
+           ("sim_mips_superblock", Num mips_on);
+           ("sim_mips_superblock_noelide", Num mips_off);
+           ("probe_elision_speedup", Num (mips_on /. mips_off));
+           ("probes_elided", Int elided);
+           ("certified_plans", Int cert.Tk_analysis.Certify.r_plans);
+           ("certified_states", Int cert.Tk_analysis.Certify.r_states);
+           ("divergent_plans", Int cert.Tk_analysis.Certify.r_divergent);
+           ("clean_ranges", Int (List.length absr.Tk_analysis.Absint.a_clean_ranges));
+           ("clean_words", Int (Tk_analysis.Absint.clean_words absr));
+           ("certify_wall_s", Num certify_wall);
+           ("absint_wall_s", Num absint_wall) ]);
+    Printf.printf "  wrote %s\n%!" f
+
 (* -------------------------------- sweep ------------------------------ *)
 
 (* Campaign-runner scaling: the same stress campaign at increasing
@@ -1085,7 +1182,7 @@ let trace_bench () =
 let all_names =
   [ "table3"; "table4"; "table5"; "table6"; "fig3"; "fig5"; "fig6"; "fig7";
     "abi"; "services"; "fallback"; "dram"; "biglittle"; "battery"; "aarch64";
-    "ablation"; "trace"; "throughput"; "sweep"; "fleet" ]
+    "ablation"; "trace"; "throughput"; "certifier"; "sweep"; "fleet" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1129,6 +1226,7 @@ let () =
       | "ablation" -> ablation ()
       | "trace" -> trace_bench ()
       | "throughput" -> throughput ~smoke:!smoke ~record:!record ()
+      | "certifier" -> certifier_bench ~smoke:!smoke ~record:!record ()
       | "sweep" -> sweep_bench ~smoke:!smoke ~record:!record ()
       | "fleet" -> fleet_bench ~smoke:!smoke ~record:!record ()
       | "bechamel" -> bechamel ()

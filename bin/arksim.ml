@@ -316,14 +316,20 @@ let summarize label (core : Tk_machine.Core.t) params warns =
     warns
 
 let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
-    resume_native m3_cache trace_file trace_filter trace_cap profile ts_file
-    sample_every manifest_file verbose =
+    resume_native m3_cache certify_traces elide_smc trace_file trace_filter
+    trace_cap profile ts_file sample_every manifest_file verbose =
   let kernel = layout.Tk_kernel.Layout.version in
   let telemetry = telemetry_on ~ts_file ~manifest_file ~sample_every in
   let superblock = tier = `Superblock in
   if (superblock || cache_dir <> None) && mode <> `Dbt Translator.Ark then begin
     Printf.eprintf
       "run: --tier superblock and --cache-dir require --mode ark\n";
+    exit 2
+  end;
+  if (certify_traces || elide_smc) && not superblock then begin
+    Printf.eprintf
+      "run: --certify-traces and --elide-smc-probes require --tier \
+       superblock\n";
     exit 2
   end;
   match mode with
@@ -359,6 +365,21 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     telemetry_setup soc ~ts_file ~manifest_file ~sample_every;
     let e = ark.Ark_run.ark.Transkernel.Ark.engine in
     if profile then e.Tk_dbt.Engine.profile <- true;
+    if certify_traces || elide_smc then begin
+      let built = (Ark_run.plat ark).Tk_drivers.Platform.built in
+      let image = built.Tk_kernel.Image.image in
+      if certify_traces then
+        e.Tk_dbt.Engine.sb_certify <-
+          Some
+            (Tk_analysis.Certify.admit
+               ~read_guest:(Tk_analysis.Certify.read_guest_of_image image)
+               ~classify_target:e.Tk_dbt.Engine.classify_target
+               ~block_limit:e.Tk_dbt.Engine.block_limit ());
+      if elide_smc then begin
+        let r = Tk_analysis.Absint.analyze (Tk_analysis.Cfg.build image) in
+        Tk_dbt.Engine.set_smc_map e r.Tk_analysis.Absint.a_clean_ranges
+      end
+    end;
     let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
     let wall0 = Unix.gettimeofday () in
     for i = 1 to cycles do
@@ -378,13 +399,20 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
       e.Tk_dbt.Engine.blocks e.Tk_dbt.Engine.guest_translated
       e.Tk_dbt.Engine.host_emitted e.Tk_dbt.Engine.engine_exits
       (List.length ark.Ark_run.fallbacks);
-    if superblock then
+    if superblock then begin
       Printf.printf
         "superblock: %d traces, %d fusions, %d warm hits, \
          %d invalidations, %d flushes\n"
         e.Tk_dbt.Engine.traces_formed e.Tk_dbt.Engine.fusions_applied
         e.Tk_dbt.Engine.cache_warm_hits e.Tk_dbt.Engine.invalidations
         e.Tk_dbt.Engine.flushes;
+      if certify_traces then
+        Printf.printf "certifier: %d plan(s) rejected\n"
+          e.Tk_dbt.Engine.certify_rejects;
+      if elide_smc then
+        Printf.printf "smc-clean map: %d probe(s) elided\n"
+          e.Tk_dbt.Engine.probes_elided
+    end;
     if cache_dir <> None then Ark_run.save_cache ark;
     if tracing then
       trace_finish tr ~trace_file
@@ -592,6 +620,23 @@ module Finding = Tk_analysis.Finding
 module Rule_check = Tk_analysis.Rule_check
 module Image_lint = Tk_analysis.Image_lint
 module Abi_check = Tk_analysis.Abi_check
+module Cfg = Tk_analysis.Cfg
+module Certify = Tk_analysis.Certify
+module Absint = Tk_analysis.Absint
+
+(* the same call-target classification ARK installs in the engine
+   (Ark.classify_of_man), rebuilt from the linked image's resolved ABI:
+   the offline certifier must translate exactly what the engine would *)
+let classify_of_built (built : Tk_kernel.Image.built) =
+  let abi = built.Tk_kernel.Image.abi in
+  fun a ->
+    match abi.Tk_kernel.Kabi.name_of_addr a with
+    | Some n when List.mem n Transkernel.Ark.emulated_services ->
+      Translator.T_emu n
+    | Some n when List.mem n Transkernel.Ark.hooked_services ->
+      Translator.T_hook n
+    | Some n when List.mem n Tk_kernel.Kabi.cold -> Translator.T_cold n
+    | Some _ | None -> Translator.T_normal
 
 (* [--image] accepts a kernel version or "all" (the default: the static
    gate must hold on every variant ARK claims to run unmodified) *)
@@ -606,8 +651,8 @@ let variant_conv =
           | `All -> "all"
           | `One (l : Tk_kernel.Layout.t) -> l.Tk_kernel.Layout.version) )
 
-let analyze_cmd image_sel rules abi cfg json =
-  let run_all = not (rules || abi || cfg) in
+let analyze_cmd image_sel rules abi cfg certify absint json =
+  let run_all = not (rules || abi || cfg || certify || absint) in
   let tagged : (string * Finding.t) list ref = ref [] in
   let collect image fs =
     tagged := !tagged @ List.map (fun f -> (image, f)) fs
@@ -620,7 +665,7 @@ let analyze_cmd image_sel rules abi cfg json =
   let layouts =
     match image_sel with `All -> Tk_kernel.Variants.all | `One l -> [ l ]
   in
-  if abi || cfg || run_all then
+  if abi || cfg || certify || absint || run_all then
     List.iter
       (fun (lay : Tk_kernel.Layout.t) ->
         let version = lay.Tk_kernel.Layout.version in
@@ -636,6 +681,20 @@ let analyze_cmd image_sel rules abi cfg json =
           let r = Abi_check.check image in
           Abi_check.print_report r;
           collect version r.Abi_check.findings
+        end;
+        if absint || run_all then begin
+          let r = Absint.analyze (Cfg.build image) in
+          Absint.print_report r;
+          collect version r.Absint.findings
+        end;
+        (* opt-in: differentially executes every formable trace plan *)
+        if certify then begin
+          let r =
+            Certify.certify_image ~classify_target:(classify_of_built built)
+              image
+          in
+          Certify.print_report r;
+          collect version r.Certify.findings
         end)
       layouts;
   let findings = List.map snd !tagged in
@@ -727,6 +786,23 @@ let m3_cache_arg =
   Arg.(value & opt (some int) None
        & info [ "m3-cache" ] ~docv:"KB" ~doc:"Peripheral-core LLC size.")
 
+let certify_traces_arg =
+  Arg.(value & flag
+       & info [ "certify-traces" ]
+           ~doc:"Certify every superblock plan online at formation time \
+                 (and every warm-loaded plan): a plan whose fused trace \
+                 is not provably equivalent to its constituent blocks is \
+                 rejected and the plain blocks kept. Requires --tier \
+                 superblock.")
+
+let elide_smc_arg =
+  Arg.(value & flag
+       & info [ "elide-smc-probes" ]
+           ~doc:"Install the abstract-interpretation SMC-clean map \
+                 before the run: image-window stores executed from \
+                 provably clean guest code skip the per-word \
+                 store-invalidation probe. Requires --tier superblock.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -775,8 +851,9 @@ let run_t =
   Term.(
     const run_cmd $ mode_arg $ tier_arg $ cache_dir_arg $ cycles_arg
     $ layout_arg $ sleep_arg $ glitch_arg $ resume_native_arg $ m3_cache_arg
-    $ trace_arg $ trace_filter_arg $ trace_cap_arg $ profile_arg
-    $ timeseries_arg $ sample_every_arg $ manifest_arg $ verbose_arg)
+    $ certify_traces_arg $ elide_smc_arg $ trace_arg $ trace_filter_arg
+    $ trace_cap_arg $ profile_arg $ timeseries_arg $ sample_every_arg
+    $ manifest_arg $ verbose_arg)
 
 let report_t =
   Term.(
@@ -895,8 +972,10 @@ let cmds =
     Cmd.v
       (Cmd.info "analyze"
          ~doc:"Static verification: translation-rule validation, guest \
-               image CFG lint and ABI conformance. Exits non-zero on any \
-               error-severity finding.")
+               image CFG lint, ABI conformance, SMC-clean abstract \
+               interpretation and (opt-in) superblock trace \
+               certification. Exits non-zero on any error-severity \
+               finding.")
       Term.(
         const analyze_cmd
         $ Arg.(value & opt variant_conv `All
@@ -913,6 +992,19 @@ let cmds =
                & info [ "cfg" ]
                    ~doc:"Image CFG lint: dead code, fallback census, \
                          stack bound, indirect-call audit.")
+        $ Arg.(value & flag
+               & info [ "certify" ]
+                   ~doc:"Symbolic trace certifier: differentially execute \
+                         every superblock plan the engine can form on the \
+                         image against the sequential composition of its \
+                         constituent blocks (opt-in; not part of the \
+                         default pass set).")
+        $ Arg.(value & flag
+               & info [ "absint" ]
+                   ~doc:"Whole-image abstract interpretation: classify \
+                         every store target and prove SMC-clean \
+                         functions whose probes the superblock tier may \
+                         elide.")
         $ Arg.(value & opt (some string) None
                & info [ "json" ] ~docv:"FILE"
                    ~doc:"Also write the findings as JSONL to $(docv).")) ]

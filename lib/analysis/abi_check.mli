@@ -1,0 +1,33 @@
+(** ABI conformance: prove the guest image only leans on ARK through the
+    narrow Table 2 interface.
+
+    Three obligations, per kernel variant: {b structural} (the
+    {!Tk_kernel.Kabi} sets are well-formed and within Table 2),
+    {b resolution} ({!Tk_kernel.Kabi.resolve} succeeds — the Figure 3
+    ABI-break detector), and the {b call audit} (every direct [bl] site
+    targets a known function entry, classified as emulated / hooked /
+    cold / translated).
+
+    Works on a raw {!Tk_isa.Asm.image} so tests can craft deliberately
+    broken images without going through the kernel builder. *)
+
+module Asm = Tk_isa.Asm
+
+type callee_class = Emulated | Hooked | Cold | Translated
+
+val class_name : callee_class -> string
+val classify_name : string -> callee_class
+
+type report = {
+  class_counts : (string * int) list;  (** call sites per callee class *)
+  callees : (string * string) list;  (** callee -> class, call-audit view *)
+  findings : Finding.t list;
+}
+
+val structural_findings : unit -> Finding.t list
+val resolution_findings : Asm.image -> Finding.t list
+
+val check : Asm.image -> report
+(** all three obligations over one linked image *)
+
+val print_report : report -> unit

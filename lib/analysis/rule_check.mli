@@ -1,0 +1,108 @@
+(** Translation-rule validator: static differential checking of every
+    {!Tk_isa.Spec} instruction form over a dense grid of machine states
+    — flags, condition codes, edge-case register vectors and register
+    placements that exercise the r10 emulation wrap. The guest
+    instruction and its legalized host sequence run through the same
+    {!Tk_isa.Exec} semantics and must produce bit-identical outcomes.
+
+    The sparse-memory/differential-run helpers are exported for
+    {!Certify}, which reuses them to execute whole superblock traces
+    under the same observational conventions. *)
+
+open Tk_isa
+open Tk_isa.Types
+
+val gpc : int
+(** guest address every form is legalized and executed at *)
+
+val hbase : int
+(** host code-cache stand-in address for laid-out sequences *)
+
+val scratch_sentinel : int
+(** initial host r10/r12 value: a rules bug that {e reads} a scratch
+    before writing it sees this and diverges *)
+
+val conds : cond list
+val reg_vectors : int array array
+(** r0..r14 assignments; each vector targets a failure family *)
+
+(** {2 Sparse differential memory} *)
+
+val background : int -> int
+(** deterministic non-zero byte at an unwritten address *)
+
+type smem = (int, int) Hashtbl.t
+
+val smem_create : unit -> smem
+val smem_load : smem -> int -> int -> int
+val smem_store : smem -> int -> int -> int -> unit
+val smem_copy : smem -> smem
+
+val env_addr : int -> bool
+(** inside the env-block words the host legitimately uses for r10
+    emulation and flag spills (excluded from the memory diff) *)
+
+val smem_diff : smem -> smem -> (int * int * int) list
+(** [(addr, guest_byte, host_byte)] differences outside the env block *)
+
+(** {2 Differential execution} *)
+
+type run = {
+  cpu : Exec.cpu;
+  mem : smem;
+  mutable traps : string list;  (** newest first *)
+  mutable fault : string option;
+}
+
+val make_run : smem -> run
+val env_of : run -> Exec.env
+val set_flags : Exec.cpu -> bool * bool * bool * bool -> unit
+val flags_str : Exec.cpu -> string
+
+val run_guest : inst -> bool * bool * bool * bool -> int array -> run
+(** one guest instruction at {!gpc} *)
+
+val run_host :
+  inst array -> bool * bool * bool * bool -> int array -> bool -> run
+(** the legalized host sequence laid out at {!hbase};
+    [run_host hosts flags vec uses_r10] *)
+
+val passthrough : int list
+(** registers that pass through ARK's conventions and must survive
+    bit-exactly (r10 is compared via the env slot, r12 conditionally) *)
+
+val compare_state : uses_r10:bool -> run -> run -> string list
+(** divergence descriptions; [] = identical observable outcome *)
+
+(** {2 The validator} *)
+
+type stats = {
+  spec_forms : int;  (** Table 3 total — architectural forms *)
+  spec_entries : int;  (** entries in {!Tk_isa.Spec.all_forms} *)
+  implemented : int;  (** entries carrying a representative AST *)
+  validated : int;  (** forms put through the state grid *)
+  control_flow : int;  (** engine-mediated (sites), excluded here *)
+  fallback : int;  (** untranslatable -> fallback, by design *)
+  variants : int;  (** form variants incl. r10 placements *)
+  states : int;  (** machine states differentially executed *)
+  divergent : int;  (** states whose two arms disagreed *)
+  hazard_skips : int;  (** states skipped: guest store hit the env block *)
+}
+
+type report = { stats : stats; findings : Finding.t list }
+
+val is_control : inst -> bool
+val placements : inst -> (inst * string) list
+
+val default_legalize :
+  gpc:int -> inst -> Tk_isa.Spec.category * inst list
+
+val validate :
+  ?legalize:(gpc:int -> inst -> Tk_isa.Spec.category * inst list) ->
+  ?max_findings:int -> unit -> report
+(** run the full grid; at most [max_findings] divergences are
+    materialized as findings (the [divergent] counter keeps exact
+    count). The [legalize] hook exists so tests can seed a deliberately
+    broken rule and watch the pass name the exact form and state. *)
+
+val print_stats : report -> unit

@@ -25,8 +25,19 @@ type t = {
 }
 
 (* bump on any change to Translator.block / Superblock.plan layout *)
-let version = 2
+let version = 3
 let magic = "TKDBTCACHE\n"
+
+(* The version rides in a plaintext header line right after the magic,
+   BEFORE the Marshal payload: a file written by a different layout
+   generation is recognized and refused without ever handing its bytes
+   to [Marshal.from_channel] (whose failure mode on a stale layout is
+   undefined data, not a clean exception). *)
+let header_of v = Printf.sprintf "version %d\n" v
+
+let format_mismatches = ref 0
+(** wrong-magic / wrong-version header refusals since program start —
+    each one was a graceful cold start *)
 
 (* ----------------------------- keying -------------------------------- *)
 
@@ -78,10 +89,11 @@ let save ~dir t =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
+      output_string oc (header_of version);
       (* sorted bindings: the file bytes are a function of the cache
          contents, not hash-table iteration order *)
       Marshal.to_channel oc
-        (version, t.key, sorted_bindings t.blocks, sorted_bindings t.traces)
+        (t.key, sorted_bindings t.blocks, sorted_bindings t.traces)
         []);
   Sys.rename tmp file
 
@@ -95,21 +107,34 @@ let load ~dir ~key =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let m = really_input_string ic (String.length magic) in
-          if m <> magic then None
+          if m <> magic then begin
+            incr format_mismatches;
+            None
+          end
           else begin
-            let v, k, bl, tl =
-              (Marshal.from_channel ic
-                : int
-                  * string
-                  * (int * Translator.block) list
-                  * (int * Superblock.plan) list)
+            let want = header_of version in
+            let h =
+              try really_input_string ic (String.length want)
+              with End_of_file -> ""
             in
-            if v <> version || k <> key then None
+            if h <> want then begin
+              incr format_mismatches;
+              None
+            end
             else begin
-              let t = create ~key in
-              List.iter (fun (g, b) -> Hashtbl.replace t.blocks g b) bl;
-              List.iter (fun (h, p) -> Hashtbl.replace t.traces h p) tl;
-              Some t
+              let k, bl, tl =
+                (Marshal.from_channel ic
+                  : string
+                    * (int * Translator.block) list
+                    * (int * Superblock.plan) list)
+              in
+              if k <> key then None
+              else begin
+                let t = create ~key in
+                List.iter (fun (g, b) -> Hashtbl.replace t.blocks g b) bl;
+                List.iter (fun (h, p) -> Hashtbl.replace t.traces h p) tl;
+                Some t
+              end
             end
           end)
     end

@@ -16,6 +16,11 @@ type t = {
 val key_of_image : base:int -> words:int array -> string
 (** FNV-1a digest over the link base and pristine image words *)
 
+val format_mismatches : int ref
+(** header refusals (wrong magic or wrong plaintext version line) seen
+    by [load] since program start; each one degraded to a cold start
+    without touching the Marshal payload *)
+
 val create : key:string -> t
 val find_block : t -> int -> Translator.block option
 val record_block : t -> int -> Translator.block -> unit

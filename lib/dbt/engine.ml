@@ -128,6 +128,25 @@ type t = {
           that differs between them *)
   mutable invalidations : int;  (** covered words hit by guest stores *)
   mutable flushes : int;  (** whole-cache evictions performed *)
+  (* static-analysis products consumed by the tier (certify + absint) *)
+  mutable sb_certify : (Superblock.plan -> bool) option;
+      (** online trace certifier hook: a formed (or warm-loaded) plan is
+          admitted only if the hook proves it equivalent to its
+          constituent blocks; [None] (default) admits everything *)
+  mutable certify_rejects : int;
+      (** plans refused by [sb_certify] (warm or fresh) *)
+  mutable smc_map : Bytes.t option;
+      (** SMC-clean map, same per-guest-word indexing as [guest_cover]:
+          non-zero marks code proven (by whole-image abstract
+          interpretation) to never store into translated code ranges.
+          Derived from the {e pristine} image, so a whole-cache flush —
+          which only ever follows guest self-modification — drops it. *)
+  probe_exempt : bool array;
+      (** same dense host-word indexing as [host_decode]: translated
+          code emitted entirely from SMC-clean guest words; its stores
+          skip the cover-map probe *)
+  mutable probes_elided : int;
+      (** image-span stores that skipped the probe via [probe_exempt] *)
 }
 
 (* cost knobs, in M3 cycles *)
@@ -185,7 +204,10 @@ let rec create ~(soc : Soc.t) ~mode () =
         Bytes.make ((Soc.page_pool_base - Soc.kernel_base) / 4) '\000';
       pending_flush = false; store = None;
       traces_formed = 0; fusions_applied = 0; cache_warm_hits = 0;
-      invalidations = 0; flushes = 0 }
+      invalidations = 0; flushes = 0;
+      sb_certify = None; certify_rejects = 0; smc_map = None;
+      probe_exempt = Array.make (Soc.code_cache_size / 4) false;
+      probes_elided = 0 }
   in
   let m3 = soc.Soc.m3 in
   let mem = soc.Soc.mem in
@@ -221,12 +243,19 @@ let rec create ~(soc : Soc.t) ~mode () =
          image-span gate is inline so the overwhelmingly common
          data-region store pays two compares, not a call; the widened
          lower bound covers a store whose tail word straddles into the
-         image. *)
+         image. Stores issued from code proven SMC-clean (the executing
+         word is marked in [probe_exempt]) skip the probe entirely —
+         clean code cannot hit covered words by construction. *)
       if
         t.superblock
         && addr + nbytes > Soc.kernel_base
         && addr < Soc.page_pool_base
-      then sb_store_check t addr nbytes
+      then
+        if
+          Array.unsafe_get t.probe_exempt
+            ((t.cur_pc - Soc.code_cache_base) asr 2)
+        then t.probes_elided <- t.probes_elided + 1
+        else sb_store_check t addr nbytes
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -270,7 +299,12 @@ let rec create ~(soc : Soc.t) ~mode () =
         t.superblock
         && addr + nbytes > Soc.kernel_base
         && addr < Soc.page_pool_base
-      then sb_store_check t addr nbytes
+      then
+        if
+          Array.unsafe_get t.probe_exempt
+            ((t.cur_pc - Soc.code_cache_base) asr 2)
+        then t.probes_elided <- t.probes_elided + 1
+        else sb_store_check t addr nbytes
     end
     else begin
       Core.charge m3 m3.Core.p.Core.mmio_penalty;
@@ -418,7 +452,9 @@ and translate_block t gpc =
     if t.superblock then begin
       sb_mark_cover t gpc b.Translator.b_guest_count;
       sb_record_succ t b;
-      sb_mark_fusions t h t.cursor
+      sb_mark_fusions t h t.cursor;
+      if sb_span_clean t gpc b.Translator.b_guest_count then
+        sb_mark_exempt t h t.cursor
     end;
     if t.tr.Tk_stats.Trace.enabled then
       Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
@@ -433,6 +469,28 @@ and sb_mark_cover t gpc count =
     if Soc.in_kernel_image a then
       Bytes.unsafe_set t.guest_cover ((a - Soc.kernel_base) asr 2) '\001'
   done
+
+(* is every guest word of the span proven SMC-clean? (vacuously false
+   with no map installed, and for any word outside the image span) *)
+and sb_span_clean t gpc count =
+  match t.smc_map with
+  | None -> false
+  | Some map ->
+    let clean = ref true in
+    for k = 0 to count - 1 do
+      let a = gpc + (4 * k) in
+      if
+        not
+          (Soc.in_kernel_image a
+          && Bytes.unsafe_get map ((a - Soc.kernel_base) asr 2) <> '\000')
+      then clean := false
+    done;
+    !clean
+
+and sb_mark_exempt t lo hi =
+  Array.fill t.probe_exempt
+    ((lo - Soc.code_cache_base) asr 2)
+    ((hi - lo) asr 2) true
 
 (* chain statistics: a block whose terminal is an always-taken direct
    transfer has a statically-known successor *)
@@ -501,10 +559,14 @@ and flush_cache t =
   Array.fill t.block_start 0 (Array.length t.block_start) false;
   Array.fill t.block_exec 0 (Array.length t.block_exec) 0;
   Array.fill t.fuse_next 0 (Array.length t.fuse_next) false;
+  Array.fill t.probe_exempt 0 (Array.length t.probe_exempt) false;
   Bytes.fill t.guest_cover 0 (Bytes.length t.guest_cover) '\000';
   t.pending_flush <- false;
   t.flushes <- t.flushes + 1;
-  t.store <- None
+  t.store <- None;
+  (* the clean map was proven over the pristine image; after guest
+     self-modification it no longer describes what will be fetched *)
+  t.smc_map <- None
 
 (* ----------------------- superblock formation ----------------------- *)
 
@@ -529,26 +591,51 @@ and sb_chain_of t head =
 and sb_try_form t head =
   let chain = sb_chain_of t head in
   if List.length chain >= 2 then begin
+    let certified p =
+      match t.sb_certify with
+      | None -> true
+      | Some ok ->
+        ok p
+        ||
+        (t.certify_rejects <- t.certify_rejects + 1;
+         false)
+    in
     match
       let warm =
         match t.store with
         | None -> None
         | Some st -> Cache_store.find_trace st head
       in
-      match warm with
-      | Some p when List.map fst p.Superblock.p_blocks = chain ->
-        t.cache_warm_hits <- t.cache_warm_hits + 1;
-        p
-      | _ ->
+      let fresh () =
         let p =
           Superblock.plan ~read_guest:(read_guest t)
             ~classify_target:t.classify_target ~block_limit:t.block_limit
             ~chain
         in
+        (* a fresh plan failing certification aborts formation outright:
+           no charge, no emission, and [formed] one-shots the head so
+           the rejected chain is never retried *)
+        if not (certified p) then raise (Superblock.Abort "certify");
         (match t.store with
         | Some st -> Cache_store.record_trace st p
         | None -> ());
         p
+      in
+      match warm with
+      | Some p when List.map fst p.Superblock.p_blocks = chain ->
+        if certified p then begin
+          t.cache_warm_hits <- t.cache_warm_hits + 1;
+          p
+        end
+        else begin
+          (* warm plan refused: evict it from the store and re-derive
+             from the guest stream (cache_store certificate gating) *)
+          (match t.store with
+          | Some st -> Hashtbl.remove st.Cache_store.traces head
+          | None -> ());
+          fresh ()
+        end
+      | _ -> fresh ()
     with
     | exception Superblock.Abort _ -> ()
     | p ->
@@ -569,6 +656,11 @@ and sb_try_form t head =
         (p.Superblock.p_guest_count, (t.cursor - h) asr 2);
       t.traces_formed <- t.traces_formed + 1;
       sb_mark_fusions t h t.cursor;
+      if
+        List.for_all
+          (fun (g, c) -> sb_span_clean t g c)
+          p.Superblock.p_blocks
+      then sb_mark_exempt t h t.cursor;
       (* redirect the old head into the trace: its first word becomes a
          branch, so chained predecessors and saved resume points all
          land in the trace from now on *)
@@ -732,6 +824,25 @@ let set_guest_reg t (cpu : Exec.cpu) i v =
     else cpu.Exec.r.(i) <- Bits.mask32 v
   | Translator.Baseline ->
     Mem.ram_write32 t.soc.Soc.mem (Layout.env_reg i) v
+
+(* ----------------------- SMC-clean region map ------------------------ *)
+
+(** [set_smc_map t ranges] installs the SMC-clean map from proven guest
+    address intervals [\[lo, hi)] (kernel-image addresses, word-aligned):
+    translations emitted entirely from clean words skip the per-word
+    store-invalidation probe. The map describes the pristine image — it
+    is dropped (with the whole cache) if the guest self-modifies. *)
+let set_smc_map t ranges =
+  let map = Bytes.make ((Soc.page_pool_base - Soc.kernel_base) / 4) '\000' in
+  List.iter
+    (fun (lo, hi) ->
+      let lo = max lo Soc.kernel_base and hi = min hi Soc.page_pool_base in
+      for k = (lo - Soc.kernel_base) asr 2 to ((hi - Soc.kernel_base) asr 2) - 1
+      do
+        Bytes.unsafe_set map k '\001'
+      done)
+    ranges;
+  t.smc_map <- Some map
 
 (* ----------------------------- run ---------------------------------- *)
 

@@ -109,6 +109,21 @@ type t = {
           must stay byte-identical and this counter differs *)
   mutable invalidations : int;  (** covered words hit by guest stores *)
   mutable flushes : int;  (** whole-cache evictions performed *)
+  (* static-analysis products consumed by the tier (certify + absint) *)
+  mutable sb_certify : (Superblock.plan -> bool) option;
+      (** online trace certifier: a formed (or warm-loaded) plan is
+          admitted only if the hook proves it equivalent to its
+          constituent blocks; [None] (default) admits everything *)
+  mutable certify_rejects : int;
+      (** plans refused by [sb_certify] (warm or fresh) *)
+  mutable smc_map : Bytes.t option;
+      (** SMC-clean map (same indexing as [guest_cover]); install via
+          {!set_smc_map}; dropped on whole-cache flush *)
+  probe_exempt : bool array;
+      (** host words emitted from SMC-clean guest code (same indexing as
+          [host_decode]): their stores skip the cover-map probe *)
+  mutable probes_elided : int;
+      (** image-span stores that skipped the probe via [probe_exempt] *)
 }
 
 val cost_taken_branch : int
@@ -134,6 +149,13 @@ val set_guest_reg : t -> Exec.cpu -> int -> int -> unit
 
 val guest_point_of_host : t -> int -> int option
 (** guest address for a saved host resume point (fallback migration) *)
+
+val set_smc_map : t -> (int * int) list -> unit
+(** [set_smc_map t ranges] installs the SMC-clean map from proven guest
+    address intervals [\[lo, hi)] within the kernel image: superblock
+    translations emitted entirely from clean words skip the per-word
+    store-invalidation probe. The map describes the pristine image and
+    is dropped with the cache if the guest self-modifies. *)
 
 val run : t -> Exec.cpu -> fuel:int -> unit
 (** [run t cpu ~fuel] executes translated code until the context returns

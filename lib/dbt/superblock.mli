@@ -20,6 +20,12 @@ type plan = {
   p_emits : Translator.emit list;  (** the woven trace body *)
 }
 
+val resumable : Translator.site_info -> bool
+(** does execution re-enter the trace right after this site? (calls,
+    emulated services, hooks, guest hypercalls, skippable fallback);
+    exported for the trace certifier, which must model the same
+    engine-resume contract the weaver assumes *)
+
 val reload_seq : Types.inst list
 (** host r12 <- [env_r10]; emitted at the trace head and after every
     resumable site *)

@@ -1,0 +1,24 @@
+(** Arrival-rate traces: when the next ephemeral task wakes a device.
+
+    Each fleet instance draws its suspend-interval sequence from one of
+    three generators, all pure functions of the instance's private PRNG
+    (plus, for the diurnal shape, the instance's own simulated clock) —
+    never of the host, the shard, or a sibling instance. That keeps the
+    whole fleet digest a function of [(population, arrival, seed)]
+    alone, whatever [--jobs] or execution order did. *)
+
+type kind =
+  | Poisson  (** memoryless: exponential inter-arrival gaps *)
+  | Bursty
+      (** two-state mix: short intra-burst gaps, long inter-burst ones *)
+  | Diurnal
+      (** exponential gaps whose mean swings sinusoidally with the
+          instance's simulated time-of-day *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val all : kind list
+
+val gap_ns : kind -> Random.State.t -> mean_gap_ms:int -> now_ns:int -> int
+(** the next sleep interval in nanoseconds (at least 1 ms, so a cycle
+    always makes progress) *)
