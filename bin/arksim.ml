@@ -123,6 +123,39 @@ let trace_finish tr ~trace_file ~devices =
   | None -> ());
   Trace.summary ~phase_name:(phase_name devices) tr
 
+(* causal span tracer: on when either export was requested. Enabled
+   after boot, like the flight recorder, so the causal trees cover only
+   the benchmark cycles. *)
+let spans_setup (soc : Soc.t) ~spans_file ~perfetto_file =
+  if spans_file <> None || perfetto_file <> None then
+    Tk_stats.Span.enable soc.Soc.spans
+
+let spans_finish (soc : Soc.t) ~spans_file ~perfetto_file =
+  let sp = soc.Soc.spans in
+  if sp.Tk_stats.Span.enabled then begin
+    (match spans_file with
+    | Some f ->
+      let oc = open_out f in
+      Tk_stats.Span.dump_jsonl oc sp;
+      close_out oc;
+      Printf.printf "spans: %d recorded (%d dropped) -> %s\n"
+        (Tk_stats.Span.spans sp) (Tk_stats.Span.dropped sp) f
+    | None -> ());
+    (match perfetto_file with
+    | Some f ->
+      let oc = open_out f in
+      let ts = soc.Soc.sampler in
+      Tk_stats.Span.dump_perfetto
+        ?timeseries:(if ts.Tk_stats.Timeseries.enabled then Some ts else None)
+        oc sp;
+      close_out oc;
+      Printf.printf
+        "perfetto trace -> %s (load in ui.perfetto.dev or chrome://tracing)\n"
+        f
+    | None -> ());
+    Tk_stats.Span.summary sp
+  end
+
 let print_profile (e : Tk_dbt.Engine.t) =
   let rows = Tk_dbt.Engine.profile_blocks e in
   let top = List.filteri (fun i _ -> i < 24) rows in
@@ -317,7 +350,8 @@ let summarize label (core : Tk_machine.Core.t) params warns =
 
 let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     resume_native m3_cache certify_traces elide_smc trace_file trace_filter
-    trace_cap profile ts_file sample_every manifest_file verbose =
+    trace_cap profile ts_file sample_every manifest_file spans_file
+    perfetto_file verbose =
   let kernel = layout.Tk_kernel.Layout.version in
   let telemetry = telemetry_on ~ts_file ~manifest_file ~sample_every in
   let superblock = tier = `Superblock in
@@ -339,6 +373,7 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     let tr = Native_run.trace nat in
     let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
     telemetry_setup soc ~ts_file ~manifest_file ~sample_every;
+    spans_setup soc ~spans_file ~perfetto_file;
     let wall0 = Unix.gettimeofday () in
     for i = 1 to cycles do
       ignore (Native_run.suspend_resume_cycle nat);
@@ -349,6 +384,7 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
       (List.length nat.Native_run.warns);
     if tracing then
       trace_finish tr ~trace_file ~devices:nat.Native_run.devices;
+    spans_finish soc ~spans_file ~perfetto_file;
     if telemetry then
       telemetry_finish soc ~active:"a9" ~params:Soc.a9_params
         ~devices:nat.Native_run.devices ~variant:"native" ~kernel ~cycles
@@ -363,6 +399,7 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     let tr = Ark_run.trace ark in
     let tracing = trace_setup tr ~trace_file ~trace_filter ~trace_cap in
     telemetry_setup soc ~ts_file ~manifest_file ~sample_every;
+    spans_setup soc ~spans_file ~perfetto_file;
     let e = ark.Ark_run.ark.Transkernel.Ark.engine in
     if profile then e.Tk_dbt.Engine.profile <- true;
     if certify_traces || elide_smc then begin
@@ -417,6 +454,7 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     if tracing then
       trace_finish tr ~trace_file
         ~devices:ark.Ark_run.nat.Native_run.devices;
+    spans_finish soc ~spans_file ~perfetto_file;
     if profile then print_profile e;
     let variant =
       if superblock then "superblock"
@@ -845,6 +883,22 @@ let manifest_arg =
            ~doc:"Write a machine-readable run manifest (git rev, \
                  counters, per-phase energy, throughput) to $(docv).")
 
+let spans_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spans" ] ~docv:"FILE"
+           ~doc:"Record causal wakeup spans and write them as JSONL to \
+                 $(docv): one object per span with kind, core, interval \
+                 and the attribution deltas (instructions, stall and \
+                 translate cycles, fallbacks, energy).")
+
+let perfetto_arg =
+  Arg.(value & opt (some string) None
+       & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:"Write the recorded spans as a Chrome trace-event JSON \
+                 file loadable in ui.perfetto.dev or chrome://tracing, \
+                 with one track per core and counter tracks from the \
+                 telemetry sampler when it is on.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 
 let run_t =
@@ -853,7 +907,7 @@ let run_t =
     $ layout_arg $ sleep_arg $ glitch_arg $ resume_native_arg $ m3_cache_arg
     $ certify_traces_arg $ elide_smc_arg $ trace_arg $ trace_filter_arg
     $ trace_cap_arg $ profile_arg $ timeseries_arg $ sample_every_arg
-    $ manifest_arg $ verbose_arg)
+    $ manifest_arg $ spans_arg $ perfetto_arg $ verbose_arg)
 
 let report_t =
   Term.(

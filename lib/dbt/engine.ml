@@ -84,6 +84,10 @@ type t = {
   mutable engine_exits : int;
   mutable patches : int;
   mutable host_executed : int;
+  mutable translate_cycles : int;
+      (** simulated M3 cycles charged for translation / trace formation
+          (the [cost_translate_per_guest] charges); a monotone
+          attribution gauge for the span tracer *)
   (* hot-block profiler (host-side observability; simulated charges are
      unaffected whether it is on or off) *)
   mutable profile : bool;
@@ -193,7 +197,7 @@ let rec create ~(soc : Soc.t) ~mode () =
       irq_dispatch = true; env = dummy_env; env_traced = dummy_env;
       guest_translated = 0;
       host_emitted = 0; blocks = 0; engine_exits = 0; patches = 0;
-      host_executed = 0; profile = false;
+      host_executed = 0; translate_cycles = 0; profile = false;
       block_exec = Array.make (Soc.code_cache_size / 4) 0;
       block_dispatch = Hashtbl.create 1024;
       block_size = Hashtbl.create 1024;
@@ -336,6 +340,10 @@ let rec create ~(soc : Soc.t) ~mode () =
      manifests must stay byte-identical) *)
   gauge "dbt_traces" (fun () -> t.traces_formed);
   gauge "dbt_fusions" (fun () -> t.fusions_applied);
+  (* span-tracer attribution gauges ride on Span, not the sampler: the
+     golden manifest digests pin the sampler's column set *)
+  Tk_stats.Span.add_gauge soc.Soc.spans "translate_cycles" (fun () ->
+      t.translate_cycles);
   t
 
 (* --------------------- superblock store probe ------------------------ *)
@@ -439,6 +447,17 @@ and translate_block t gpc =
         | None -> ());
         b
     in
+    (* span: the translation burst covers the simulated translation
+       charge; back-to-back misses coalesce into one burst span *)
+    let sp = t.soc.Soc.spans in
+    let stok =
+      if sp.Tk_stats.Span.enabled then
+        Tk_stats.Span.enter_coalesced sp ~core:Tk_stats.Trace.core_m3
+          Tk_stats.Span.sk_dbt_translate b.Translator.b_guest_count
+      else 0
+    in
+    t.translate_cycles <-
+      t.translate_cycles + (cost_translate_per_guest * b.Translator.b_guest_count);
     charge t (cost_translate_per_guest * b.Translator.b_guest_count);
     let h = emit_block t b in
     Hashtbl.replace t.block_map gpc h;
@@ -459,6 +478,7 @@ and translate_block t gpc =
     if t.tr.Tk_stats.Trace.enabled then
       Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
         Tk_stats.Trace.ev_translate gpc b.Translator.b_guest_count;
+    if sp.Tk_stats.Span.enabled then Tk_stats.Span.leave sp stok;
     h
 
 (* --------------------- superblock bookkeeping ----------------------- *)
@@ -640,6 +660,16 @@ and sb_try_form t head =
     | exception Superblock.Abort _ -> ()
     | p ->
       (* forming re-derives every constituent's translation *)
+      let sp = t.soc.Soc.spans in
+      let stok =
+        if sp.Tk_stats.Span.enabled then
+          Tk_stats.Span.enter_coalesced sp ~core:Tk_stats.Trace.core_m3
+            Tk_stats.Span.sk_dbt_form p.Superblock.p_guest_count
+        else 0
+      in
+      t.translate_cycles <-
+        t.translate_cycles
+        + (cost_translate_per_guest * p.Superblock.p_guest_count);
       charge t (cost_translate_per_guest * p.Superblock.p_guest_count);
       let b =
         { Translator.b_guest_start = head;
@@ -667,7 +697,8 @@ and sb_try_form t head =
       patch t old_h (at (B (h - old_h)));
       if t.tr.Tk_stats.Trace.enabled then
         Tk_stats.Trace.emit t.tr ~core:Tk_stats.Trace.core_m3
-          Tk_stats.Trace.ev_form head p.Superblock.p_guest_count
+          Tk_stats.Trace.ev_form head p.Superblock.p_guest_count;
+      if sp.Tk_stats.Span.enabled then Tk_stats.Span.leave sp stok
   end
 
 (* Block-boundary work for the superblock run loop, out of line so the
@@ -988,6 +1019,7 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
       end
       else Cache.access cache ~write:false pcv
     in
+    if stall <> 0 then m3.Core.stall_cycles <- m3.Core.stall_cycles + stall;
     let base =
       if cpi_num = 0 then 1
       else begin
@@ -1050,7 +1082,10 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
           end
           else Cache.access cache ~write:false pcv2
         in
-        if stall2 <> 0 then Core.charge m3 stall2
+        if stall2 <> 0 then begin
+          m3.Core.stall_cycles <- m3.Core.stall_cycles + stall2;
+          Core.charge m3 stall2
+        end
         else (
           match clock.Clock.events with
           | e :: _ when e.Clock.at <= clock.Clock.now ->
@@ -1082,7 +1117,23 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
   done
 
 let run t cpu ~fuel =
-  if t.superblock then run_superblock t cpu ~fuel else run_plain t cpu ~fuel
+  (* one execution-burst span per engine entry; the loops only exit by
+     exception (Context_exit, fallback, host error), so the close rides
+     in [~finally] *)
+  let sp = t.soc.Soc.spans in
+  if sp.Tk_stats.Span.enabled then begin
+    let tok =
+      Tk_stats.Span.enter sp ~core:Tk_stats.Trace.core_m3
+        Tk_stats.Span.sk_run 0
+    in
+    Fun.protect
+      ~finally:(fun () -> Tk_stats.Span.leave sp tok)
+      (fun () ->
+        if t.superblock then run_superblock t cpu ~fuel
+        else run_plain t cpu ~fuel)
+  end
+  else if t.superblock then run_superblock t cpu ~fuel
+  else run_plain t cpu ~fuel
 
 (** [entry_host t gpc] — host address for guest entry [gpc], translating
     on demand (used by ARK to start contexts). *)

@@ -73,6 +73,9 @@ type t = {
   mutable engine_exits : int;
   mutable patches : int;
   mutable host_executed : int;
+  mutable translate_cycles : int;
+      (** simulated M3 cycles charged for translation / trace formation;
+          a monotone attribution gauge for the span tracer *)
   mutable profile : bool;
       (** count per-block executions / dispatch entries (host-side
           observability; simulated charges are unaffected) *)

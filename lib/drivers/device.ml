@@ -52,6 +52,11 @@ type t = {
      firmware glitch, §7.3) *)
   mutable glitch_next_resume : bool;
   mutable glitches_hit : int;
+  (* transient: power-rail ramp start (ns), -1 outside a transition;
+     feeds the async power-ramp span closed in [finish_power]. Never
+     live across a snapshot (World.fork refuses while a transition is
+     pending), so [saved] does not carry it. *)
+  mutable ramp_t0 : int;
   (* stats *)
   mutable cmds : int;
   mutable irqs_raised : int;
@@ -80,7 +85,20 @@ let finish_power t on =
   if tr.Tk_stats.Trace.enabled then
     Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_none
       Tk_stats.Trace.ev_power t.index (Bool.to_int on);
+  let sp = t.soc.Soc.spans in
+  (if sp.Tk_stats.Span.enabled then begin
+     let t0 = t.ramp_t0 in
+     t.ramp_t0 <- -1;
+     if t0 >= 0 then
+       Tk_stats.Span.emit_async sp ~core:Tk_stats.Trace.core_none
+         Tk_stats.Span.sk_power_ramp ~t0
+         ((2 * t.index) + Bool.to_int on)
+   end);
   raise_irq t
+
+let ramp_begin t =
+  let sp = t.soc.Soc.spans in
+  if sp.Tk_stats.Span.enabled then t.ramp_t0 <- sp.Tk_stats.Span.now ()
 
 let cmd t v =
   t.cmds <- t.cmds + 1;
@@ -88,6 +106,7 @@ let cmd t v =
   | 1 ->
     (* power off after the hardware transition latency *)
     t.busy <- true;
+    ramp_begin t;
     Clock.after_ t.soc.Soc.clock t.suspend_ns (fun () ->
         finish_power t false)
   | 2 ->
@@ -97,9 +116,11 @@ let cmd t v =
       t.glitch_next_resume <- false;
       t.glitches_hit <- t.glitches_hit + 1
     end
-    else
+    else begin
+      ramp_begin t;
       Clock.after_ t.soc.Soc.clock t.resume_ns (fun () ->
           finish_power t true)
+    end
   | 3 ->
     t.cmd_done <- false;
     t.dma_done <- false;
@@ -175,7 +196,7 @@ let create soc ~name ~index ~suspend_us ~resume_us ?(cfg_us = 25)
       error = false; dma_busy = false; dma_done = false; fifo_busy = false;
       irq_en = false; dma_src = 0; dma_dst = 0; dma_len = 0; fifo_count = 0;
       fifo_sum = 0; scratch = Array.make 8 0; glitch_next_resume = false;
-      glitches_hit = 0; cmds = 0; irqs_raised = 0 }
+      glitches_hit = 0; ramp_t0 = -1; cmds = 0; irqs_raised = 0 }
   in
   Mem.add_region soc.Soc.mem (mmio_region t);
   t

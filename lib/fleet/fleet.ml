@@ -421,6 +421,26 @@ let sketch_rows_json sk =
        (fun (lo, hi, c) -> J.Arr [ J.Int lo; J.Int hi; J.Int c ])
        (Sketch.rows sk))
 
+(* Per-span-kind duration telemetry: the causal tracer runs in every
+   shard world and each closed span's duration feeds one of these
+   sketches. The field list is fixed (not everything the tracer knows)
+   so the fleet schema stays stable. Span durations are pure simulated
+   time, so the digest stays jobs- and order-invariant. *)
+let span_fields =
+  [ ("span_irq_deliver_ns", Tk_stats.Span.sk_irq_deliver);
+    ("span_resume_ns", Tk_stats.Span.sk_resume);
+    ("span_dbt_translate_ns", Tk_stats.Span.sk_dbt_translate);
+    ("span_run_ns", Tk_stats.Span.sk_run);
+    ("span_suspend_ns", Tk_stats.Span.sk_suspend) ]
+
+(* harvest one instance's closed spans into the per-kind sketches *)
+let harvest_spans sp sks =
+  Tk_stats.Span.iter sp
+    (fun ~id:_ ~parent:_ ~kind ~core:_ ~t0 ~t1 ~arg:_ ->
+      match List.assoc_opt kind sks with
+      | Some sk -> Sketch.add sk (t1 - t0)
+      | None -> ())
+
 (** [shard_task ~built cfg shard] — boot one world for the shard's
     configuration, warm it, snapshot it, and interleave the member
     instances over the snapshot. *)
@@ -449,6 +469,10 @@ let shard_task ~built (cfg : config) (sh : shard) =
   let lat = Sketch.create ()
   and pressure = Sketch.create ()
   and energy_sk = Sketch.create () in
+  (* per-kind span-duration sketches; the tracer goes live only after
+     warmup + snapshot so causal trees cover fleet cycles alone *)
+  let span_sks = List.map (fun (f, k) -> (k, (f, Sketch.create ()))) span_fields in
+  Tk_stats.Span.enable soc.Soc.spans;
   let order =
     match cfg.schedule with
     | Chrono -> sh.sh_ids
@@ -458,7 +482,13 @@ let shard_task ~built (cfg : config) (sh : shard) =
     List.map
       (fun id ->
         World.restore w ~on_page snap0;
-        run_instance cfg dc ark ~lat ~pressure ~energy_sk ~id)
+        (* instance isolation: every instance starts span-clean, like
+           everything else behind the snapshot *)
+        Tk_stats.Span.reset soc.Soc.spans;
+        let r = run_instance cfg dc ark ~lat ~pressure ~energy_sk ~id in
+        harvest_spans soc.Soc.spans
+          (List.map (fun (k, (_, sk)) -> (k, sk)) span_sks);
+        r)
       order
     |> List.sort (fun a b -> compare a.i_id b.i_id)
   in
@@ -469,26 +499,29 @@ let shard_task ~built (cfg : config) (sh : shard) =
   let st = World.stats w in
   { o_metrics =
       J.Obj
-        [ ("config", J.Str dc.dc_name);
-          ("superblock", J.Int (if dc.dc_superblock then 1 else 0));
-          ("glitch_every", J.Int dc.dc_glitch_every);
-          ("instances", J.Int (List.length rows));
-          ("wakeups", J.Int wakeups); ("fallbacks", J.Int falls);
-          ("energy_nj", J.Int energy_nj);
-          ("warmup_cycles", J.Int warm_cycles);
-          ("wakeup_ns", sketch_rows_json lat);
-          ("pressure_misses", sketch_rows_json pressure);
-          ("energy_nj_dist", sketch_rows_json energy_sk);
-          ( "per_instance",
-            J.Arr
-              (List.map
-                 (fun r ->
-                   J.Obj
-                     [ ("id", J.Int r.i_id);
-                       ("wakeups", J.Int r.i_wakeups);
-                       ("fallbacks", J.Int r.i_fallbacks);
-                       ("energy_nj", J.Int r.i_energy_nj) ])
-                 rows) ) ];
+        ([ ("config", J.Str dc.dc_name);
+           ("superblock", J.Int (if dc.dc_superblock then 1 else 0));
+           ("glitch_every", J.Int dc.dc_glitch_every);
+           ("instances", J.Int (List.length rows));
+           ("wakeups", J.Int wakeups); ("fallbacks", J.Int falls);
+           ("energy_nj", J.Int energy_nj);
+           ("warmup_cycles", J.Int warm_cycles);
+           ("wakeup_ns", sketch_rows_json lat);
+           ("pressure_misses", sketch_rows_json pressure);
+           ("energy_nj_dist", sketch_rows_json energy_sk) ]
+         @ List.map
+             (fun (_, (f, sk)) -> (f, sketch_rows_json sk))
+             span_sks
+         @ [ ( "per_instance",
+               J.Arr
+                 (List.map
+                    (fun r ->
+                      J.Obj
+                        [ ("id", J.Int r.i_id);
+                          ("wakeups", J.Int r.i_wakeups);
+                          ("fallbacks", J.Int r.i_fallbacks);
+                          ("energy_nj", J.Int r.i_energy_nj) ])
+                    rows) ) ]);
     o_counters =
       [ ("fleet.instances", List.length rows); ("fleet.wakeups", wakeups);
         ("fleet.fallbacks", falls); ("fleet.energy_nj", energy_nj);
@@ -608,6 +641,9 @@ let run (cfg : config) =
   let lat = merged_sketch "wakeup_ns" metrics_list
   and pressure = merged_sketch "pressure_misses" metrics_list
   and energy_sk = merged_sketch "energy_nj_dist" metrics_list in
+  let span_agg =
+    List.map (fun (f, _) -> (f, merged_sketch f metrics_list)) span_fields
+  in
   let meta =
     J.Obj
       [ ("devices", J.Int cfg.devices);
@@ -625,15 +661,16 @@ let run (cfg : config) =
   let shards_json = J.Arr shard_docs in
   let aggregate =
     J.Obj
-      [ ("instances", J.Int (counter "fleet.instances"));
+      ([ ("instances", J.Int (counter "fleet.instances"));
         ("wakeups", J.Int (counter "fleet.wakeups"));
         ("fallbacks", J.Int (counter "fleet.fallbacks"));
         ("energy_uj", J.Num (float_of_int (counter "fleet.energy_nj") /. 1e3));
         ("wakeup_ns", quantiles_json lat);
         ("pressure_misses", quantiles_json pressure);
-        ("energy_nj_dist", quantiles_json energy_sk);
-        ("shard_errors", J.Int (List.length errors));
-        ("counters", counters_obj merged) ]
+        ("energy_nj_dist", quantiles_json energy_sk) ]
+       @ List.map (fun (f, sk) -> (f, quantiles_json sk)) span_agg
+       @ [ ("shard_errors", J.Int (List.length errors));
+           ("counters", counters_obj merged) ])
   in
   let digest =
     Run_manifest.digest_string
@@ -697,7 +734,12 @@ let print_summary t =
       Printf.printf
         "  wakeups %d  fallbacks %d  wakeup p50/p99/p999 %d/%d/%d ns\n"
         (geti "wakeups") (geti "fallbacks") (q "wakeup_ns" "p50")
-        (q "wakeup_ns" "p99") (q "wakeup_ns" "p999")
+        (q "wakeup_ns" "p99") (q "wakeup_ns" "p999");
+      List.iter
+        (fun (f, _) ->
+          Printf.printf "  %-21s p50/p99/p999 %d/%d/%d ns (n=%d)\n" f
+            (q f "p50") (q f "p99") (q f "p999") (q f "count"))
+        span_fields
     | _ -> ())
   | _ -> ());
   List.iter

@@ -82,6 +82,11 @@ val warmup : Tk_harness.Ark_run.t -> dc:dconfig -> int
     the superblock tier the formation threshold is dropped to 1 during
     warmup and parked at [max_int] after, freezing the shared cache. *)
 
+val span_fields : (string * int) list
+(** the fixed per-span-kind duration telemetry schema: fleet JSON field
+    name -> {!Tk_stats.Span} kind. Each shard serializes one duration
+    sketch per entry and the aggregate reports merged quantiles. *)
+
 (** Everything a shard returns. [o_host] is the only section allowed to
     vary with execution order; it never enters the digest. *)
 type shard_out = {

@@ -87,6 +87,9 @@ let create ?layout ?built ?devices ?(mode = Translator.Ark)
         | None -> Tk_dbt.Cache_store.create ~key)
   | Some _ | None -> ());
   let t = { nat; ark; events = []; fallbacks = []; cache_dir } in
+  (* span-tracer attribution: fallbacks taken, from ARK's own counter *)
+  Tk_stats.Span.add_gauge plat.soc.Soc.spans "fallbacks" (fun () ->
+      Tk_stats.Counters.get ark.Ark.counters "fallback.hits");
   ark.Ark.on_hypercall <-
     (fun n cpu ->
       if n = Hyper.phase_mark then begin
@@ -97,7 +100,8 @@ let create ?layout ?built ?devices ?(mode = Translator.Ark)
             ev_m3 = Core.activity plat.soc.Soc.m3 }
           :: t.events;
         Tk_stats.Trace.phase plat.soc.Soc.trace code;
-        Tk_stats.Timeseries.phase plat.soc.Soc.sampler code
+        Tk_stats.Timeseries.phase plat.soc.Soc.sampler code;
+        Tk_stats.Span.phase plat.soc.Soc.spans code
       end
       else if n = Hyper.warn_hit then
         t.nat.Native_run.warns <-
@@ -130,7 +134,8 @@ let record t code =
       ev_m3 = Core.activity (plat t).soc.Soc.m3 }
     :: t.events;
   Tk_stats.Trace.phase (plat t).soc.Soc.trace code;
-  Tk_stats.Timeseries.phase (plat t).soc.Soc.sampler code
+  Tk_stats.Timeseries.phase (plat t).soc.Soc.sampler code;
+  Tk_stats.Span.phase (plat t).soc.Soc.spans code
 
 (** [trace t] — the platform's flight recorder (enable/dump through
     {!Tk_stats.Trace}). *)

@@ -276,8 +276,10 @@ type direction = Higher_better | Lower_better | Neutral
     or [fallback_rate] is a cost expressed as a rate, and classifying it
     by its [rate] suffix would gate it in the wrong direction (a
     worsened miss rate would pass CI). Benefit-rates without a cost
-    marker ([chain_hit_rate]) still land on [Higher_better]. Pinned by
-    test/test_timeseries.ml. *)
+    marker ([chain_hit_rate]) still land on [Higher_better].
+    Span/latency keys are costs too: [*_ns] durations, [*_p99]
+    quantiles, tracer [overhead] and reconciliation [residual] figures
+    all regress upward. Pinned by test/test_timeseries.ml. *)
 let direction_of key =
   let k = String.lowercase_ascii key in
   let has sub =
@@ -288,10 +290,13 @@ let direction_of key =
   if
     has "wall" || has "cycles" || has "_uj" || has "_ms" || has "bytes"
     || has "miss" || has "exits" || has "fallback" || has "divergen"
-    || has "dropped" || has "stall" || has "error"
+    || has "dropped" || has "stall" || has "error" || has "_ns"
+    || has "_p99" || has "overhead" || has "residual"
   then Lower_better
-  else if has "mips" || has "throughput" || has "rate" || has "speedup" then
-    Higher_better
+  else if
+    has "mips" || has "throughput" || has "rate" || has "speedup"
+    || has "per_sec"
+  then Higher_better
   else Neutral
 
 type verdict = {

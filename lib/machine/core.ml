@@ -33,12 +33,16 @@ type t = {
   mutable busy_ps : int;
   mutable idle_ps : int;
   mutable instructions : int;
+  mutable stall_cycles : int;
+      (** cycles lost to cache-miss / uncached-IO stalls, a subset of
+          [busy_cycles]; the span tracer's attribution ledger reads it *)
 }
 
 let create ~clock ~cache p =
   { p; clock; cache; ps_per_cycle = 1_000_000 / p.freq_mhz; cpi_acc = 0;
     frac_ps = 0;
-    busy_cycles = 0; busy_ps = 0; idle_ps = 0; instructions = 0 }
+    busy_cycles = 0; busy_ps = 0; idle_ps = 0; instructions = 0;
+    stall_cycles = 0 }
 
 (** [charge t cycles] books [cycles] of busy execution and advances the
     platform clock (firing any due events). *)
@@ -65,7 +69,11 @@ let charge t cycles =
     [Clock.run_due]). Cycle-identical to [charge t stall], cheaper on
     the hot hit path. *)
 let charge_stall t stall =
-  if stall <> 0 then charge t stall else Clock.run_due t.clock
+  if stall <> 0 then begin
+    t.stall_cycles <- t.stall_cycles + stall;
+    charge t stall
+  end
+  else Clock.run_due t.clock
 
 (** [fetch_cost t addr] is the stall cost of fetching from [addr] through
     this core's cache. *)
@@ -112,6 +120,7 @@ let instr_cycles t =
 let retire t addr =
   t.instructions <- t.instructions + 1;
   let stall = Cache.access t.cache ~write:false addr in
+  if stall <> 0 then t.stall_cycles <- t.stall_cycles + stall;
   charge t (instr_cycles t + stall)
 
 let busy_ns t = t.busy_ps / 1000
@@ -121,6 +130,7 @@ let idle_ns t = t.idle_ps / 1000
     phase boundaries so each measured phase starts clean). *)
 let reset_activity t =
   t.busy_cycles <- 0; t.busy_ps <- 0; t.idle_ps <- 0; t.instructions <- 0;
+  t.stall_cycles <- 0;
   Cache.reset_counters t.cache
 
 (** Snapshot of a core's activity, used for per-phase deltas. *)

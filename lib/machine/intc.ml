@@ -29,12 +29,19 @@ type t = {
       (** flight recorder (the platform's; {!Tk_stats.Trace.null} until
           the SoC wires it) *)
   mutable tr_core : int;  (** which side this controller serves *)
+  mutable sp : Tk_stats.Span.t;
+      (** span tracer (the platform's; {!Tk_stats.Span.null} until the
+          SoC wires it) — records raise-to-ack delivery latency *)
+  raise_t : int array;
+      (** per-line raise time (ns), -1 when not pending; feeds the
+          async irq-deliver span closed at {!ack} *)
 }
 
 let create ~name ~nlines =
   { iname = name; nlines; enabled = Array.make nlines false;
     pending = Array.make nlines false; in_service = None; live = 0;
-    tr = Tk_stats.Trace.null; tr_core = Tk_stats.Trace.core_none }
+    tr = Tk_stats.Trace.null; tr_core = Tk_stats.Trace.core_none;
+    sp = Tk_stats.Span.null; raise_t = Array.make nlines (-1) }
 
 let set_pending t line =
   if line >= 0 && line < t.nlines && not t.pending.(line) then begin
@@ -42,7 +49,9 @@ let set_pending t line =
     if t.enabled.(line) then t.live <- t.live + 1;
     if t.tr.Tk_stats.Trace.enabled then
       Tk_stats.Trace.emit t.tr ~core:t.tr_core Tk_stats.Trace.ev_irq_raise
-        line 0
+        line 0;
+    if t.sp.Tk_stats.Span.enabled then
+      t.raise_t.(line) <- t.sp.Tk_stats.Span.now ()
   end
 
 let clear_pending t line =
@@ -83,6 +92,13 @@ let ack t =
     if t.tr.Tk_stats.Trace.enabled then
       Tk_stats.Trace.emit t.tr ~core:t.tr_core Tk_stats.Trace.ev_irq_deliver
         l 0;
+    (if t.sp.Tk_stats.Span.enabled then begin
+       let t0 = t.raise_t.(l) in
+       t.raise_t.(l) <- -1;
+       if t0 >= 0 then
+         Tk_stats.Span.emit_async t.sp ~core:t.tr_core
+           Tk_stats.Span.sk_irq_deliver ~t0 l
+     end);
     l
   | None -> 1023
 

@@ -244,7 +244,7 @@ let step t =
 
 (** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
     instructions elapse, which raises {!Fault} — a runaway guest). *)
-let run t ~fuel =
+let run_loop t ~fuel =
   let n = ref 0 in
   let traced = t.tr.Tk_stats.Trace.enabled in
   let env = if traced then t.env_traced else t.env in
@@ -258,3 +258,18 @@ let run t ~fuel =
     if sampling then Tk_stats.Timeseries.tick ts
   done;
   raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel))
+
+let run t ~fuel =
+  (* one execution-burst span per call; [run] only ever exits by
+     exception (Halt / Fault), so the close rides in [~finally] *)
+  let sp = t.soc.Soc.spans in
+  if sp.Tk_stats.Span.enabled then begin
+    let tok =
+      Tk_stats.Span.enter sp ~core:Tk_stats.Trace.core_cpu
+        Tk_stats.Span.sk_run 0
+    in
+    Fun.protect
+      ~finally:(fun () -> Tk_stats.Span.leave sp tok)
+      (fun () -> run_loop t ~fuel)
+  end
+  else run_loop t ~fuel

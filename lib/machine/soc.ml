@@ -90,6 +90,11 @@ type t = {
       (** the cycle-domain telemetry sampler (disabled by default);
           gauges over every counter of this SoC are wired here, and the
           run loops tick it on the sampling period *)
+  spans : Tk_stats.Span.t;
+      (** the causal span tracer (disabled by default); the harness
+          marks phase frames into it and the interrupt controllers,
+          devices and DBT engine record latency/burst spans, each
+          snapshotting the attribution gauges wired here *)
 }
 
 (** [create ?m3_cache_kb ()] builds a fresh platform. [m3_cache_kb]
@@ -156,7 +161,28 @@ let create ?(m3_cache_kb = m3_cache_kb) () =
   core_gauges "m3" m3;
   gauge "dma_rd_bytes" (fun () -> mem.Mem.dma_read_bytes);
   gauge "dma_wr_bytes" (fun () -> mem.Mem.dma_write_bytes);
-  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace; sampler }
+  (* causal span tracer: same clock; attribution gauges are monotone
+     counters so sibling span deltas telescope into their parent's
+     (Span.reconcile audits the 0.1% bar). Energy is integrated in
+     integer nJ from the same busy/idle-ps figures the power model
+     uses — truncation of a nondecreasing float keeps it monotone. *)
+  let spans = Tk_stats.Span.create () in
+  spans.Tk_stats.Span.now <- (fun () -> clock.Clock.now);
+  let core_energy_nj (c : Core.t) =
+    int_of_float
+      (((float_of_int c.Core.busy_ps *. c.Core.p.Core.busy_mw)
+       +. (float_of_int c.Core.idle_ps *. c.Core.p.Core.idle_mw))
+      /. 1e6)
+  in
+  Tk_stats.Span.add_gauge spans "instructions" (fun () ->
+      cpu.Core.instructions + m3.Core.instructions);
+  Tk_stats.Span.add_gauge spans "stall_cycles" (fun () ->
+      cpu.Core.stall_cycles + m3.Core.stall_cycles);
+  Tk_stats.Span.add_gauge spans "energy_nj" (fun () ->
+      core_energy_nj cpu + core_energy_nj m3);
+  fabric.Intc.gic.Intc.sp <- spans;
+  fabric.Intc.nvic.Intc.sp <- spans;
+  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace; sampler; spans }
 
 (** [dev_base i] is the MMIO base address of device slot [i]. *)
 let dev_base i = dev_mmio_base + (i * dev_mmio_stride)

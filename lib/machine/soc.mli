@@ -77,6 +77,11 @@ type t = {
       (** the cycle-domain telemetry sampler (disabled by default);
           gauges over every counter of this SoC are wired here, and the
           run loops tick it on the sampling period *)
+  spans : Tk_stats.Span.t;
+      (** the causal span tracer (disabled by default); the harness
+          marks phase frames into it and the interrupt controllers,
+          devices and DBT engine record latency/burst spans, each
+          snapshotting the attribution gauges wired here *)
 }
 
 (** [create ?m3_cache_kb ()] builds a fresh platform. [m3_cache_kb]

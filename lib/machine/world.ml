@@ -40,6 +40,7 @@ type core_state = {
   w_busy_ps : int;
   w_idle_ps : int;
   w_instructions : int;
+  w_stall_cycles : int;
 }
 
 (* cache tag/dirty arrays are diffed in chunks of this many sets:
@@ -182,7 +183,8 @@ let intern_chunk t c =
 let capture_core (c : Core.t) =
   { w_cpi_acc = c.Core.cpi_acc; w_frac_ps = c.Core.frac_ps;
     w_busy_cycles = c.Core.busy_cycles; w_busy_ps = c.Core.busy_ps;
-    w_idle_ps = c.Core.idle_ps; w_instructions = c.Core.instructions }
+    w_idle_ps = c.Core.idle_ps; w_instructions = c.Core.instructions;
+    w_stall_cycles = c.Core.stall_cycles }
 
 let restore_core (c : Core.t) s =
   c.Core.cpi_acc <- s.w_cpi_acc;
@@ -190,7 +192,8 @@ let restore_core (c : Core.t) s =
   c.Core.busy_cycles <- s.w_busy_cycles;
   c.Core.busy_ps <- s.w_busy_ps;
   c.Core.idle_ps <- s.w_idle_ps;
-  c.Core.instructions <- s.w_instructions
+  c.Core.instructions <- s.w_instructions;
+  c.Core.stall_cycles <- s.w_stall_cycles
 
 let capture_cache t (cache : Cache.t) ~base_tags ~base_dirty =
   let nsets = cache.Cache.nsets in

@@ -1,0 +1,178 @@
+(** Causal span tracer: interval-structured telemetry over the simulated
+    timeline.
+
+    Where {!Trace} records point events and {!Timeseries} records
+    periodic rows, this module records {e spans} — open/close intervals
+    nested on the single simulated thread — so every wakeup becomes a
+    causal tree: root [wakeup] span, children for the resume phase,
+    execution bursts, DBT translation bursts and per-device phase
+    intervals, plus overlapping async spans for IRQ delivery latency
+    and power-rail ramps.
+
+    Each frame span snapshots the wired attribution gauges at open and
+    close; because the gauges are monotone counters, sibling deltas
+    telescope exactly into the parent delta ({!reconcile} audits this
+    against a 0.1% bar, mirroring the energy ledger).
+
+    Cost discipline: simulation-neutral, producers guard on [enabled],
+    and the enabled path allocates nothing. *)
+
+(* ------------------------- span kinds -------------------------------- *)
+
+val sk_wakeup : int  (** root: sleep-end mark to resume-end mark *)
+
+val sk_suspend : int  (** the offloaded (or native) suspend phase *)
+
+val sk_sleep : int  (** the deep-sleep interval between phases *)
+
+val sk_resume : int  (** the resume phase inside the wakeup root *)
+
+val sk_run : int  (** one interpreter / DBT engine execution burst *)
+
+val sk_irq_deliver : int
+(** async: interrupt raise to acknowledge; [arg] = line *)
+
+val sk_dbt_translate : int
+(** coalesced translation burst; [arg] = guest instructions *)
+
+val sk_dbt_form : int
+(** superblock trace formation burst; [arg] = guest instructions *)
+
+val sk_power_ramp : int
+(** async: device power-rail ramp; [arg] = dev*2 + (1 = rail up) *)
+
+val sk_dev_phase : int
+(** async per-device phase mark pair; [arg] = dev*2 + (1 = resume) *)
+
+val nkinds : int
+val kind_name : int -> string
+val kind_of_name : string -> int option
+
+(** Async spans overlap their siblings; reconciliation skips them. *)
+val is_async : int -> bool
+
+(* --------------------------- recorder -------------------------------- *)
+
+type t = {
+  mutable enabled : bool;
+      (** the one flag every producer guards on *)
+  mutable now : unit -> int;
+      (** simulated time source (ns); wired by [Soc.create] *)
+  mutable gauges : (string * (unit -> int)) list;
+      (** monotone attribution gauges in wiring order *)
+  mutable coalesce_gap_ns : int;
+      (** bursts closer than this merge in {!enter_coalesced} *)
+  mutable cap : int;
+  mutable gnames : string array;
+  mutable gfns : (unit -> int) array;
+  mutable q_kind : int array;
+  mutable q_core : int array;
+  mutable q_parent : int array;  (** slot of the enclosing frame, -1 root *)
+  mutable q_t0 : int array;
+  mutable q_t1 : int array;  (** -1 while open *)
+  mutable q_arg : int array;
+  mutable q_a0 : int array;  (** gauge snapshots, slot * ngauges + g *)
+  mutable q_a1 : int array;
+  mutable n : int;
+  mutable dropped : int;
+  stack : int array;
+  mutable depth : int;
+  dev_t0 : int array;
+}
+
+val default_cap : int
+val create : unit -> t
+
+(** Shared always-disabled instance (the pre-wiring default, like
+    {!Trace.null}). Never enable it. *)
+val null : t
+
+(** [add_gauge t name f] wires an attribution gauge, replacing in place
+    on a name collision. Wiring while enabled restarts recording (the
+    snapshot stride changes). *)
+val add_gauge : t -> string -> (unit -> int) -> unit
+
+(** [enable ?cap t] starts recording from a clean slate; [cap] bounds
+    retained spans (default 2^16) — past it the newest spans are
+    dropped (counted), keeping open/close pairing sound. *)
+val enable : ?cap:int -> t -> unit
+
+val disable : t -> unit
+
+(** [reset t] forgets recorded spans but keeps configuration — call it
+    per fleet instance after a world restore. *)
+val reset : t -> unit
+
+(* ------------------------- recording --------------------------------- *)
+
+(** [enter t ~core kind arg] opens a frame span under the current top of
+    stack; returns the depth token for {!leave}. Callers guard on
+    [t.enabled]. *)
+val enter : t -> core:int -> int -> int -> int
+
+(** [leave t tok] closes every frame opened since the matching {!enter}
+    — exception-safe under [Fun.protect], truncating stray inner
+    frames at the current instant. *)
+val leave : t -> int -> unit
+
+(** Like {!enter}, but merges with an immediately preceding sibling of
+    the same kind/core closed less than [coalesce_gap_ns] ago
+    (accumulating [arg]): burst formation for DBT translate storms. *)
+val enter_coalesced : t -> core:int -> int -> int -> int
+
+(** [emit_async t ~core kind ~t0 arg] records a complete span from [t0]
+    to now — overlapping latencies (IRQ delivery, power ramps) that do
+    not nest on the frame stack. Carries no attribution delta. *)
+val emit_async : t -> core:int -> int -> t0:int -> int -> unit
+
+(** [phase t code] — phase-mark dispatcher fed by the harness [record]
+    path; opens/closes the suspend / sleep / wakeup / resume frames and
+    converts per-device marks into async spans. The marker vocabulary
+    mirrors [Tk_kernel.Hyper] (cross-checked in test/test_span.ml). *)
+val phase : t -> int -> unit
+
+(* --------------------------- consumption ----------------------------- *)
+
+val spans : t -> int  (** allocated slots (closed + still open) *)
+
+val dropped : t -> int
+
+(** [iter t f] visits closed spans in open order (children after their
+    parent). *)
+val iter :
+  t ->
+  (id:int ->
+  parent:int ->
+  kind:int ->
+  core:int ->
+  t0:int ->
+  t1:int ->
+  arg:int ->
+  unit) ->
+  unit
+
+type recon = {
+  r_roots : int;  (** closed wakeup roots audited *)
+  r_max_dur_residual : float;
+      (** worst |root duration - sum of direct non-async children| /
+          root duration *)
+  r_max_attr_residual : float;
+      (** worst relative attribution-gauge residual over roots *)
+}
+
+(** The where-did-the-time-go audit over every closed wakeup root; both
+    residuals must sit within the 0.1% reconciliation bar. *)
+val reconcile : t -> recon
+
+(** One JSON object per closed span per line: id, parent, kind, core,
+    t0_ns, dur_ns, arg and the attribution-gauge deltas under "attr". *)
+val dump_jsonl : out_channel -> t -> unit
+
+(** Chrome trace-event JSON (loadable in ui.perfetto.dev and
+    chrome://tracing): per-core thread tracks of "X" complete events,
+    plus "C" counter tracks replayed from [timeseries] rows when a
+    sampler is passed. *)
+val dump_perfetto : ?timeseries:Timeseries.t -> out_channel -> t -> unit
+
+(** Per-kind count/total/mean table plus the reconciliation footer. *)
+val summary : t -> unit

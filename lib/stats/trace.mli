@@ -42,6 +42,13 @@ val ev_form : int
 
 val kind_name : int -> string
 
+(** [kind_of_name n] — inverse of {!kind_name} over the event
+    vocabulary; [None] for unknown names. *)
+val kind_of_name : string -> int option
+
+(** Number of event kinds (codes are dense in [0, nkinds)). *)
+val nkinds : int
+
 (** Bitmask accepting every event kind. *)
 val all_kinds : int
 

@@ -90,6 +90,41 @@ let test_population_accounting () =
   Alcotest.(check int) "no covered-word flushes mid-fleet" 0
     (Fleet.counter t "fleet.cover_flush")
 
+let test_span_telemetry () =
+  (* the per-span-kind duration quantiles live in the digested aggregate
+     (so the determinism battery above covers them); here: every schema
+     field is present, names a real span kind, and the kinds the fleet
+     always exercises carry samples *)
+  let t = ref_run Arrival.Poisson in
+  let agg =
+    match t.Fleet.doc with
+    | J.Obj kvs -> (
+      match List.assoc_opt "aggregate" kvs with
+      | Some (J.Obj agg) -> agg
+      | _ -> Alcotest.fail "no aggregate section")
+    | _ -> Alcotest.fail "fleet doc is not an object"
+  in
+  let count f =
+    match List.assoc_opt f agg with
+    | Some (J.Obj q) -> (
+      match List.assoc_opt "count" q with Some (J.Int c) -> c | _ -> -1)
+    | _ -> Alcotest.failf "aggregate lacks span field %s" f
+  in
+  List.iter
+    (fun (f, k) ->
+      Alcotest.(check bool)
+        (f ^ " names a real span kind")
+        true
+        (k >= 0 && k < Tk_stats.Span.nkinds);
+      Alcotest.(check bool) (f ^ " quantiles present") true (count f >= 0))
+    Fleet.span_fields;
+  (* every wakeup executes code, resumes, and suspends again *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " carries samples") true (count f > 0))
+    [ "span_run_ns"; "span_resume_ns"; "span_suspend_ns";
+      "span_irq_deliver_ns" ]
+
 let test_chaos_error_propagation () =
   (* a shard that dies must surface as (index, message) without taking
      the fleet down; healthy shards still complete *)
@@ -126,5 +161,7 @@ let () =
       ( "fleet",
         [ Alcotest.test_case "population fully accounted" `Quick
             test_population_accounting;
+          Alcotest.test_case "span quantiles ride the aggregate" `Quick
+            test_span_telemetry;
           Alcotest.test_case "shard failure -> (index, message)" `Quick
             test_chaos_error_propagation ] ) ]

@@ -78,6 +78,51 @@ let test_merge_equals_union () =
   let whole = of_array (Array.append xs ys) in
   same_sketch "merge = union" merged whole
 
+(* ------------------------ algebra (property) ------------------------- *)
+
+(* QCheck sweep of the same laws over arbitrary bucket sets: sample
+   lists mixing exact small values, mid-octave values and the deep
+   tail, so merges cross every bucket regime. Equality is on [rows] —
+   the canonical serialization the fleet digest hashes. *)
+let gen_samples =
+  QCheck.Gen.(
+    list_size (int_range 0 200)
+      (frequency
+         [ (3, int_range 0 31);  (* exact buckets *)
+           (4, int_range 32 100_000);  (* log-linear octaves *)
+           (2, int_range 100_000 1_000_000_000);  (* deep tail *)
+           (1, return 0) ]))
+
+let arb_samples =
+  QCheck.make gen_samples ~print:QCheck.Print.(list int)
+
+let arb_samples3 = QCheck.triple arb_samples arb_samples arb_samples
+
+let of_list l =
+  let t = Sketch.create () in
+  List.iter (Sketch.add t) l;
+  t
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:500 ~name:"merge commutes on random buckets"
+    (QCheck.pair arb_samples arb_samples) (fun (xs, ys) ->
+      let a = of_list xs and b = of_list ys in
+      Sketch.rows (Sketch.merge a b) = Sketch.rows (Sketch.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:500 ~name:"merge associates on random buckets"
+    arb_samples3 (fun (xs, ys, zs) ->
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      Sketch.rows (Sketch.merge (Sketch.merge a b) c)
+      = Sketch.rows (Sketch.merge a (Sketch.merge b c)))
+
+let prop_merge_identity =
+  QCheck.Test.make ~count:500 ~name:"empty sketch is the merge identity"
+    arb_samples (fun xs ->
+      let a = of_list xs in
+      Sketch.rows (Sketch.merge a (Sketch.create ())) = Sketch.rows a
+      && Sketch.rows (Sketch.merge (Sketch.create ()) a) = Sketch.rows a)
+
 (* ------------------------------ accuracy ----------------------------- *)
 
 let oracle_rank sorted phi =
@@ -204,6 +249,10 @@ let () =
           Alcotest.test_case "merge identity" `Quick test_merge_identity;
           Alcotest.test_case "merge equals union" `Quick
             test_merge_equals_union ] );
+      ( "algebra (property)",
+        [ QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_identity ] );
       ( "accuracy",
         [ Alcotest.test_case "oracle 100k x3 shapes" `Quick
             test_oracle_100k;

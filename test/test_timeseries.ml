@@ -369,7 +369,17 @@ let test_direction_polarity () =
   check "metrics.cache.miss_rate" Manifest.Lower_better;
   check "sim_mips" Manifest.Higher_better;
   check "suite_wall_s" Manifest.Lower_better;
-  check "blocks" Manifest.Neutral
+  check "blocks" Manifest.Neutral;
+  (* span/latency telemetry keys are costs: durations, tail quantiles,
+     tracer overhead and reconciliation residuals all regress upward *)
+  check "wakeup_ns" Manifest.Lower_better;
+  check "span_run_ns" Manifest.Lower_better;
+  check "wakeup_p99" Manifest.Lower_better;
+  check "span_overhead_pct" Manifest.Lower_better;
+  check "span_overhead_off_pct" Manifest.Lower_better;
+  check "recon_residual_pct" Manifest.Lower_better;
+  (* spans/sec is a throughput, not a cost *)
+  check "spans_per_sec" Manifest.Higher_better
 
 let test_gate_miss_rate () =
   let base = write_tmp {|{"metrics": {"miss_rate": 0.02}}|} in

@@ -107,6 +107,55 @@ let test_ring_wrap () =
   Trace.iter tr (fun ~time:_ ~core:_ ~kind:_ ~a:_ ~b:_ -> incr visited);
   Alcotest.(check int) "iter visits exactly the retained" cap !visited
 
+(* every event code must round-trip through the name vocabulary: a kind
+   added without a name (or a name without a parse) silently falls out
+   of --trace-filter and of every JSONL consumer keyed on names *)
+let test_kind_name_totality () =
+  for k = 0 to Trace.nkinds - 1 do
+    let n = Trace.kind_name k in
+    if n = "?" || n = "" then
+      Alcotest.failf "kind %d has no proper name (got %S)" k n;
+    match Trace.kind_of_name n with
+    | Some k' ->
+      Alcotest.(check int) (Printf.sprintf "%S round-trips" n) k k'
+    | None -> Alcotest.failf "kind %d name %S does not parse back" k n
+  done;
+  Alcotest.(check bool) "out-of-range code has no name" true
+    (Trace.kind_name Trace.nkinds = "?");
+  Alcotest.(check bool) "unknown name rejected" true
+    (Trace.kind_of_name "not-a-kind" = None)
+
+(* the filter-group aliases must cover exactly their member events:
+   an alias silently gaining or losing a member changes what --trace-
+   filter records without any parse error *)
+let test_filter_aliases_exact () =
+  let mask names =
+    match Trace.filter_of_names names with
+    | Ok m -> m
+    | Error n -> Alcotest.failf "bad filter name %s" n
+  in
+  let bits kinds = List.fold_left (fun m k -> m lor (1 lsl k)) 0 kinds in
+  Alcotest.(check int) "mem = read + write"
+    (bits [ Trace.ev_read; Trace.ev_write ])
+    (mask [ "mem" ]);
+  Alcotest.(check int) "irq = raise + deliver"
+    (bits [ Trace.ev_irq_raise; Trace.ev_irq_deliver ])
+    (mask [ "irq" ]);
+  Alcotest.(check int) "dbt = translate + chain + invalidate + form"
+    (bits
+       [ Trace.ev_translate; Trace.ev_chain; Trace.ev_invalidate;
+         Trace.ev_form ])
+    (mask [ "dbt" ]);
+  Alcotest.(check int) "all covers every kind" Trace.all_kinds
+    (mask [ "all" ]);
+  Alcotest.(check int) "all_kinds is dense over nkinds"
+    ((1 lsl Trace.nkinds) - 1)
+    Trace.all_kinds;
+  (* plain kind names OR into the same mask space as the groups *)
+  Alcotest.(check int) "explicit members equal their group"
+    (mask [ "irq-raise"; "irq-deliver" ])
+    (mask [ "irq" ])
+
 let test_jsonl_shape () =
   let tr = native_trace ~cap:256 () in
   let path = Filename.temp_file "tk_trace" ".jsonl" in
@@ -150,4 +199,9 @@ let () =
             test_filter_masks;
           Alcotest.test_case "ring wraps at capacity" `Quick test_ring_wrap;
           Alcotest.test_case "JSONL dump is line-per-event" `Quick
-            test_jsonl_shape ] ) ]
+            test_jsonl_shape ] );
+      ( "event vocabulary",
+        [ Alcotest.test_case "every kind round-trips by name" `Quick
+            test_kind_name_totality;
+          Alcotest.test_case "group aliases cover exact members" `Quick
+            test_filter_aliases_exact ] ) ]
