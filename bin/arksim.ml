@@ -349,9 +349,9 @@ let summarize label (core : Tk_machine.Core.t) params warns =
     warns
 
 let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
-    resume_native m3_cache certify_traces elide_smc trace_file trace_filter
-    trace_cap profile ts_file sample_every manifest_file spans_file
-    perfetto_file verbose =
+    resume_native m3_cache certify_traces elide_smc quantum concurrent
+    trace_file trace_filter trace_cap profile ts_file sample_every
+    manifest_file spans_file perfetto_file verbose =
   let kernel = layout.Tk_kernel.Layout.version in
   let telemetry = telemetry_on ~ts_file ~manifest_file ~sample_every in
   let superblock = tier = `Superblock in
@@ -364,6 +364,16 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     Printf.eprintf
       "run: --certify-traces and --elide-smc-probes require --tier \
        superblock\n";
+    exit 2
+  end;
+  if quantum < 0 then begin
+    Printf.eprintf "run: --quantum must be >= 0\n";
+    exit 2
+  end;
+  if concurrent <> `Off && (mode = `Native || resume_native) then begin
+    Printf.eprintf
+      "run: --concurrent-cores requires an offloaded mode without \
+       --resume-native\n";
     exit 2
   end;
   match mode with
@@ -417,12 +427,18 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
         Tk_dbt.Engine.set_smc_map e r.Tk_analysis.Absint.a_clean_ranges
       end
     end;
+    ark.Ark_run.quantum <- quantum;
     let wifi = Tk_drivers.Platform.device (Ark_run.plat ark) "wifi" in
     let wall0 = Unix.gettimeofday () in
     for i = 1 to cycles do
       if glitch_every > 0 && i mod glitch_every = 0 then
         wifi.Tk_drivers.Device.glitch_next_resume <- true;
-      let r = Ark_run.suspend_resume_cycle ~resume_native ark in
+      let r =
+        match concurrent with
+        | `Off -> Ark_run.suspend_resume_cycle ~resume_native ark
+        | `Interleave -> Ark_run.concurrent_cycle ark
+        | `Domains -> Ark_run.concurrent_cycle ~domains:true ark
+      in
       if verbose then
         Printf.printf "cycle %d: %s\n%!" i
           (match r with `Ok -> "ok" | `Fell_back r -> "fell back: " ^ r)
@@ -430,6 +446,10 @@ let run_cmd mode tier cache_dir cycles layout sleep_ms glitch_every
     let wall_s = Unix.gettimeofday () -. wall0 in
     summarize "offloaded" soc.Soc.m3 Soc.m3_params
       (List.length ark.Ark_run.nat.Native_run.warns);
+    if quantum > 0 || concurrent <> `Off then
+      Printf.printf
+        "lockstep: %d round(s), %d barrier commit(s), max skew %d ns\n"
+        ark.Ark_run.ls_rounds ark.Ark_run.ls_commits ark.Ark_run.ls_max_skew_ns;
     Printf.printf
       "DBT: %d blocks, %d guest -> %d host instructions, %d engine exits, \
        %d fallbacks\n"
@@ -554,11 +574,11 @@ module Arrival = Tk_fleet.Arrival
 
 (* exit codes: 0 clean, 1 any shard error (first one is named) *)
 let fleet_cmd devices arrival jobs seed duration_ms gap_ms shard_cap reversed
-    out =
+    quantum out =
   let cfg =
     { Fleet.default_config with
       Fleet.devices; arrival; jobs; seed; duration_ms;
-      mean_gap_ms = gap_ms; shard_cap;
+      mean_gap_ms = gap_ms; shard_cap; quantum;
       schedule = (if reversed then Fleet.Reversed else Fleet.Chrono) }
   in
   let t = Fleet.run cfg in
@@ -841,6 +861,28 @@ let elide_smc_arg =
                  provably clean guest code skip the per-word \
                  store-invalidation probe. Requires --tier superblock.")
 
+let quantum_arg =
+  Arg.(value & opt int 0
+       & info [ "quantum" ] ~docv:"NS"
+           ~doc:"Bounded-quantum lockstep scheduling: slice offloaded \
+                 phases every $(docv) nanoseconds (0 = the sequential \
+                 scheduler). Any quantum produces the same architectural \
+                 results; --quantum 1 is CI-gated byte-identical to \
+                 sequential.")
+
+let concurrent_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("off", `Off); ("interleave", `Interleave);
+                ("domains", `Domains) ])
+           `Off
+       & info [ "concurrent-cores" ] ~docv:"HOW"
+           ~doc:"Run each offloaded phase concurrently with an A9 guest \
+                 CPU workload under the lockstep scheduler: interleave \
+                 (deterministic, single host domain) or domains (one \
+                 host domain per core; same results, better wall-clock).")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -905,7 +947,8 @@ let run_t =
   Term.(
     const run_cmd $ mode_arg $ tier_arg $ cache_dir_arg $ cycles_arg
     $ layout_arg $ sleep_arg $ glitch_arg $ resume_native_arg $ m3_cache_arg
-    $ certify_traces_arg $ elide_smc_arg $ trace_arg $ trace_filter_arg
+    $ certify_traces_arg $ elide_smc_arg $ quantum_arg $ concurrent_arg
+    $ trace_arg $ trace_filter_arg
     $ trace_cap_arg $ profile_arg $ timeseries_arg $ sample_every_arg
     $ manifest_arg $ spans_arg $ perfetto_arg $ verbose_arg)
 
@@ -1009,6 +1052,11 @@ let cmds =
                & info [ "reversed" ]
                    ~doc:"Run each shard's instances in reverse order \
                          (digest must not move; determinism check).")
+        $ Arg.(value & opt int 0
+               & info [ "quantum" ] ~docv:"NS"
+                   ~doc:"Bounded-quantum lockstep slicing inside every \
+                         shard world (0 = sequential). Digest-invisible \
+                         like $(b,--jobs).")
         $ Arg.(value & opt (some string) None
                & info [ "out" ] ~docv:"FILE"
                    ~doc:"Write the fleet JSON document to $(docv)."));

@@ -73,11 +73,31 @@ type t = {
   (* virtual-GIC mask state is the real (shared) GIC object; ARK applies
      guest masking to both controllers *)
   mutable fell_back : (string * guest_state) option;
+  mutable paused : Context.t option;
+      (** bounded-quantum lockstep: the context whose engine run raised
+          {!Engine.Quantum} mid-slice. {!phase_step} resumes it (without
+          re-dispatching through the scheduler or recharging the tick)
+          before considering any other context, so the dispatch sequence
+          is exactly the sequential one cut at quantum boundaries. *)
 }
 
 let charge_emu t cycles =
   t.emu_cycles <- t.emu_cycles + cycles;
   Core.charge t.soc.Soc.m3 cycles
+
+(* Nested context runs — IRQ delivery at a block boundary, draining
+   contexts to their parking points during a fallback — must finish
+   indivisibly even under a lockstep quantum: a pause inside them would
+   leave two contexts mid-flight. Suppress the engine deadline around
+   them; the outer run loop re-checks it at its next resumable point. *)
+let with_deadline_suppressed t f =
+  let eng = t.engine in
+  let d = eng.Engine.deadline_ns in
+  if d = max_int then f ()
+  else begin
+    eng.Engine.deadline_ns <- max_int;
+    Fun.protect ~finally:(fun () -> eng.Engine.deadline_ns <- d) f
+  end
 
 let env_words = 36 (* saved engine env block: 0x00..0x8C; env_save is 64 *)
 
@@ -119,7 +139,10 @@ let emu_service t name (cpu : Exec.cpu) =
     t.engine.Engine.irq_dispatch <- true
   | "ktime_get" ->
     charge_emu t cost_ktime;
-    Engine.set_guest_reg t.engine cpu 0 (t.soc.Soc.clock.Clock.now land 0xFFFFFFFF)
+    (* the M3's own view of time: its core clock — the platform clock,
+       or its private lane inside a lockstep concurrent segment *)
+    Engine.set_guest_reg t.engine cpu 0
+      (t.soc.Soc.m3.Core.clock.Clock.now land 0xFFFFFFFF)
   | "udelay" ->
     (* busy wait, converted to the peripheral core's own timer (§4.6):
        same wall time as native, but at 200 MHz *)
@@ -132,7 +155,7 @@ let emu_service t name (cpu : Exec.cpu) =
     charge_emu t cost_msleep;
     ctx.state <- Context.Sleeping;
     let ns = (ms * t.man.Manifest.ms_ns) + t.man.Manifest.tick_ns in
-    Clock.after_ t.soc.Soc.clock ns (fun () ->
+    Clock.after_ t.soc.Soc.m3.Core.clock ns (fun () ->
         if ctx.state = Context.Sleeping then ctx.state <- Context.Ready);
     raise Switch
   | "schedule" ->
@@ -217,7 +240,7 @@ let rec create ~(soc : Soc.t) ?(mode = Translator.Ark) ?(superblock = false)
     { soc; engine; man; contexts = []; current = None; in_irq = false;
       rr = 0; draining = false; tick_on = false;
       on_hypercall = (fun _ _ -> ()); counters = Counters.create ();
-      emu_cycles = 0; fell_back = None }
+      emu_cycles = 0; fell_back = None; paused = None }
   in
   let ctx_stack_slot = ref ctx_slot_first in
   let fresh_stack () =
@@ -323,7 +346,7 @@ and deliver_pending_irq t =
       t.in_irq <- true;
       let saved = t.current in
       (match saved with Some c -> sync_out t c | None -> ());
-      run_ctx t irq_ctx;
+      with_deadline_suppressed t (fun () -> run_ctx t irq_ctx);
       (match saved with Some c -> sync_in t c | None -> ());
       t.current <- saved;
       t.in_irq <- false;
@@ -374,20 +397,27 @@ and entry_of (ctx : Context.t) =
       Some (upcall_irq, l)
     | [] -> None)
 
-and run_ctx t (ctx : Context.t) =
+and run_ctx ?(resume = false) t (ctx : Context.t) =
   t.current <- Some ctx;
-  ctx.slices <- ctx.slices + 1;
+  (* a quantum-paused context resuming is the same scheduler slice
+     continuing: no fresh slice count, and no entry setup — the engine
+     picks up at the saved host pc in the context's register file *)
+  if not resume then begin
+    ctx.slices <- ctx.slices + 1
+  end;
   sync_in t ctx;
-  (match entry_of ctx with
-  | Some (name, arg) ->
-    setup_entry t ctx name arg;
-    ctx.started <- true
-  | None -> ());
+  (if not resume then
+     match entry_of ctx with
+     | Some (name, arg) ->
+       setup_entry t ctx name arg;
+       ctx.started <- true
+     | None -> ());
   (try
      Engine.run t.engine ctx.cpu ~fuel:200_000_000;
      raise (Ark_error "engine run returned")
    with
   | Abandon -> ctx.state <- Context.Done
+  | Engine.Quantum -> t.paused <- Some ctx
   | Engine.Context_exit -> (
     match ctx.kind with
     | Context.Primary -> ctx.state <- Context.Done
@@ -420,7 +450,7 @@ let pick_ready t =
   go 0
 
 let rec arm_tick t =
-  Clock.after_ t.soc.Soc.clock t.man.Manifest.tick_ns (fun () ->
+  Clock.after_ t.soc.Soc.m3.Core.clock t.man.Manifest.tick_ns (fun () ->
       if t.tick_on then begin
         (* §4.6: ARK directly updates jiffies from its own timer *)
         let j = Mem.ram_read t.soc.Soc.mem t.man.Manifest.jiffies_addr 4 in
@@ -507,6 +537,7 @@ and rewrite_stack t (ctx : Context.t) =
   !rewritten
 
 and perform_fallback t (ctx : Context.t) ~reason ~guest_pc =
+  with_deadline_suppressed t @@ fun () ->
   Counters.incr t.counters "fallback.migrations";
   (* drain the other contexts to their parking points on the peripheral
      core (receiver-thread equivalent; see DESIGN.md) *)
@@ -538,11 +569,13 @@ and perform_fallback t (ctx : Context.t) ~reason ~guest_pc =
 
 (* ------------------------------ phases ------------------------------ *)
 
-(** [run_phase t which] executes one offloaded device phase
-    ([`Suspend] or [`Resume]) to completion or fallback. The handoff has
-    already shut down the CPU; on return the caller (the CPU-side
-    module) resumes native execution. *)
-let run_phase t (which : [ `Suspend | `Resume ]) : outcome =
+(** [phase_begin t which] — the handoff prelude of a phase: reset the
+    per-phase context states, mirror the CPU's interrupt-enable state
+    into the NVIC, stage the primary context at the phase entry and arm
+    the scheduler tick. Drive to completion with {!schedule_loop} (via
+    {!run_phase}) or in bounded-quantum slices with {!phase_step}, then
+    collect the {!outcome} with {!phase_finish}. *)
+let phase_begin t (which : [ `Suspend | `Resume ]) =
   let entry =
     match which with
     | `Suspend -> t.man.Manifest.entry_suspend
@@ -551,6 +584,8 @@ let run_phase t (which : [ `Suspend | `Resume ]) : outcome =
   (* reset per-phase context states; contexts for deferred work start
      Ready so work queued on the CPU before handoff gets drained (§4.3) *)
   t.fell_back <- None;
+  t.paused <- None;
+  t.engine.Engine.span_cut <- -1;
   List.iter
     (fun (c : Context.t) ->
       c.Context.started <- false;
@@ -589,11 +624,77 @@ let run_phase t (which : [ `Suspend | `Resume ]) : outcome =
   cpu.Exec.r.(pc) <- host;
   p.Context.started <- true;
   t.tick_on <- true;
-  arm_tick t;
+  arm_tick t
+
+(** [phase_finish t] — stop the scheduler tick and collect the phase
+    outcome. Pairs with {!phase_begin}. *)
+let phase_finish t : outcome =
+  t.tick_on <- false;
+  match t.fell_back with
+  | Some (reason, st) -> Fell_back { fb_reason = reason; fb_state = st }
+  | None -> Completed
+
+(** [phase_step t ~deadline] — the bounded-quantum slice of
+    {!schedule_loop}: dispatch contexts (resuming a quantum-paused one
+    first, without recharging the scheduler tick) until the M3 clock
+    reaches absolute time [deadline], the phase completes or falls back
+    ([`Done]), or nothing is runnable and no M3-side event is pending
+    ([`Blocked] — under the lockstep scheduler a cross-core commit may
+    still wake a context, where the sequential loop would declare
+    deadlock). The dispatch sequence over a whole phase is exactly the
+    sequential one cut at quantum boundaries, which is what makes
+    [--quantum 1] digest-identical. *)
+let phase_step t ~deadline : [ `Runnable | `Blocked | `Done ] =
+  let p = primary t in
+  let m3 = t.soc.Soc.m3 in
+  let m3clock = m3.Core.clock in
+  let eng = t.engine in
+  let guard = ref 0 in
+  let blocked = ref false in
+  while
+    p.Context.state <> Context.Done
+    && t.fell_back = None
+    && m3clock.Clock.now < deadline
+    && not !blocked
+  do
+    incr guard;
+    if !guard > 5_000_000 then raise (Ark_error "scheduler livelock");
+    eng.Engine.deadline_ns <- deadline;
+    (match t.paused with
+    | Some ctx -> (
+      t.paused <- None;
+      try run_ctx t ~resume:true ctx
+      with Fallback_exc (reason, guest_pc, fctx) ->
+        sync_out t fctx;
+        t.current <- None;
+        perform_fallback t fctx ~reason ~guest_pc)
+    | None -> (
+      match pick_ready t with
+      | Some ctx -> (
+        charge_emu t cost_tick;
+        try run_ctx t ctx
+        with Fallback_exc (reason, guest_pc, fctx) ->
+          sync_out t fctx;
+          t.current <- None;
+          perform_fallback t fctx ~reason ~guest_pc)
+      | None ->
+        if not (deliver_pending_irq t) then
+          if Clock.next_event_time m3clock = None then blocked := true
+          else ignore (Core.idle_until_limit m3 ~limit:deadline)))
+  done;
+  eng.Engine.deadline_ns <- max_int;
+  if p.Context.state = Context.Done || t.fell_back <> None then `Done
+  else if !blocked then `Blocked
+  else `Runnable
+
+(** [run_phase t which] executes one offloaded device phase
+    ([`Suspend] or [`Resume]) to completion or fallback. The handoff has
+    already shut down the CPU; on return the caller (the CPU-side
+    module) resumes native execution. *)
+let run_phase t (which : [ `Suspend | `Resume ]) : outcome =
+  phase_begin t which;
   Fun.protect
     ~finally:(fun () -> t.tick_on <- false)
     (fun () ->
       schedule_loop t;
-      match t.fell_back with
-      | Some (reason, st) -> Fell_back { fb_reason = reason; fb_state = st }
-      | None -> Completed)
+      phase_finish t)

@@ -74,6 +74,10 @@ type t = {
   counters : Tk_stats.Counters.t;
   mutable emu_cycles : int;  (** cycles booked to emulated services *)
   mutable fell_back : (string * guest_state) option;
+  mutable paused : Context.t option;
+      (** bounded-quantum lockstep: the context whose engine run raised
+          {!Tk_dbt.Engine.Quantum} mid-slice; {!phase_step} resumes it
+          first, without re-dispatching through the scheduler *)
 }
 
 (** {1 API} *)
@@ -101,3 +105,24 @@ val run_phase : t -> [ `Suspend | `Resume ] -> outcome
     handoff is drained (§4.3). On [Fell_back], the stack rewrite, cache
     flush and IPI of §6 have been performed and [fb_state] is ready to
     resume natively. *)
+
+(** {1 Bounded-quantum slicing} (the lockstep scheduler's view of a
+    phase: [phase_begin], then [phase_step] per quantum, then
+    [phase_finish]) *)
+
+val phase_begin : t -> [ `Suspend | `Resume ] -> unit
+(** the handoff prelude of {!run_phase}: reset per-phase context state,
+    mirror the CPU's interrupt-enable state into the NVIC, stage the
+    primary context at the phase entry, arm the scheduler tick *)
+
+val phase_step : t -> deadline:int -> [ `Blocked | `Done | `Runnable ]
+(** dispatch contexts until the M3 clock reaches absolute time
+    [deadline] ([`Runnable] — call again with a later deadline), the
+    phase completes or falls back ([`Done]), or nothing is runnable and
+    no M3-side event is pending ([`Blocked] — only a cross-core commit
+    can make progress). The dispatch sequence over a whole phase is the
+    sequential one cut at quantum boundaries: at [--quantum 1] digests
+    are byte-identical to {!run_phase}. *)
+
+val phase_finish : t -> outcome
+(** stop the scheduler tick and collect the phase outcome *)

@@ -80,22 +80,39 @@ let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(** Atomic, concurrency-safe save. The tmp name is unique per writer
+    ([Filename.temp_file] stamps pid + a random suffix), so sweep tasks
+    and fleet shards sharing one [--cache-dir] cannot rename each
+    other's half-written files; the final [Sys.rename] into place is
+    atomic and last-writer-wins. On any failure the tmp is unlinked by
+    the finaliser, and an unwritable cache dir degrades to a warning —
+    the run simply stays cold instead of crashing. *)
 let save ~dir t =
   if not (Sys.file_exists dir) then (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
   let file = path ~dir ~key:t.key in
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_string oc (header_of version);
-      (* sorted bindings: the file bytes are a function of the cache
-         contents, not hash-table iteration order *)
-      Marshal.to_channel oc
-        (t.key, sorted_bindings t.blocks, sorted_bindings t.traces)
-        []);
-  Sys.rename tmp file
+  match Filename.temp_file ~temp_dir:dir "tkdbt-save" ".tmp" with
+  | exception Sys_error msg ->
+    Printf.eprintf "warning: cache dir %s unwritable (%s); running cold\n%!"
+      dir msg
+  | tmp ->
+    let committed = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc magic;
+            output_string oc (header_of version);
+            (* sorted bindings: the file bytes are a function of the cache
+               contents, not hash-table iteration order *)
+            Marshal.to_channel oc
+              (t.key, sorted_bindings t.blocks, sorted_bindings t.traces)
+              []);
+        Sys.rename tmp file;
+        committed := true)
 
 let load ~dir ~key =
   let file = path ~dir ~key in

@@ -33,6 +33,12 @@ type callbacks = {
 exception Context_exit
 exception Host_error of string
 
+exception Quantum
+(** The M3 clock reached [deadline_ns] (bounded-quantum lockstep): the
+    run loop unwound at an instruction boundary with the context's pc
+    saved, so a later [run] with the same cpu resumes exactly where it
+    stopped. Never raised while [deadline_ns = max_int] (the default). *)
+
 (** Distinguished not-yet-decoded marker for [host_decode] slots,
     compared by physical equality ([==]) and never executed. *)
 let undecoded : inst = { cond = AL; op = Udf (-1) }
@@ -151,6 +157,17 @@ type t = {
           skip the cover-map probe *)
   mutable probes_elided : int;
       (** image-span stores that skipped the probe via [probe_exempt] *)
+  mutable deadline_ns : int;
+      (** bounded-quantum lockstep: the run loops raise {!Quantum} at
+          the first resumable point once the M3 clock reaches this
+          absolute time. [max_int] (default) = run to completion. The
+          scheduler clears it around nested context runs (IRQ delivery,
+          fallback draining), which must finish indivisibly. *)
+  mutable span_cut : int;
+      (** slot of an execution-burst span cut by {!Quantum} ([-1] =
+          none); the next {!run} reopens that exact frame instead of
+          opening a fresh one, so span telemetry — counts and durations
+          both — is identical at every quantum, slicing included *)
 }
 
 (* cost knobs, in M3 cycles *)
@@ -211,7 +228,7 @@ let rec create ~(soc : Soc.t) ~mode () =
       invalidations = 0; flushes = 0;
       sb_certify = None; certify_rejects = 0; smc_map = None;
       probe_exempt = Array.make (Soc.code_cache_size / 4) false;
-      probes_elided = 0 }
+      probes_elided = 0; deadline_ns = max_int; span_cut = -1 }
   in
   let m3 = soc.Soc.m3 in
   let mem = soc.Soc.mem in
@@ -893,10 +910,12 @@ let run_plain t (cpu : Exec.cpu) ~fuel =
   let ts = t.soc.Soc.sampler in
   let sampling = ts.Tk_stats.Timeseries.enabled in
   let r = cpu.Exec.r in
+  let clock = m3.Core.clock in
   let n = ref 0 in
   while true do
     if !n >= fuel then raise (Host_error "DBT fuel exhausted");
     incr n;
+    if clock.Clock.now >= t.deadline_ns then raise Quantum;
     if sampling then Tk_stats.Timeseries.tick ts;
     let pcv = Array.unsafe_get r pc in
     if pcv = Layout.exit_magic then raise Context_exit;
@@ -975,6 +994,9 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
   while true do
     if !n >= fuel then raise (Host_error "DBT fuel exhausted");
     incr n;
+    (* quantum check before the sampler tick so an unwound iteration
+       leaves no trace: the resumed iteration re-runs from here *)
+    if !probe && clock.Clock.now >= t.deadline_ns then raise Quantum;
     if sampling then Tk_stats.Timeseries.tick ts;
     if !probe then begin
       let v = Array.unsafe_get r pc in
@@ -1047,9 +1069,7 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
     in
     m3.Core.frac_ps <- ps - (q * 1000);
     clock.Clock.now <- clock.Clock.now + q;
-    (match clock.Clock.events with
-    | e :: _ when e.Clock.at <= clock.Clock.now -> Clock.run_due clock
-    | _ -> ());
+    if clock.Clock.next_at <= clock.Clock.now then Clock.run_due clock;
     if traced then
       Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
         Tk_stats.Trace.ev_retire pcv 0;
@@ -1086,11 +1106,8 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
           m3.Core.stall_cycles <- m3.Core.stall_cycles + stall2;
           Core.charge m3 stall2
         end
-        else (
-          match clock.Clock.events with
-          | e :: _ when e.Clock.at <= clock.Clock.now ->
-            Clock.run_due clock
-          | _ -> ());
+        else if clock.Clock.next_at <= clock.Clock.now then
+          Clock.run_due clock;
         if traced then
           Tk_stats.Trace.emit tr ~core:Tk_stats.Trace.core_m3
             Tk_stats.Trace.ev_retire pcv2 0;
@@ -1119,18 +1136,31 @@ let run_superblock t (cpu : Exec.cpu) ~fuel =
 let run t cpu ~fuel =
   (* one execution-burst span per engine entry; the loops only exit by
      exception (Context_exit, fallback, host error), so the close rides
-     in [~finally] *)
+     in [~finally]. A burst cut by {!Quantum} reopens coalesced on
+     resume (zero simulated time passes across the cut, and nothing
+     else records in between), so the span stream is the sequential
+     one at every quantum. *)
   let sp = t.soc.Soc.spans in
   if sp.Tk_stats.Span.enabled then begin
+    let cut = t.span_cut in
+    t.span_cut <- -1;
     let tok =
-      Tk_stats.Span.enter sp ~core:Tk_stats.Trace.core_m3
-        Tk_stats.Span.sk_run 0
+      if cut >= 0 then
+        Tk_stats.Span.reopen sp ~core:Tk_stats.Trace.core_m3
+          Tk_stats.Span.sk_run ~slot:cut 0
+      else
+        Tk_stats.Span.enter sp ~core:Tk_stats.Trace.core_m3
+          Tk_stats.Span.sk_run 0
     in
     Fun.protect
       ~finally:(fun () -> Tk_stats.Span.leave sp tok)
       (fun () ->
-        if t.superblock then run_superblock t cpu ~fuel
-        else run_plain t cpu ~fuel)
+        try
+          if t.superblock then run_superblock t cpu ~fuel
+          else run_plain t cpu ~fuel
+        with Quantum ->
+          t.span_cut <- Tk_stats.Span.slot_of sp tok;
+          raise Quantum)
   end
   else if t.superblock then run_superblock t cpu ~fuel
   else run_plain t cpu ~fuel

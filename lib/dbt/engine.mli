@@ -33,6 +33,12 @@ exception Context_exit
 exception Host_error of string
 (** engine invariant violation (bad host fetch, cache overflow, ...) *)
 
+exception Quantum
+(** the M3 clock reached [deadline_ns] (bounded-quantum lockstep): the
+    run loop unwound at an instruction boundary with the context's pc
+    saved, so a later {!run} with the same cpu resumes exactly where it
+    stopped. Never raised while [deadline_ns = max_int] (the default). *)
+
 val undecoded : Types.inst
 (** distinguished not-yet-decoded marker filling empty [host_decode]
     slots; compared by physical equality, never executed *)
@@ -127,6 +133,17 @@ type t = {
           [host_decode]): their stores skip the cover-map probe *)
   mutable probes_elided : int;
       (** image-span stores that skipped the probe via [probe_exempt] *)
+  mutable deadline_ns : int;
+      (** bounded-quantum lockstep: the run loops raise {!Quantum} at
+          the first resumable point once the M3 clock reaches this
+          absolute time. [max_int] (default) = run to completion. The
+          scheduler clears it around nested context runs (IRQ delivery,
+          fallback draining), which must finish indivisibly. *)
+  mutable span_cut : int;
+      (** slot of an execution-burst span cut by {!Quantum} ([-1] =
+          none); the next {!run} reopens that exact frame instead of
+          opening a fresh one, so span telemetry — counts and durations
+          both — is identical at every quantum, slicing included *)
 }
 
 val cost_taken_branch : int

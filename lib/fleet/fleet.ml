@@ -99,6 +99,11 @@ type config = {
   max_wakeups : int;  (** per-instance safety cap *)
   shard_cap : int;  (** max instances per shard (one world each) *)
   schedule : schedule;
+  quantum : int;
+      (** bounded-quantum lockstep slicing inside every shard world
+          (0 = sequential). Like [jobs] and [schedule] it must be
+          digest-invisible: any quantum produces the same architectural
+          results, so it lives in the undigested [host] section. *)
   chaos_fail : int option;
       (** fault injection: the given shard index raises instead of
           running (tests pin the error-propagation path with it) *)
@@ -107,7 +112,7 @@ type config = {
 let default_config =
   { devices = 60; arrival = Arrival.Poisson; jobs = 1; seed = 1;
     duration_ms = 100; mean_gap_ms = 40; max_wakeups = 50; shard_cap = 64;
-    schedule = Chrono; chaos_fail = None }
+    schedule = Chrono; quantum = 0; chaos_fail = None }
 
 (* ----------------------------- sharding ------------------------------ *)
 
@@ -448,7 +453,7 @@ let shard_task ~built (cfg : config) (sh : shard) =
   let dc = dconfigs.(sh.sh_config) in
   let ark =
     Ark_run.create ~built ~devices:dc.dc_devices
-      ~superblock:dc.dc_superblock ()
+      ~superblock:dc.dc_superblock ~quantum:cfg.quantum ()
   in
   let warm_cycles = warmup ark ~dc in
   let soc = (Ark_run.plat ark).Platform.soc in
@@ -684,6 +689,7 @@ let run (cfg : config) =
     J.Obj
       [ ("jobs", J.Int cfg.jobs);
         ("schedule", J.Str (schedule_name cfg.schedule));
+        ("quantum", J.Int cfg.quantum);
         ("wall_s", J.Num wall_s);
         ("host_cores", J.Int (Domain.recommended_domain_count ()));
         ("world", counters_obj host_world) ]

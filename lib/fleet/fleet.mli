@@ -54,6 +54,10 @@ type config = {
   max_wakeups : int;  (** per-instance safety cap *)
   shard_cap : int;  (** max instances per shard (one world each) *)
   schedule : schedule;
+  quantum : int;
+      (** bounded-quantum lockstep slicing inside every shard world
+          (0 = sequential); digest-invisible like [jobs] — it lives in
+          the undigested [host] section *)
   chaos_fail : int option;
       (** fault injection: the given shard index raises instead of
           running (tests pin the error-propagation path with it) *)

@@ -30,6 +30,15 @@ type t = {
   mutable fallbacks : (string * int) list;  (** reason, time *)
   cache_dir : string option;
       (** persistent translation cache directory, when warm-starting *)
+  mutable quantum : int;
+      (** bounded-quantum lockstep: slice offloaded phases every this
+          many ns (0 = the sequential scheduler). At [1] digests are
+          byte-identical to sequential — larger quanta only batch the
+          slicing, they never change architectural results. *)
+  mutable ls_rounds : int;  (** lockstep rounds driven (cumulative) *)
+  mutable ls_commits : int;  (** barrier commits applied (cumulative) *)
+  mutable ls_max_skew_ns : int;
+      (** widest cross-lane clock gap seen at any barrier *)
 }
 
 let plat t = t.nat.Native_run.plat
@@ -68,7 +77,8 @@ let build_manifest (plat : Platform.t) : Manifest.t =
     persistent translation cache keyed by the pristine image digest (a
     stale or missing file is an ordinary cold start). *)
 let create ?layout ?built ?devices ?(mode = Translator.Ark)
-    ?(superblock = false) ?cache_dir ?sleep_ms ?m3_cache_kb () =
+    ?(superblock = false) ?cache_dir ?sleep_ms ?m3_cache_kb
+    ?(quantum = 0) () =
   let plat = Platform.create ?layout ?built ?m3_cache_kb () in
   let nat = Native_run.create ?devices ?sleep_ms ~plat () in
   let man = build_manifest plat in
@@ -86,7 +96,10 @@ let create ?layout ?built ?devices ?(mode = Translator.Ark)
         | Some st -> st
         | None -> Tk_dbt.Cache_store.create ~key)
   | Some _ | None -> ());
-  let t = { nat; ark; events = []; fallbacks = []; cache_dir } in
+  let t =
+    { nat; ark; events = []; fallbacks = []; cache_dir; quantum;
+      ls_rounds = 0; ls_commits = 0; ls_max_skew_ns = 0 }
+  in
   (* span-tracer attribution: fallbacks taken, from ARK's own counter *)
   Tk_stats.Span.add_gauge plat.soc.Soc.spans "fallbacks" (fun () ->
       Tk_stats.Counters.get ark.Ark.counters "fallback.hits");
@@ -94,9 +107,11 @@ let create ?layout ?built ?devices ?(mode = Translator.Ark)
     (fun n cpu ->
       if n = Hyper.phase_mark then begin
         let code = Tk_dbt.Engine.guest_reg ark.Ark.engine cpu 0 in
+        (* M3-side marks read the M3's own clock: the platform clock,
+           or its private lane inside a lockstep concurrent segment *)
         t.events <-
           { ev_code = code;
-            ev_time_ns = plat.soc.Soc.clock.Clock.now;
+            ev_time_ns = plat.soc.Soc.m3.Core.clock.Clock.now;
             ev_m3 = Core.activity plat.soc.Soc.m3 }
           :: t.events;
         Tk_stats.Trace.phase plat.soc.Soc.trace code;
@@ -128,6 +143,37 @@ let receive_fallback t (st : Ark.guest_state) =
    with Interp.Halt _ -> ());
   nat.Native_run.last_exit_r0
 
+(* [offload_phase t which] — run one offloaded phase under the
+   configured scheduler: sequential ([quantum = 0]) or sliced on the
+   shared clock in bounded quanta. The slicing pauses only at resumable
+   points (instruction/probe boundaries, the idle loop), so every
+   quantum produces the same architectural results — at [--quantum 1]
+   this is CI-gated byte-identity. *)
+let offload_phase t which : Ark.outcome =
+  if t.quantum <= 0 then Ark.run_phase t.ark which
+  else begin
+    let ark = t.ark in
+    let m3clock = (plat t).soc.Soc.m3.Core.clock in
+    Ark.phase_begin ark which;
+    Fun.protect
+      ~finally:(fun () -> ark.Ark.tick_on <- false)
+      (fun () ->
+        let deadline = ref m3clock.Clock.now in
+        let rec go () =
+          deadline := !deadline + t.quantum;
+          t.ls_rounds <- t.ls_rounds + 1;
+          match Ark.phase_step ark ~deadline:!deadline with
+          | `Runnable -> go ()
+          | `Done -> ()
+          | `Blocked ->
+            (* solo lane: no cross-core commit can ever wake it — the
+               same condition the sequential scheduler calls deadlock *)
+            raise (Ark.Ark_error "ARK deadlock: nothing runnable and no events")
+        in
+        go ();
+        Ark.phase_finish ark)
+  end
+
 let record t code =
   t.events <-
     { ev_code = code; ev_time_ns = (plat t).soc.Soc.clock.Clock.now;
@@ -155,7 +201,7 @@ let suspend_resume_cycle ?(prepare_traffic = true) ?(resume_native = false) t =
   Timer.stop_tick soc.Soc.cpu_timer;
   record t Hyper.ph_suspend_begin;
   let result = ref `Ok in
-  (match Ark.run_phase t.ark `Suspend with
+  (match offload_phase t `Suspend with
   | Ark.Completed -> ()
   | Ark.Fell_back { fb_reason; fb_state } ->
     t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
@@ -180,7 +226,7 @@ let suspend_resume_cycle ?(prepare_traffic = true) ?(resume_native = false) t =
      Timer.stop_tick soc.Soc.cpu_timer
    end
    else
-     match Ark.run_phase t.ark `Resume with
+     match offload_phase t `Resume with
      | Ark.Completed -> ()
      | Ark.Fell_back { fb_reason; fb_state } ->
        t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
@@ -190,6 +236,134 @@ let suspend_resume_cycle ?(prepare_traffic = true) ?(resume_native = false) t =
        Timer.stop_tick soc.Soc.cpu_timer);
   record t Hyper.ph_resume_end;
   (* ---- handback: CPU resumes, thaws user space ---- *)
+  Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+  ignore (Native_run.call nat "thaw_processes" []);
+  !result
+
+(* ---------------------- concurrent phases ------------------------- *)
+
+(* scratch DRAM above the code cache: touched by nothing else in the
+   platform, so the A9 can churn it while ARK owns the guest kernel *)
+let workload_base = Soc.code_cache_base + Soc.code_cache_size
+
+(* [concurrent_phase t which ~domains ~workload_bytes] — run one
+   offloaded phase on the M3 *while* the A9 executes a guest CPU
+   workload (an IRQ-masked [memset] over scratch DRAM), under the
+   bounded-quantum lockstep scheduler:
+
+   - the M3 gets a private clock lane (events already armed for devices
+     move with it — devices are M3-owned during the segment, via
+     [Soc.sched_clock]);
+   - the A9 keeps the platform clock and runs with IRQs masked: no MMIO,
+     no events, no shared guest state (it only touches the scratch), so
+     between barriers the lanes' mutable state is disjoint and
+     [~domains:true] may run them on separate host domains;
+   - at the end the lane merges back into the platform clock preserving
+     the global (at, seq) event order, and the platform returns to the
+     sequential single-clock regime. *)
+let concurrent_phase t which ~domains ~workload_bytes : Ark.outcome =
+  let soc = (plat t).soc in
+  let nat = t.nat in
+  let quantum = if t.quantum > 0 then t.quantum else 20_000 in
+  (* the handoff prelude runs in the single-clock regime: entry
+     translation charges M3 time, and both lanes must observe it before
+     they split (Lockstep.create requires a common start time) *)
+  Ark.phase_begin t.ark which;
+  (* split the M3 lane and move the pending events (device completions,
+     traffic arrivals, the scheduler tick just armed) onto it: during
+     the segment the devices complete in M3 time *)
+  let main = soc.Soc.clock in
+  let lane = Clock.lane main in
+  let evs = Clock.pending main in
+  Clock.restore_pending main ~now:main.Clock.now
+    ~seq:(Clock.seq_value main) [];
+  Clock.restore_pending lane ~now:lane.Clock.now
+    ~seq:(Clock.seq_value lane) evs;
+  Core.set_clock soc.Soc.m3 lane;
+  Timer.set_clock soc.Soc.m3_timer lane;
+  soc.Soc.sched_clock <- lane;
+  (* A9 workload: staged, IRQ-masked, pure CPU + scratch DRAM *)
+  let cpu = nat.Native_run.interp.Interp.cpu in
+  let irq_was = cpu.Exec.irq_on in
+  cpu.Exec.irq_on <- false;
+  Native_run.start_call nat "memset" [ workload_base; 0x5A; workload_bytes ];
+  let a9_done = ref false in
+  let a9 =
+    { Lockstep.l_name = "a9"; l_clock = main;
+      l_run =
+        (fun ~deadline ->
+          if !a9_done then `Done
+          else
+            match Native_run.call_step nat ~deadline with
+            | `Done _ ->
+              a9_done := true;
+              `Done
+            | `Runnable -> `Runnable) }
+  in
+  let m3 =
+    { Lockstep.l_name = "m3"; l_clock = lane;
+      l_run = (fun ~deadline -> Ark.phase_step t.ark ~deadline) }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* back to the single-clock regime whatever happened: merge the
+         lane's remaining events into the platform clock (global
+         (at, seq) order preserved), restore the pointers and the A9's
+         interrupt mask *)
+      Lockstep.merge_lane ~into:main lane;
+      Core.set_clock soc.Soc.m3 main;
+      Timer.set_clock soc.Soc.m3_timer main;
+      soc.Soc.sched_clock <- main;
+      cpu.Exec.irq_on <- irq_was;
+      t.ark.Ark.tick_on <- false)
+    (fun () ->
+      let ls = Lockstep.create ~quantum [ a9; m3 ] in
+      let st = Lockstep.run ~domains ls in
+      t.ls_rounds <- t.ls_rounds + st.Lockstep.rounds;
+      t.ls_commits <- t.ls_commits + st.Lockstep.commits;
+      t.ls_max_skew_ns <- max t.ls_max_skew_ns st.Lockstep.max_skew_ns;
+      Ark.phase_finish t.ark)
+
+(** [concurrent_cycle t] — one full ephemeral-task cycle with both
+    device phases offloaded and a guest CPU workload riding on the A9
+    concurrently with each ([workload_bytes] of scratch [memset] per
+    phase). [domains] runs the two cores on separate host domains —
+    results are identical to the deterministic interleave, only
+    wall-clock differs. Returns [`Ok] or [`Fell_back reason]. *)
+let concurrent_cycle ?(prepare_traffic = true) ?(domains = false)
+    ?(workload_bytes = 256 * 1024) t =
+  let nat = t.nat in
+  let soc = (plat t).soc in
+  if prepare_traffic && List.mem "wifi" nat.Native_run.devices then
+    ignore (Native_run.call nat "wifi_prepare_traffic" []);
+  ignore (Native_run.call nat "freeze_processes" []);
+  Timer.stop_tick soc.Soc.cpu_timer;
+  record t Hyper.ph_suspend_begin;
+  let result = ref `Ok in
+  (match concurrent_phase t `Suspend ~domains ~workload_bytes with
+  | Ark.Completed -> ()
+  | Ark.Fell_back { fb_reason; fb_state } ->
+    t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
+    result := `Fell_back fb_reason;
+    Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+    ignore (receive_fallback t fb_state);
+    Timer.stop_tick soc.Soc.cpu_timer);
+  record t Hyper.ph_suspend_end;
+  record t 900;
+  Clock.advance soc.Soc.clock nat.Native_run.sleep_ns;
+  nat.Native_run.sleep_ns_total <-
+    nat.Native_run.sleep_ns_total + nat.Native_run.sleep_ns;
+  record t 901;
+  record t Hyper.ph_resume_begin;
+  (match concurrent_phase t `Resume ~domains ~workload_bytes with
+  | Ark.Completed -> ()
+  | Ark.Fell_back { fb_reason; fb_state } ->
+    t.fallbacks <- (fb_reason, soc.Soc.clock.Clock.now) :: t.fallbacks;
+    result := `Fell_back fb_reason;
+    Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
+    ignore (receive_fallback t fb_state);
+    Timer.stop_tick soc.Soc.cpu_timer);
+  record t Hyper.ph_resume_end;
   Timer.start_tick soc.Soc.cpu_timer Layout.jiffy_ns;
   ignore (Native_run.call nat "thaw_processes" []);
   !result

@@ -16,6 +16,15 @@ type t = {
   mutable fallbacks : (string * int) list;  (** (reason, time) *)
   cache_dir : string option;
       (** persistent translation cache directory, when warm-starting *)
+  mutable quantum : int;
+      (** bounded-quantum lockstep: slice offloaded phases every this
+          many ns (0 = the sequential scheduler). Any quantum produces
+          the same architectural results; at [1] digests are CI-gated
+          byte-identical to sequential. *)
+  mutable ls_rounds : int;  (** lockstep rounds driven (cumulative) *)
+  mutable ls_commits : int;  (** barrier commits applied (cumulative) *)
+  mutable ls_max_skew_ns : int;
+      (** widest cross-lane clock gap seen at any barrier *)
 }
 
 val plat : t -> Tk_drivers.Platform.t
@@ -34,6 +43,7 @@ val create :
   ?cache_dir:string ->
   ?sleep_ms:int ->
   ?m3_cache_kb:int ->
+  ?quantum:int ->
   unit ->
   t
 (** boot the platform natively and prepare ARK; [mode] picks the DBT
@@ -61,6 +71,20 @@ val suspend_resume_cycle :
     native freeze -> handoff -> ARK dpm_suspend -> deep sleep -> ARK
     dpm_resume -> handback -> native thaw. [resume_native] models the
     urgent-wakeup path (§4): resume runs on the CPU instead. *)
+
+val concurrent_cycle :
+  ?prepare_traffic:bool ->
+  ?domains:bool ->
+  ?workload_bytes:int ->
+  t ->
+  [ `Ok | `Fell_back of string ]
+(** one full ephemeral-task cycle with both device phases offloaded and
+    a guest CPU workload ([workload_bytes] of IRQ-masked scratch
+    [memset]) riding on the A9 {e concurrently} with each, under the
+    bounded-quantum lockstep scheduler (quantum from [t.quantum],
+    default 20 us when unset). [domains] runs the two cores on separate
+    host domains — architectural results are identical to the
+    deterministic interleave, only wall-clock differs. *)
 
 val events_of_cycle : t -> before:int -> phase_event list
 (** the phase events recorded since [before] (a prior length of

@@ -67,14 +67,29 @@ let handle_svc t (cpu : Exec.cpu) n =
   else if n = Hyper.panic then raise (Guest_panic r0)
   else raise (Interp.Fault (Printf.sprintf "unknown hypercall %d" n))
 
-(** [call t fn args] invokes guest function [fn] on the boot thread and
-    runs until it returns (via the exit stub). Returns guest r0. *)
-let call ?(fuel = 200_000_000) t fn args =
+(** [start_call t fn args] stages guest function [fn] on the boot thread
+    without executing anything: registers loaded, LR at the exit stub,
+    pc at the entry. Drive it with {!call_step} (the lockstep scheduler's
+    A9 lane) or let {!call} run it to completion. *)
+let start_call t fn args =
   let image = t.plat.built.Tk_kernel.Image.image in
   let cpu = t.interp.Interp.cpu in
   List.iteri (fun i a -> if i < 4 then cpu.Exec.r.(i) <- a) args;
   cpu.Exec.r.(Types.lr) <- Asm.symbol image "call_exit_stub";
-  Interp.set_pc t.interp (Asm.symbol image fn);
+  Interp.set_pc t.interp (Asm.symbol image fn)
+
+(** [call_step t ~deadline] advances a staged call until the A9 clock
+    reaches absolute time [deadline] ([`Runnable] — call again with a
+    later deadline) or the call returns ([`Done r0]). *)
+let call_step ?(fuel = 200_000_000) t ~deadline =
+  match Interp.run_until t.interp ~deadline ~fuel with
+  | () -> `Runnable
+  | exception Interp.Halt _ -> `Done t.last_exit_r0
+
+(** [call t fn args] invokes guest function [fn] on the boot thread and
+    runs until it returns (via the exit stub). Returns guest r0. *)
+let call ?(fuel = 200_000_000) t fn args =
+  start_call t fn args;
   (try Interp.run t.interp ~fuel with Interp.Halt _ -> ());
   t.last_exit_r0
 

@@ -41,6 +41,15 @@ val call : ?fuel:int -> t -> string -> int list -> int
 (** [call t fn args] invokes guest function [fn] (up to 4 args) on the
     boot thread and runs until it returns. Returns guest r0. *)
 
+val start_call : t -> string -> int list -> unit
+(** [start_call t fn args] stages [fn] on the boot thread without
+    executing anything; drive it in bounded-quantum slices with
+    {!call_step} (the lockstep scheduler's A9 lane) *)
+
+val call_step : ?fuel:int -> t -> deadline:int -> [ `Done of int | `Runnable ]
+(** advance a staged call until the A9 clock reaches absolute time
+    [deadline] or the call returns ([`Done r0]) *)
+
 val suspend_resume_cycle :
   ?prepare_traffic:bool -> t -> phase_event list
 (** one full ephemeral-task kernel cycle (freeze -> dpm_suspend -> deep

@@ -279,7 +279,12 @@ type direction = Higher_better | Lower_better | Neutral
     marker ([chain_hit_rate]) still land on [Higher_better].
     Span/latency keys are costs too: [*_ns] durations, [*_p99]
     quantiles, tracer [overhead] and reconciliation [residual] figures
-    all regress upward. Pinned by test/test_timeseries.ml. *)
+    all regress upward. Certifier/elision counters: [rejects] and
+    [mismatch] are costs, [elided] and superblock [chain_len] are
+    benefits — without these, [probes_elided] and friends fell through
+    to [Neutral], whose |delta| gate fails CI on an {e improvement}
+    larger than the tolerance. Lockstep [skew] and barrier [wait] are
+    costs. Pinned by test/test_timeseries.ml. *)
 let direction_of key =
   let k = String.lowercase_ascii key in
   let has sub =
@@ -291,11 +296,12 @@ let direction_of key =
     has "wall" || has "cycles" || has "_uj" || has "_ms" || has "bytes"
     || has "miss" || has "exits" || has "fallback" || has "divergen"
     || has "dropped" || has "stall" || has "error" || has "_ns"
-    || has "_p99" || has "overhead" || has "residual"
+    || has "_p99" || has "overhead" || has "residual" || has "rejects"
+    || has "mismatch" || has "skew" || has "barrier_wait"
   then Lower_better
   else if
     has "mips" || has "throughput" || has "rate" || has "speedup"
-    || has "per_sec"
+    || has "per_sec" || has "elided" || has "chain_len"
   then Higher_better
   else Neutral
 

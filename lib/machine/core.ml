@@ -24,7 +24,9 @@ type params = {
 
 type t = {
   p : params;
-  clock : Clock.t;
+  mutable clock : Clock.t;
+      (** the clock this core advances — the platform clock, or a
+          private lane under the bounded-quantum lockstep scheduler *)
   cache : Cache.t;
   ps_per_cycle : int;
   mutable cpi_acc : int;  (** accumulator for the fractional CPI *)
@@ -79,6 +81,10 @@ let charge_stall t stall =
     this core's cache. *)
 let fetch_cost t addr = Cache.access t.cache ~write:false addr
 
+(** [set_clock t clock] — retarget the core's time charges (lockstep
+    lane attach/detach; the sequential scheduler never calls it). *)
+let set_clock t clock = t.clock <- clock
+
 (** [idle_until_event t] models WFI: sleep to the next platform event.
     Returns [false] when no event is pending (deadlock — callers raise). *)
 let idle_until_event t =
@@ -87,6 +93,19 @@ let idle_until_event t =
   | Some skipped_ns ->
     t.idle_ps <- t.idle_ps + (skipped_ns * 1000);
     true
+
+(** [idle_until_limit t ~limit] — WFI bounded by a quantum boundary:
+    sleep to the next event, or only as far as absolute time [limit]
+    when the event lies at or beyond it (or none is pending). The idle
+    gap books identically to {!idle_until_event} taken in pieces, so a
+    solo-core lockstep run charges byte-identical busy/idle totals.
+    Returns [false] iff the queue was empty (the caller decides whether
+    a cross-lane commit can still arrive before calling it deadlock). *)
+let idle_until_limit t ~limit =
+  let had_event = Clock.next_event_time t.clock <> None in
+  (match Clock.skip_to_next_event_before t.clock ~limit with
+  | `Skipped ns | `Capped ns -> t.idle_ps <- t.idle_ps + (ns * 1000));
+  had_event
 
 (** [count_instruction t] bumps the retired-instruction counter. *)
 let count_instruction t = t.instructions <- t.instructions + 1

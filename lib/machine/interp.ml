@@ -259,6 +259,26 @@ let run_loop t ~fuel =
   done;
   raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel))
 
+(** [run_until t ~deadline ~fuel] — bounded-quantum slice of {!run}:
+    step until the core's clock reaches absolute time [deadline], then
+    return normally (the next call resumes at the saved pc — between
+    instructions every interpreter state is a resume point). {!Halt}
+    still propagates when the guest finishes inside the slice. *)
+let run_until t ~deadline ~fuel =
+  let n = ref 0 in
+  let traced = t.tr.Tk_stats.Trace.enabled in
+  let env = if traced then t.env_traced else t.env in
+  let ts = t.soc.Soc.sampler in
+  let sampling = ts.Tk_stats.Timeseries.enabled in
+  let clock = t.core.Core.clock in
+  while clock.Clock.now < deadline do
+    if !n >= fuel then
+      raise (Fault (Printf.sprintf "fuel exhausted after %d instructions" fuel));
+    incr n;
+    step_env t traced env;
+    if sampling then Tk_stats.Timeseries.tick ts
+  done
+
 let run t ~fuel =
   (* one execution-burst span per call; [run] only ever exits by
      exception (Halt / Fault), so the close rides in [~finally] *)

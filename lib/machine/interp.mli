@@ -46,3 +46,9 @@ val step : t -> unit
 (** [run t ~fuel] steps until a hypercall raises {!Halt} (or [fuel]
     instructions elapse, which raises {!Fault} — a runaway guest). *)
 val run : t -> fuel:int -> unit
+
+(** [run_until t ~deadline ~fuel] — bounded-quantum slice of {!run}:
+    step until the core's clock reaches absolute time [deadline], then
+    return normally; the next call resumes at the saved pc. {!Halt}
+    still propagates when the guest finishes inside the slice. *)
+val run_until : t -> deadline:int -> fuel:int -> unit

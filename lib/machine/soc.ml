@@ -77,6 +77,12 @@ let m3_miss_penalty = 20
 
 type t = {
   clock : Clock.t;
+  mutable sched_clock : Clock.t;
+      (** the queue device completions and DMA events arm on: the
+          platform clock, except inside a lockstep concurrent segment,
+          where it is the lane of the core driving the device — so a
+          device poked by the M3 completes in M3 time, deterministically,
+          whatever the other core is doing. Aliases [clock] otherwise. *)
   mem : Mem.t;
   fabric : Intc.fabric;
   cpu : Core.t;
@@ -182,7 +188,8 @@ let create ?(m3_cache_kb = m3_cache_kb) () =
       core_energy_nj cpu + core_energy_nj m3);
   fabric.Intc.gic.Intc.sp <- spans;
   fabric.Intc.nvic.Intc.sp <- spans;
-  { clock; mem; fabric; cpu; m3; cpu_timer; m3_timer; trace; sampler; spans }
+  { clock; sched_clock = clock; mem; fabric; cpu; m3; cpu_timer; m3_timer;
+    trace; sampler; spans }
 
 (** [dev_base i] is the MMIO base address of device slot [i]. *)
 let dev_base i = dev_mmio_base + (i * dev_mmio_stride)

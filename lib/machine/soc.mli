@@ -64,6 +64,12 @@ val m3_cache_kb : int
 
 type t = {
   clock : Clock.t;
+  mutable sched_clock : Clock.t;
+      (** the queue device completions and DMA events arm on: the
+          platform clock, except inside a lockstep concurrent segment,
+          where it is the lane of the core driving the device — so a
+          device poked by the M3 completes in M3 time, deterministically,
+          whatever the other core is doing. Aliases [clock] otherwise. *)
   mem : Mem.t;
   fabric : Intc.fabric;
   cpu : Core.t;

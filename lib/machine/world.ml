@@ -327,7 +327,8 @@ let with_quiesced t f =
 
 let capture_mach t ~cpu_tick ~m3_tick =
   let soc = t.soc in
-  { w_now = soc.Soc.clock.Clock.now; w_seq = soc.Soc.clock.Clock.seq;
+  { w_now = soc.Soc.clock.Clock.now;
+    w_seq = Clock.seq_value soc.Soc.clock;
     w_cpu = capture_core soc.Soc.cpu; w_m3 = capture_core soc.Soc.m3;
     w_cpu_cache =
       capture_cache t soc.Soc.cpu.Core.cache ~base_tags:t.base_cpu_tags
@@ -338,7 +339,7 @@ let capture_mach t ~cpu_tick ~m3_tick =
     w_gic = capture_intc soc.Soc.fabric.Intc.gic;
     w_nvic = capture_intc soc.Soc.fabric.Intc.nvic;
     w_cpu_tick = cpu_tick; w_m3_tick = m3_tick;
-    w_events = soc.Soc.clock.Clock.events;
+    w_events = Clock.pending soc.Soc.clock;
     w_dma_rd = soc.Soc.mem.Mem.dma_read_bytes;
     w_dma_wr = soc.Soc.mem.Mem.dma_write_bytes }
 
@@ -424,9 +425,8 @@ let restore t ?(on_page = fun _ ~old:_ -> ()) snap =
         want;
       let soc = t.soc in
       let m = snap.s_mach in
-      soc.Soc.clock.Clock.now <- m.w_now;
-      soc.Soc.clock.Clock.seq <- m.w_seq;
-      soc.Soc.clock.Clock.events <- m.w_events;
+      Clock.restore_pending soc.Soc.clock ~now:m.w_now ~seq:m.w_seq
+        m.w_events;
       restore_core soc.Soc.cpu m.w_cpu;
       restore_core soc.Soc.m3 m.w_m3;
       restore_cache soc.Soc.cpu.Core.cache m.w_cpu_cache

@@ -243,6 +243,34 @@ let enter_coalesced t ~core kind arg =
   end
   else enter t ~core kind arg
 
+(** [slot_of t tok] — the slot of the still-open frame behind token
+    [tok] ([-1] if it was dropped). For schedulers that must reopen a
+    frame cut mid-burst: capture the slot before {!leave}, hand it to
+    {!reopen} afterwards. *)
+let slot_of t tok = if tok >= 0 && tok < t.depth then t.stack.(tok) else -1
+
+(** [reopen t ~core kind ~slot arg] — reopen the closed frame at
+    [slot]: a bounded-quantum cut, where zero simulated time passed
+    since the close and the enclosing frame is unchanged, so the
+    reopened interval telescopes exactly as if it was never cut. Falls
+    back to a fresh {!enter} when the slot no longer matches (recorder
+    restarted, frame dropped at the cap, different enclosing frame). *)
+let reopen t ~core kind ~slot arg =
+  let tok = t.depth in
+  if
+    slot >= 0 && slot < t.n && tok < max_depth
+    && t.q_t1.(slot) >= 0
+    && t.q_kind.(slot) = kind
+    && t.q_core.(slot) = core
+    && t.q_parent.(slot) = (if tok > 0 then t.stack.(tok - 1) else -1)
+  then begin
+    t.q_t1.(slot) <- -1;
+    t.stack.(tok) <- slot;
+    t.depth <- tok + 1;
+    tok
+  end
+  else enter t ~core kind arg
+
 (** [emit_async t ~core kind ~t0 arg] records a complete span that
     started at [t0] and ends now — for latencies that overlap the frame
     stack (IRQ delivery, power-rail ramps). Parented to the current top

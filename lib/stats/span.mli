@@ -120,6 +120,18 @@ val leave : t -> int -> unit
     (accumulating [arg]): burst formation for DBT translate storms. *)
 val enter_coalesced : t -> core:int -> int -> int -> int
 
+(** [slot_of t tok] — the slot of the still-open frame behind token
+    [tok] ([-1] if dropped); capture it before {!leave} to later
+    {!reopen} a frame cut by a scheduler quantum. *)
+val slot_of : t -> int -> int
+
+(** [reopen t ~core kind ~slot arg] — reopen the closed frame at
+    [slot] (a bounded-quantum cut: zero simulated time passed and the
+    enclosing frame is unchanged), so the reopened interval telescopes
+    as if never cut; falls back to {!enter} when the slot no longer
+    matches. Returns the {!leave} token. *)
+val reopen : t -> core:int -> int -> slot:int -> int -> int
+
 (** [emit_async t ~core kind ~t0 arg] records a complete span from [t0]
     to now — overlapping latencies (IRQ delivery, power ramps) that do
     not nest on the frame stack. Carries no attribution delta. *)

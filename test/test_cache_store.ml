@@ -123,6 +123,68 @@ let test_corrupt_cold () =
       Alcotest.(check bool) "corrupt file is a cold start" true
         (Cache_store.load ~dir ~key:"cafe1234" = None))
 
+(* the fixed-tmp race fix: concurrent writers sharing one cache dir use
+   unique per-process tmp names, so one save can never rename another's
+   half-written file into place; after both commit, the dir holds only
+   final cache files (every tmp unlinked) and each loads intact *)
+let test_concurrent_saves () =
+  let image = hot_image () in
+  let key =
+    Cache_store.key_of_image ~base:image.Asm.base ~words:image.Asm.words
+  in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let _, _, _, e1 = run_hot ~store:(Cache_store.create ~key) image in
+      let _, _, _, e2 = run_hot ~store:(Cache_store.create ~key) image in
+      let s1 = Option.get e1.Engine.store
+      and s2 = Option.get e2.Engine.store in
+      (* interleave the two saves on domains: same target file, distinct
+         tmp files, last rename wins *)
+      let d1 = Domain.spawn (fun () -> Cache_store.save ~dir s1) in
+      Cache_store.save ~dir s2;
+      Domain.join d1;
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "no tmp residue (%s)" f)
+            false
+            (Filename.check_suffix f ".tmp"))
+        (Sys.readdir dir);
+      match Cache_store.load ~dir ~key with
+      | None -> Alcotest.fail "winner's file failed to load"
+      | Some got ->
+        Alcotest.(check int) "winner's blocks intact"
+          (Hashtbl.length s1.Cache_store.blocks)
+          (Hashtbl.length got.Cache_store.blocks))
+
+(* an unwritable cache dir degrades to a warning: the run stays cold
+   instead of crashing (fleet shards must survive a read-only mount).
+   chmod is no barrier to root, so unwritability is staged with a
+   regular file where the directory should be — mkdir and temp_file
+   both fail with Sys_error on it, for any uid *)
+let test_unwritable_dir_runs_cold () =
+  let image = hot_image () in
+  let key =
+    Cache_store.key_of_image ~base:image.Asm.base ~words:image.Asm.words
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tkcache-notadir-%d-%d" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  let oc = open_out dir in
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove dir)
+    (fun () ->
+      let _, _, _, engine = run_hot ~store:(Cache_store.create ~key) image in
+      (* must not raise; nothing persisted *)
+      Cache_store.save ~dir (Option.get engine.Engine.store);
+      Alcotest.(check bool) "nothing persisted, next start is cold" true
+        (Cache_store.load ~dir ~key = None))
+
 (* warm replay must not move a single simulated counter: the cache
    eliminates host-side translation work, never simulated cycles *)
 let test_warm_equals_cold () =
@@ -194,7 +256,11 @@ let () =
           Alcotest.test_case "digest mismatch is a cold start" `Quick
             test_key_mismatch_cold;
           Alcotest.test_case "corrupt file is a cold start" `Quick
-            test_corrupt_cold ] );
+            test_corrupt_cold;
+          Alcotest.test_case "concurrent saves never clobber" `Quick
+            test_concurrent_saves;
+          Alcotest.test_case "unwritable dir degrades to cold" `Quick
+            test_unwritable_dir_runs_cold ] );
       ( "warm start",
         [ Alcotest.test_case "warm counters = cold counters" `Quick
             test_warm_equals_cold;

@@ -123,6 +123,35 @@ let prop_merge_identity =
       Sketch.rows (Sketch.merge a (Sketch.create ())) = Sketch.rows a
       && Sketch.rows (Sketch.merge (Sketch.create ()) a) = Sketch.rows a)
 
+(* serialization round-trip: replaying [rows] into a fresh sketch is
+   bucket-stable (identical rows/count, hence identical quantiles), and
+   the reloaded quantiles still honour the documented accuracy contract
+   against the raw samples — exact below 32, 6.25% (1/16) relative
+   above. The fleet digest hashes exactly this rows->load path when a
+   shard ships its sketches to the collector. *)
+let prop_rows_load_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"rows -> load round-trip holds 6.25%"
+    arb_samples (fun xs ->
+      let t = of_list xs in
+      let u = Sketch.create () in
+      Sketch.load u (Sketch.rows t);
+      let stable =
+        Sketch.rows u = Sketch.rows t && Sketch.count u = Sketch.count t
+      in
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      stable
+      && (n = 0
+         || List.for_all
+              (fun phi ->
+                let r = int_of_float (ceil (phi *. float_of_int n)) in
+                let r = if r < 1 then 1 else if r > n then n else r in
+                let want = sorted.(r - 1) in
+                let tol = if want < 32 then 0 else (want + 15) / 16 in
+                abs (Sketch.quantile u phi - want) <= tol)
+              quantiles))
+
 (* ------------------------------ accuracy ----------------------------- *)
 
 let oracle_rank sorted phi =
@@ -252,7 +281,8 @@ let () =
       ( "algebra (property)",
         [ QCheck_alcotest.to_alcotest prop_merge_commutative;
           QCheck_alcotest.to_alcotest prop_merge_associative;
-          QCheck_alcotest.to_alcotest prop_merge_identity ] );
+          QCheck_alcotest.to_alcotest prop_merge_identity;
+          QCheck_alcotest.to_alcotest prop_rows_load_roundtrip ] );
       ( "accuracy",
         [ Alcotest.test_case "oracle 100k x3 shapes" `Quick
             test_oracle_100k;

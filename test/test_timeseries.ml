@@ -379,7 +379,18 @@ let test_direction_polarity () =
   check "span_overhead_off_pct" Manifest.Lower_better;
   check "recon_residual_pct" Manifest.Lower_better;
   (* spans/sec is a throughput, not a cost *)
-  check "spans_per_sec" Manifest.Higher_better
+  check "spans_per_sec" Manifest.Higher_better;
+  (* certifier/elision counters: probe elisions and superblock chain
+     length are benefits; certifier rejects and certify mismatches are
+     costs — before the polarity fix all four fell to Neutral, whose
+     |delta| gate fails CI on an improvement beyond tolerance *)
+  check "probes_elided" Manifest.Higher_better;
+  check "sb.chain_len" Manifest.Higher_better;
+  check "certify_rejects" Manifest.Lower_better;
+  check "certify_mismatch" Manifest.Lower_better;
+  (* lockstep scheduler telemetry: skew and barrier waits are costs *)
+  check "ls_max_skew_ns" Manifest.Lower_better;
+  check "barrier_wait_ms" Manifest.Lower_better
 
 let test_gate_miss_rate () =
   let base = write_tmp {|{"metrics": {"miss_rate": 0.02}}|} in

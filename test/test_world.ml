@@ -121,12 +121,12 @@ let test_pending_events_replayed () =
   let ark, w, soc = mk () in
   cycle_ms ark 4;
   let snap = World.fork w in
-  let pending = List.length soc.Soc.clock.Clock.events in
+  let pending = List.length (Clock.pending soc.Soc.clock) in
   cycle_ms ark 6;
   World.restore w snap;
   Alcotest.(check int) "queued one-shot events are back"
     pending
-    (List.length soc.Soc.clock.Clock.events);
+    (List.length (Clock.pending soc.Soc.clock));
   (* and the restored queue is live: the world keeps running *)
   cycle_ms ark 2
 
